@@ -1,0 +1,33 @@
+// Command costmodel prints the paper's storage-tiering cost analysis:
+// Table 1 (device pricing and tier fractions), Figure 2 (cost of a 100 TB
+// database under seven tiering configurations) and Figure 3 (savings from
+// a CSD-based cold storage tier).
+//
+// Usage:
+//
+//	costmodel [-dbtb N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+func main() {
+	dbTB := flag.Float64("dbtb", 100, "database size in TB for absolute costs")
+	flag.Parse()
+
+	fmt.Println(experiments.Table1())
+	fmt.Println(experiments.Figure2())
+	fmt.Println(experiments.Figure3())
+
+	if *dbTB != 100 {
+		fmt.Printf("Costs for a %.0f TB database:\n", *dbTB)
+		for _, cfg := range costmodel.Figure2Configs() {
+			fmt.Printf("  %-10s $%.2fk\n", cfg.Name, cfg.Cost(*dbTB)/1000)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command skipperbench regenerates any table or figure of the paper's
+// evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	skipperbench -fig all            # everything (slow)
+//	skipperbench -fig 7              # Figure 7 only
+//	skipperbench -fig table3 -quick  # reduced-scale smoke run
+//
+// Figures: table1, 2, 3, 4, 5, 7, 8, 9, table3, 10, 11a, 11b, 11c, 12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	figArg := flag.String("fig", "all", "comma-separated figure ids (table1,2,3,4,5,7,8,9,table3,10,11a,11b,11c,12) or 'all'")
+	quick := flag.Bool("quick", false, "use the reduced-scale configuration")
+	sf := flag.Int("sf", 0, "override TPC-H scale factor")
+	format := flag.String("format", "table", "output format: table or csv")
+	showTrace := flag.Bool("trace", false, "run a small 3-client scenario and print its event trace instead of figures")
+	flag.Parse()
+
+	if *showTrace {
+		runTraceDemo()
+		return
+	}
+
+	p := experiments.Default()
+	if *quick {
+		p = experiments.Quick()
+	}
+	if *sf > 0 {
+		p.SF = *sf
+	}
+
+	type gen func() (*experiments.Figure, error)
+	static := func(f *experiments.Figure) gen {
+		return func() (*experiments.Figure, error) { return f, nil }
+	}
+	all := []struct {
+		id string
+		fn gen
+	}{
+		{"table1", static(experiments.Table1())},
+		{"2", static(experiments.Figure2())},
+		{"3", static(experiments.Figure3())},
+		{"4", p.Figure4},
+		{"5", p.Figure5},
+		{"7", p.Figure7},
+		{"8", p.Figure8},
+		{"9", p.Figure9},
+		{"table3", p.Table3},
+		{"10", p.Figure10},
+		{"11a", p.Figure11a},
+		{"11b", p.Figure11b},
+		{"11c", p.Figure11c},
+		{"12", p.Figure12},
+	}
+
+	want := map[string]bool{}
+	runAll := *figArg == "all"
+	for _, id := range strings.Split(*figArg, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+
+	matched := false
+	for _, e := range all {
+		if !runAll && !want[e.id] {
+			continue
+		}
+		matched = true
+		f, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipperbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f)
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "skipperbench: no figure matched %q\n", *figArg)
+		os.Exit(2)
+	}
+}
+
+// runTraceDemo executes a 3-client Skipper run and prints the structured
+// event log: who requested what, when the device switched groups, and
+// when each query span completed.
+func runTraceDemo() {
+	log := &trace.Log{}
+	store := make(map[segment.ObjectID]*segment.Segment)
+	var clients []*skipper.Client
+	for t := 0; t < 3; t++ {
+		ds := workload.TPCH(t, workload.TPCHConfig{SF: 3, RowsPerObject: 6, Seed: 1})
+		ds.MergeInto(store)
+		clients = append(clients, &skipper.Client{
+			Tenant: t, Mode: skipper.ModeSkipper, Catalog: ds.Catalog,
+			Queries:      []skipper.QuerySpec{workload.Q12(ds.Catalog)},
+			CacheObjects: 8,
+		})
+	}
+	res, err := (&skipper.Cluster{Clients: clients, Store: store, Events: log}).Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipperbench: trace demo: %v\n", err)
+		os.Exit(1)
+	}
+	log.Render(os.Stdout)
+	fmt.Println()
+	fmt.Print(log.Summary())
+	fmt.Printf("\nmakespan %.1fs, %d switches\n", res.Makespan.Seconds(), res.CSD.GroupSwitches)
+}

@@ -1,0 +1,162 @@
+// Command skipperql is an interactive SQL shell over a generated dataset
+// stored on the simulated Cold Storage Device. Each statement is planned
+// onto the multi-way join core and executed by the chosen engine; the
+// shell reports virtual execution time, GET counts and group switches
+// alongside the result rows.
+//
+// Usage:
+//
+//	skipperql [-workload tpch|ssb|mrbench|nref] [-sf N] [-engine skipper|vanilla|local] [-cache N]
+//
+// Example session:
+//
+//	> SELECT n_name, COUNT(*) AS n FROM nation, region
+//	  WHERE n_regionkey = r_regionkey GROUP BY n_name LIMIT 3;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/sql"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "tpch", "dataset: tpch, ssb, mrbench, nref")
+	sf := flag.Int("sf", 10, "scale factor / footprint in GB")
+	rows := flag.Int("rows", 20, "tuples per 1 GB object")
+	engineName := flag.String("engine", "skipper", "execution engine: skipper, vanilla, local")
+	cache := flag.Int("cache", 10, "MJoin cache size in objects (skipper engine)")
+	command := flag.String("c", "", "run one statement and exit")
+	flag.Parse()
+
+	var ds *workload.Dataset
+	switch *wl {
+	case "tpch":
+		ds = workload.TPCH(0, workload.TPCHConfig{SF: *sf, RowsPerObject: *rows, Seed: 1})
+	case "ssb":
+		ds = workload.SSB(0, workload.SSBConfig{SF: *sf, RowsPerObject: *rows, Seed: 1})
+	case "mrbench":
+		ds = workload.MRBench(0, workload.MRBenchConfig{TotalGB: *sf, RowsPerObject: *rows, Seed: 1})
+	case "nref":
+		ds = workload.NREF(0, workload.NREFConfig{TotalGB: *sf, RowsPerObject: *rows, Seed: 1})
+	default:
+		fmt.Fprintf(os.Stderr, "skipperql: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	planner := &sql.Planner{Catalog: ds.Catalog}
+	if *command != "" {
+		execute(planner, ds, *engineName, *cache, *command)
+		return
+	}
+
+	fmt.Printf("skipperql — %s dataset, %d objects, engine=%s\n", *wl, len(ds.Catalog.AllObjects()), *engineName)
+	fmt.Printf("tables: %s\n", strings.Join(ds.Catalog.TableNames(), ", "))
+	fmt.Println(`end statements with ';', '\q' quits, '\d table' describes a table`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == `\q` || trimmed == "quit" || trimmed == "exit" {
+			return
+		}
+		if strings.HasPrefix(trimmed, `\d`) {
+			describe(ds, strings.TrimSpace(strings.TrimPrefix(trimmed, `\d`)))
+			fmt.Print("> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("… ")
+			continue
+		}
+		stmtText := buf.String()
+		buf.Reset()
+		execute(planner, ds, *engineName, *cache, stmtText)
+		fmt.Print("> ")
+	}
+}
+
+func describe(ds *workload.Dataset, table string) {
+	if table == "" {
+		for _, name := range ds.Catalog.TableNames() {
+			tm := ds.Catalog.MustTable(name)
+			fmt.Printf("  %-12s %3d objects, %6d rows\n", name, len(tm.Objects), tm.RowCount)
+		}
+		return
+	}
+	tm, err := ds.Catalog.Table(table)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range tm.Schema.Cols {
+		fmt.Printf("  %-24s %s\n", c.Name, c.Kind)
+	}
+}
+
+func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, stmtText string) {
+	spec, err := planner.Plan(stmtText)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if engineName == "local" {
+		rows, err := workload.Evaluate(ds, spec)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		printRows(rows)
+		return
+	}
+	mode := skipper.ModeSkipper
+	if engineName == "vanilla" {
+		mode = skipper.ModeVanilla
+	}
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	client := &skipper.Client{
+		Tenant: 0, Mode: mode, Catalog: ds.Catalog,
+		Queries: []skipper.QuerySpec{spec}, CacheObjects: cache,
+	}
+	res, err := (&skipper.Cluster{Clients: []*skipper.Client{client}, Store: store}).Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rows, err := workload.Evaluate(ds, spec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	printRows(rows)
+	cs := res.Clients[0]
+	fmt.Printf("-- %s: %.1fs virtual (processing %.1fs, stalled %.1fs), %d GETs, %d switches\n",
+		mode, cs.Elapsed().Seconds(), cs.Processing.Seconds(), cs.Stalled().Seconds(),
+		cs.GetsIssued, res.CSD.GroupSwitches)
+}
+
+func printRows(rows []tuple.Row) {
+	for i, r := range rows {
+		if i >= 40 {
+			fmt.Printf("... (%d rows total)\n", len(rows))
+			return
+		}
+		fmt.Println(r)
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}

@@ -1,0 +1,115 @@
+// Package catalog holds per-tenant table metadata: schemas and the list of
+// CSD objects backing each relation. In the paper's architecture only the
+// catalog lives on the database VM's local disk; all binary data is fetched
+// from the cold storage device at execution time. The catalog is what lets
+// the MJoin state manager enumerate upfront every object a query needs.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/segment"
+	"repro/internal/tuple"
+)
+
+// TableMeta describes one relation of one tenant.
+type TableMeta struct {
+	Name     string
+	Schema   *tuple.Schema
+	Objects  []segment.ObjectID // in segment order
+	RowCount int64
+}
+
+// Catalog maps table names to metadata for a single tenant.
+type Catalog struct {
+	Tenant int
+	tables map[string]*TableMeta
+	order  []string
+}
+
+// New returns an empty catalog for the given tenant.
+func New(tenant int) *Catalog {
+	return &Catalog{Tenant: tenant, tables: make(map[string]*TableMeta)}
+}
+
+// AddTable registers a relation from its segments. The segments must all
+// belong to this catalog's tenant and share the table name.
+func (c *Catalog) AddTable(name string, schema *tuple.Schema, segs []*segment.Segment) (*TableMeta, error) {
+	if _, dup := c.tables[name]; dup {
+		return nil, fmt.Errorf("catalog: table %q already registered", name)
+	}
+	tm := &TableMeta{Name: name, Schema: schema}
+	for _, sg := range segs {
+		if sg.ID.Tenant != c.Tenant {
+			return nil, fmt.Errorf("catalog: segment %v belongs to tenant %d, catalog is tenant %d", sg.ID, sg.ID.Tenant, c.Tenant)
+		}
+		if sg.ID.Table != name {
+			return nil, fmt.Errorf("catalog: segment %v registered under table %q", sg.ID, name)
+		}
+		tm.Objects = append(tm.Objects, sg.ID)
+		tm.RowCount += int64(len(sg.Rows))
+	}
+	sort.Slice(tm.Objects, func(i, j int) bool { return tm.Objects[i].Index < tm.Objects[j].Index })
+	c.tables[name] = tm
+	c.order = append(c.order, name)
+	return tm, nil
+}
+
+// MustAddTable is AddTable that panics on error, for use in generators.
+func (c *Catalog) MustAddTable(name string, schema *tuple.Schema, segs []*segment.Segment) *TableMeta {
+	tm, err := c.AddTable(name, schema, segs)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// Table returns metadata for the named relation.
+func (c *Catalog) Table(name string) (*TableMeta, error) {
+	tm, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return tm, nil
+}
+
+// MustTable is Table that panics on error.
+func (c *Catalog) MustTable(name string) *TableMeta {
+	tm, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// TableNames lists registered tables in registration order.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// AllObjects returns every object across all tables, in registration then
+// segment order. This is the tenant's full dataset footprint on the CSD.
+func (c *Catalog) AllObjects() []segment.ObjectID {
+	var out []segment.ObjectID
+	for _, name := range c.order {
+		out = append(out, c.tables[name].Objects...)
+	}
+	return out
+}
+
+// ObjectsFor returns the objects needed to evaluate a query over the named
+// tables, mirroring the MJoin state manager's "readObjectsFromCatalog".
+func (c *Catalog) ObjectsFor(tables ...string) ([]segment.ObjectID, error) {
+	var out []segment.ObjectID
+	for _, name := range tables {
+		tm, err := c.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tm.Objects...)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package catalog
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/segment"
+	"repro/internal/tuple"
+)
+
+var sch = tuple.NewSchema(tuple.Column{Name: "k", Kind: tuple.KindInt64})
+
+func mkSegs(tenant int, table string, n, rowsEach int) []*segment.Segment {
+	var rows []tuple.Row
+	for i := 0; i < n*rowsEach; i++ {
+		rows = append(rows, tuple.Row{tuple.Int(int64(i))})
+	}
+	return segment.Split(tenant, table, rows, rowsEach, 1<<30)
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := New(1)
+	tm := c.MustAddTable("orders", sch, mkSegs(1, "orders", 3, 10))
+	if tm.RowCount != 30 {
+		t.Fatalf("rowcount %d", tm.RowCount)
+	}
+	if len(tm.Objects) != 3 {
+		t.Fatalf("objects %v", tm.Objects)
+	}
+	got := c.MustTable("orders")
+	if got != tm {
+		t.Fatal("lookup returned different meta")
+	}
+	if _, err := c.Table("nope"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	c := New(0)
+	c.MustAddTable("t", sch, mkSegs(0, "t", 1, 1))
+	if _, err := c.AddTable("t", sch, mkSegs(0, "t", 1, 1)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestTenantMismatchRejected(t *testing.T) {
+	c := New(1)
+	if _, err := c.AddTable("t", sch, mkSegs(2, "t", 1, 1)); err == nil {
+		t.Fatal("wrong-tenant segment accepted")
+	}
+}
+
+func TestTableNameMismatchRejected(t *testing.T) {
+	c := New(0)
+	if _, err := c.AddTable("a", sch, mkSegs(0, "b", 1, 1)); err == nil {
+		t.Fatal("wrong-table segment accepted")
+	}
+}
+
+func TestObjectsFor(t *testing.T) {
+	c := New(0)
+	c.MustAddTable("a", sch, mkSegs(0, "a", 2, 5))
+	c.MustAddTable("b", sch, mkSegs(0, "b", 3, 5))
+	objs, err := c.ObjectsFor("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 5 {
+		t.Fatalf("got %d objects", len(objs))
+	}
+	if _, err := c.ObjectsFor("a", "zz"); err == nil {
+		t.Fatal("unknown table in ObjectsFor accepted")
+	}
+	all := c.AllObjects()
+	if !reflect.DeepEqual(objs, all) {
+		t.Fatalf("ObjectsFor(a,b) != AllObjects: %v vs %v", objs, all)
+	}
+}
+
+func TestTableNamesOrder(t *testing.T) {
+	c := New(0)
+	c.MustAddTable("z", sch, mkSegs(0, "z", 1, 1))
+	c.MustAddTable("a", sch, mkSegs(0, "a", 1, 1))
+	if got := c.TableNames(); !reflect.DeepEqual(got, []string{"z", "a"}) {
+		t.Fatalf("names %v", got)
+	}
+}

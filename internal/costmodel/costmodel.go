@@ -1,0 +1,148 @@
+// Package costmodel reproduces the paper's storage-tiering cost analysis
+// (§2.1 Table 1 / Figure 2 and §3.1 Figure 3): acquisition cost of a
+// database spread across performance, capacity and archival tiers, and the
+// savings from replacing the capacity+archival tiers with a single
+// CSD-based cold storage tier (CST).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// GB per TB in the paper's arithmetic (binary: 100 TB = 102,400 GB).
+const gbPerTB = 1024
+
+// Device is one storage device type with its acquisition cost.
+type Device struct {
+	Name         string
+	DollarsPerGB float64
+	// Tier is the paper's tier classification: P(erformance),
+	// C(apacity), A(rchival), or CST.
+	Tier string
+}
+
+// The paper's device pricing (Table 1).
+var (
+	SSD     = Device{Name: "SSD", DollarsPerGB: 75, Tier: "P"}
+	SCSI15K = Device{Name: "15k-HDD", DollarsPerGB: 13.5, Tier: "P"}
+	SATA72K = Device{Name: "7.2k-HDD", DollarsPerGB: 4.5, Tier: "C"}
+	Tape    = Device{Name: "Tape", DollarsPerGB: 0.2, Tier: "A"}
+)
+
+// CSD returns a cold-storage-device entry at the given price point
+// (Figure 3 evaluates $1, $0.2 and $0.1 per GB).
+func CSD(dollarsPerGB float64) Device {
+	return Device{Name: fmt.Sprintf("CSD@%.2f", dollarsPerGB), DollarsPerGB: dollarsPerGB, Tier: "CST"}
+}
+
+// Share places a fraction of the database on a device.
+type Share struct {
+	Device   Device
+	Fraction float64
+}
+
+// TierMix is a full tiering configuration; fractions must sum to 1.
+type TierMix struct {
+	Name   string
+	Shares []Share
+}
+
+// Validate checks the fractions.
+func (m TierMix) Validate() error {
+	sum := 0.0
+	for _, s := range m.Shares {
+		if s.Fraction < 0 || s.Fraction > 1 {
+			return fmt.Errorf("costmodel: %s: fraction %v out of range", m.Name, s.Fraction)
+		}
+		sum += s.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("costmodel: %s: fractions sum to %v", m.Name, sum)
+	}
+	return nil
+}
+
+// CostPerGB returns the blended acquisition cost.
+func (m TierMix) CostPerGB() float64 {
+	c := 0.0
+	for _, s := range m.Shares {
+		c += s.Fraction * s.Device.DollarsPerGB
+	}
+	return c
+}
+
+// Cost returns the configuration's acquisition cost for a database of the
+// given size in TB.
+func (m TierMix) Cost(dbTB float64) float64 {
+	return m.CostPerGB() * dbTB * gbPerTB
+}
+
+// Single builds a one-device configuration.
+func Single(name string, d Device) TierMix {
+	return TierMix{Name: name, Shares: []Share{{Device: d, Fraction: 1}}}
+}
+
+// TwoTier is the paper's 2-tier config: 35% 15k-HDD, 65% SATA.
+func TwoTier() TierMix {
+	return TierMix{Name: "2-Tier", Shares: []Share{
+		{Device: SCSI15K, Fraction: 0.35},
+		{Device: SATA72K, Fraction: 0.65},
+	}}
+}
+
+// ThreeTier is the paper's 3-tier config: 15% 15k, 32.5% SATA, 52.5% tape.
+func ThreeTier() TierMix {
+	return TierMix{Name: "3-Tier", Shares: []Share{
+		{Device: SCSI15K, Fraction: 0.15},
+		{Device: SATA72K, Fraction: 0.325},
+		{Device: Tape, Fraction: 0.525},
+	}}
+}
+
+// FourTier is the paper's 4-tier config: 2% SSD, 13% 15k, 32.5% SATA,
+// 52.5% tape.
+func FourTier() TierMix {
+	return TierMix{Name: "4-Tier", Shares: []Share{
+		{Device: SSD, Fraction: 0.02},
+		{Device: SCSI15K, Fraction: 0.13},
+		{Device: SATA72K, Fraction: 0.325},
+		{Device: Tape, Fraction: 0.525},
+	}}
+}
+
+// Figure2Configs lists the seven configurations of Figure 2.
+func Figure2Configs() []TierMix {
+	return []TierMix{
+		Single("All-SSD", SSD),
+		Single("All-SCSI", SCSI15K),
+		Single("All-SATA", SATA72K),
+		Single("All-tape", Tape),
+		TwoTier(),
+		ThreeTier(),
+		FourTier(),
+	}
+}
+
+// WithCST replaces every capacity- and archival-tier share of a
+// configuration with a single CSD share at the given price — the cold
+// storage tier of §3.
+func WithCST(base TierMix, csdDollarsPerGB float64) TierMix {
+	out := TierMix{Name: "CSD-" + base.Name}
+	cold := 0.0
+	for _, s := range base.Shares {
+		switch s.Device.Tier {
+		case "C", "A":
+			cold += s.Fraction
+		default:
+			out.Shares = append(out.Shares, s)
+		}
+	}
+	out.Shares = append(out.Shares, Share{Device: CSD(csdDollarsPerGB), Fraction: cold})
+	return out
+}
+
+// SavingsRatio returns trad/csd cost (e.g. 1.70 means the CST saves 41%).
+func SavingsRatio(trad, cst TierMix) float64 {
+	return trad.CostPerGB() / cst.CostPerGB()
+}

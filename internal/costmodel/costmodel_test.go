@@ -1,0 +1,136 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, label string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", label, got, want, tol)
+	}
+}
+
+// TestFigure2Numbers checks the seven bars of Figure 2 for a 100 TB
+// database, in thousands of dollars.
+func TestFigure2Numbers(t *testing.T) {
+	want := map[string]float64{
+		"All-SSD":  7680.00,
+		"All-SCSI": 1382.40,
+		"All-SATA": 460.80,
+		"All-tape": 20.48,
+		"2-Tier":   783.36,
+		"3-Tier":   367.87,
+		"4-Tier":   493.82,
+	}
+	for _, cfg := range Figure2Configs() {
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := cfg.Cost(100) / 1000
+		approx(t, got, want[cfg.Name], 0.01, cfg.Name)
+	}
+}
+
+// TestFigure3Ratios checks §3.1's quoted CST savings ratios.
+func TestFigure3Ratios(t *testing.T) {
+	cases := []struct {
+		base     TierMix
+		csdPrice float64
+		want     float64
+	}{
+		{ThreeTier(), 0.1, 1.70},
+		{ThreeTier(), 0.2, 1.63},
+		{ThreeTier(), 1.0, 1.24},
+		{FourTier(), 0.1, 1.44},
+		{FourTier(), 0.2, 1.40},
+		{FourTier(), 1.0, 1.17},
+	}
+	for _, c := range cases {
+		cst := WithCST(c.base, c.csdPrice)
+		if err := cst.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := SavingsRatio(c.base, cst)
+		approx(t, got, c.want, 0.01, cst.Name)
+	}
+}
+
+func TestWithCSTReplacesColdShares(t *testing.T) {
+	cst := WithCST(FourTier(), 0.1)
+	if len(cst.Shares) != 3 {
+		t.Fatalf("shares %v", cst.Shares)
+	}
+	// SSD and 15k stay; SATA+Tape collapse to one 85.5%... actually
+	// 32.5+52.5 = 85% CSD share.
+	var coldFrac float64
+	for _, s := range cst.Shares {
+		if s.Device.Tier == "CST" {
+			coldFrac = s.Fraction
+		}
+		if s.Device.Tier == "C" || s.Device.Tier == "A" {
+			t.Fatalf("cold device %v survived", s.Device)
+		}
+	}
+	approx(t, coldFrac, 0.85, 1e-9, "cold fraction")
+}
+
+func TestAllTapeCheapest(t *testing.T) {
+	cheapest := Single("All-tape", Tape).CostPerGB()
+	for _, cfg := range Figure2Configs() {
+		if cfg.Name != "All-tape" && cfg.CostPerGB() <= cheapest {
+			t.Fatalf("%s cheaper than tape", cfg.Name)
+		}
+	}
+}
+
+// TestSavingsMonotoneInCSDPrice: a cheaper CSD can only increase savings.
+func TestSavingsMonotoneInCSDPrice(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p1 := 0.01 + float64(a%400)/100 // 0.01..4.00
+		p2 := 0.01 + float64(b%400)/100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		base := ThreeTier()
+		return SavingsRatio(base, WithCST(base, p1)) >= SavingsRatio(base, WithCST(base, p2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSTBreakEvenPrice: the CST wins exactly when the CSD is cheaper
+// than the blended cost of the capacity+archival shares it replaces
+// ((0.325·4.5 + 0.525·0.2)/0.85 ≈ $1.84/GB for the 3-tier config).
+func TestCSTBreakEvenPrice(t *testing.T) {
+	base := ThreeTier()
+	breakEven := (0.325*SATA72K.DollarsPerGB + 0.525*Tape.DollarsPerGB) / 0.85
+	f := func(a uint16) bool {
+		p := float64(a%400) / 100 // $0.00..$3.99
+		cheaper := WithCST(base, p).CostPerGB() <= base.CostPerGB()+1e-9
+		return cheaper == (p <= breakEven+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadFractions(t *testing.T) {
+	bad := TierMix{Name: "bad", Shares: []Share{{Device: SSD, Fraction: 0.5}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("fractions not summing to 1 accepted")
+	}
+	bad2 := TierMix{Name: "bad2", Shares: []Share{{Device: SSD, Fraction: 1.5}, {Device: Tape, Fraction: -0.5}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range fraction accepted")
+	}
+}
+
+func TestCostScalesLinearly(t *testing.T) {
+	c100 := ThreeTier().Cost(100)
+	c1000 := ThreeTier().Cost(1000)
+	approx(t, c1000/c100, 10, 1e-9, "linear scaling")
+}

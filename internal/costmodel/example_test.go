@@ -1,0 +1,21 @@
+package costmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+)
+
+// Replacing the 3-tier hierarchy's capacity and archival tiers with a
+// $0.10/GB cold storage tier saves 1.70x on acquisition cost (§3.1).
+func ExampleWithCST() {
+	base := costmodel.ThreeTier()
+	cst := costmodel.WithCST(base, 0.10)
+	fmt.Printf("traditional: $%.2f/GB\n", base.CostPerGB())
+	fmt.Printf("with CST:    $%.2f/GB\n", cst.CostPerGB())
+	fmt.Printf("savings:     %.2fx\n", costmodel.SavingsRatio(base, cst))
+	// Output:
+	// traditional: $3.59/GB
+	// with CST:    $2.11/GB
+	// savings:     1.70x
+}

@@ -1,0 +1,431 @@
+// Package csd emulates a Cold Storage Device: a MAID array in which only
+// one disk group is spun up at a time. Accessing an object in the loaded
+// group costs a bandwidth-bound transfer; accessing any other group first
+// costs a group switch (spin-down + spin-up, ~10 s). The emulator mirrors
+// the paper's Swift middleware: it maintains object→group metadata, adds
+// group-switch delays, serializes each tenant's transfers on a per-tenant
+// stream, and schedules switches with a pluggable policy (§4.4).
+package csd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/segment"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Delivery is one object handed back to a client.
+type Delivery struct {
+	Object segment.ObjectID
+	Seg    *segment.Segment
+}
+
+// Request is a tagged GET: the client proxy attaches the query identifier
+// so the scheduler can be workload-aware (§4.3).
+type Request struct {
+	Object  segment.ObjectID
+	QueryID string
+	Tenant  int
+	Reply   *vtime.Chan[Delivery]
+
+	seq       int           // arrival order, assigned by the CSD
+	arrivedAt time.Duration // virtual arrival time
+}
+
+// Interval is a half-open virtual-time interval [From, To).
+type Interval struct {
+	From, To time.Duration
+}
+
+// Stats aggregates what the device did during a run.
+type Stats struct {
+	GroupSwitches   int
+	ObjectsServed   int
+	BytesServed     int64
+	GetsReceived    int
+	GetsByTenant    map[int]int
+	ServedByQuery   map[string]int
+	SwitchIntervals []Interval // when the device was mid-switch
+}
+
+// Config parametrizes the device.
+type Config struct {
+	// GroupSwitch is the spin-down/spin-up latency of a group switch
+	// (Pelican: 8 s; the paper's experiments default to 10 s).
+	GroupSwitch time.Duration
+	// Bandwidth is the per-tenant-stream transfer rate in bytes/second.
+	Bandwidth float64
+	// Scheduler picks the next group (default: RankBased with K=1).
+	Scheduler Scheduler
+	// Order arranges requests within a loaded group for one tenant
+	// (default: SemanticRoundRobin).
+	Order OrderKind
+	// StreamsPerTenant is the number of concurrent transfers per tenant
+	// (default 1, the paper's serialized middleware). Raising it
+	// implements §5.2.1's outlook — "by parallelizing the servicing of
+	// requests within a group, we can reduce transfer time
+	// substantially" — at the cost of strict per-tenant delivery order.
+	StreamsPerTenant int
+	// Events, when non-nil, receives structured trace events (GETs,
+	// deliveries, switches).
+	Events *trace.Log
+}
+
+// DefaultConfig returns the paper's defaults: 10 s switch, 100 MB/s
+// effective per-stream bandwidth (≈10 s per 1 GB object, Table 3), the
+// rank-based scheduler and semantic in-group ordering.
+func DefaultConfig() Config {
+	return Config{
+		GroupSwitch: 10 * time.Second,
+		Bandwidth:   100e6,
+		Scheduler:   NewRankBased(1),
+		Order:       SemanticRoundRobin,
+	}
+}
+
+// OrderKind selects the in-group request ordering (§4.4 "What ordering
+// within a group?").
+type OrderKind uint8
+
+const (
+	// SemanticRoundRobin satisfies object requests evenly across the
+	// relations of each query (A.1, B.1, C.1, A.2, ...), which lets a
+	// cache-limited MJoin execute subplans as data streams in.
+	SemanticRoundRobin OrderKind = iota
+	// SequentialOrder returns objects in request-arrival order (all of
+	// A, then all of B, ...), the pathological ordering for MJoin.
+	SequentialOrder
+)
+
+// event multiplexes the controller's inputs over one channel (the vtime
+// kernel has no select).
+type event struct {
+	req      *Request // a new GET
+	doneID   int      // tenant whose stream finished a transfer (when req == nil and !shutdown)
+	done     bool
+	shutdown bool
+}
+
+// CSD is the emulated device. Create with New, then Start it on a
+// simulation, send GETs via Submit, and Shutdown when clients are done.
+type CSD struct {
+	sim    *vtime.Sim
+	cfg    Config
+	store  map[segment.ObjectID]*segment.Segment
+	assign *layout.Assignment
+
+	evCh    *vtime.Chan[event]
+	streams map[int]*stream
+
+	// controller state
+	loaded      int // -1 before first load
+	pending     []*Request
+	inFlight    int
+	arrivalSeq  int
+	lastService map[string]int // queryID -> switch count at last service/arrival
+	rrPos       map[string]int // queryID -> round-robin cursor over tables
+
+	stats Stats
+}
+
+// stream carries transfers to one tenant over one or more workers.
+type stream struct {
+	tenant  int
+	queue   *vtime.Chan[*Request]
+	workers int
+}
+
+// New builds a CSD over the given simulator, object store and layout.
+func New(sim *vtime.Sim, cfg Config, store map[segment.ObjectID]*segment.Segment, assign *layout.Assignment) *CSD {
+	if cfg.GroupSwitch < 0 {
+		panic("csd: negative group switch latency")
+	}
+	if cfg.Bandwidth <= 0 {
+		panic("csd: bandwidth must be positive")
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = NewRankBased(1)
+	}
+	return &CSD{
+		sim:         sim,
+		cfg:         cfg,
+		store:       store,
+		assign:      assign,
+		evCh:        vtime.NewChan[event](sim, "csd.events", 1<<20),
+		streams:     make(map[int]*stream),
+		loaded:      -1,
+		lastService: make(map[string]int),
+		rrPos:       make(map[string]int),
+	}
+}
+
+// Stats returns a copy of the device statistics. Valid after Run.
+func (c *CSD) Stats() Stats {
+	st := c.stats
+	return st
+}
+
+// Submit enqueues a GET request. Must be called from a simulated process.
+func (c *CSD) Submit(p *vtime.Proc, reqs ...*Request) {
+	for _, r := range reqs {
+		if _, ok := c.store[r.Object]; !ok {
+			panic(fmt.Sprintf("csd: GET for unknown object %v", r.Object))
+		}
+		c.evCh.Send(p, event{req: r})
+	}
+}
+
+// Shutdown stops the controller after all in-flight work drains. Clients
+// must not Submit afterwards.
+func (c *CSD) Shutdown(p *vtime.Proc) {
+	c.evCh.Send(p, event{shutdown: true})
+}
+
+// Start spawns the controller process. Call once before Sim.Run.
+func (c *CSD) Start() {
+	c.sim.Spawn("csd.controller", c.controller)
+}
+
+func (c *CSD) controller(p *vtime.Proc) {
+	c.stats.GetsByTenant = make(map[int]int)
+	c.stats.ServedByQuery = make(map[string]int)
+	shuttingDown := false
+	for {
+		// Drain everything already queued.
+		for {
+			ev, ok := c.evCh.TryRecv(p)
+			if !ok {
+				break
+			}
+			shuttingDown = c.apply(p, ev) || shuttingDown
+		}
+		if shuttingDown && len(c.pending) == 0 && c.inFlight == 0 {
+			c.stopStreams(p)
+			return
+		}
+		// Dispatch serviceable requests (loaded group) to tenant streams.
+		if c.dispatch(p) {
+			continue
+		}
+		if c.inFlight > 0 {
+			// Wait for a completion (or new request) before deciding.
+			shuttingDown = c.apply(p, c.evCh.Recv(p)) || shuttingDown
+			continue
+		}
+		if len(c.pending) > 0 {
+			// Everything pending is on other groups: switch.
+			c.switchGroup(p)
+			continue
+		}
+		if shuttingDown {
+			c.stopStreams(p)
+			return
+		}
+		// Idle: block for the next event.
+		shuttingDown = c.apply(p, c.evCh.Recv(p)) || shuttingDown
+	}
+}
+
+// apply folds one event into controller state, returning true on shutdown.
+func (c *CSD) apply(p *vtime.Proc, ev event) bool {
+	switch {
+	case ev.shutdown:
+		return true
+	case ev.req != nil:
+		r := ev.req
+		r.seq = c.arrivalSeq
+		c.arrivalSeq++
+		r.arrivedAt = p.Now()
+		if _, seen := c.lastService[r.QueryID]; !seen {
+			// A query starts waiting from its arrival (§4.4).
+			c.lastService[r.QueryID] = c.stats.GroupSwitches
+		}
+		c.pending = append(c.pending, r)
+		c.stats.GetsReceived++
+		c.stats.GetsByTenant[r.Tenant]++
+		c.cfg.Events.Add(trace.Event{
+			At: p.Now(), Kind: trace.KindGet, Tenant: r.Tenant,
+			Query: r.QueryID, Object: r.Object.String(), Group: c.mustGroupOf(r.Object),
+		})
+	case ev.done:
+		c.inFlight--
+	}
+	return false
+}
+
+// dispatch hands every pending request on the loaded group to its tenant's
+// stream, in the configured in-group order. Reports whether any request
+// was dispatched.
+func (c *CSD) dispatch(p *vtime.Proc) bool {
+	if c.loaded < 0 {
+		// First load is free: the device is assumed to have the first
+		// requested group spun up (the paper's single-client runs see
+		// zero switches).
+		if len(c.pending) == 0 {
+			return false
+		}
+		c.loaded = c.mustGroupOf(c.pending[0].Object)
+	}
+	var onLoaded, rest []*Request
+	for _, r := range c.pending {
+		if c.mustGroupOf(r.Object) == c.loaded {
+			onLoaded = append(onLoaded, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	if len(onLoaded) == 0 {
+		return false
+	}
+	c.pending = rest
+	for _, r := range c.orderRequests(onLoaded) {
+		c.lastService[r.QueryID] = c.stats.GroupSwitches
+		c.stats.ServedByQuery[r.QueryID]++
+		c.tenantStream(r.Tenant).queue.Send(p, r)
+		c.inFlight++
+	}
+	return true
+}
+
+func (c *CSD) mustGroupOf(id segment.ObjectID) int {
+	g, err := c.assign.GroupOf(id)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// switchGroup asks the scheduler for the next group and pays the latency.
+func (c *CSD) switchGroup(p *vtime.Proc) {
+	byGroup := make(map[int][]*Request)
+	for _, r := range c.pending {
+		g := c.mustGroupOf(r.Object)
+		byGroup[g] = append(byGroup[g], r)
+	}
+	waiting := func(queryID string) int {
+		return c.stats.GroupSwitches - c.lastService[queryID]
+	}
+	next := c.cfg.Scheduler.NextGroup(c.loaded, byGroup, waiting)
+	if _, ok := byGroup[next]; !ok {
+		panic(fmt.Sprintf("csd: scheduler %s picked group %d with no pending requests", c.cfg.Scheduler.Name(), next))
+	}
+	if next == c.loaded {
+		panic(fmt.Sprintf("csd: scheduler %s picked the already-loaded group %d", c.cfg.Scheduler.Name(), next))
+	}
+	from := p.Now()
+	prev := c.loaded
+	p.Sleep(c.cfg.GroupSwitch)
+	c.loaded = next
+	c.stats.GroupSwitches++
+	c.stats.SwitchIntervals = append(c.stats.SwitchIntervals, Interval{From: from, To: p.Now()})
+	c.sim.Tracef("csd: switched to group %d (%d pending)", next, len(c.pending))
+	c.cfg.Events.Add(trace.Event{
+		At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: next,
+		Note: fmt.Sprintf("g%d->g%d", prev, next),
+	})
+}
+
+// tenantStream lazily spawns the per-tenant transfer worker(s).
+func (c *CSD) tenantStream(tenant int) *stream {
+	if s, ok := c.streams[tenant]; ok {
+		return s
+	}
+	s := &stream{
+		tenant: tenant,
+		queue:  vtime.NewChan[*Request](c.sim, fmt.Sprintf("csd.stream.t%d", tenant), 1<<20),
+	}
+	c.streams[tenant] = s
+	workers := c.cfg.StreamsPerTenant
+	if workers < 1 {
+		workers = 1
+	}
+	s.workers = workers
+	for w := 0; w < workers; w++ {
+		c.sim.Spawn(fmt.Sprintf("csd.stream.t%d.w%d", tenant, w), func(p *vtime.Proc) {
+			for {
+				r := s.queue.Recv(p)
+				if r == nil {
+					return
+				}
+				seg := c.store[r.Object]
+				d := time.Duration(float64(seg.NominalBytes) / c.cfg.Bandwidth * float64(time.Second))
+				p.Sleep(d)
+				r.Reply.Send(p, Delivery{Object: r.Object, Seg: seg})
+				c.stats.ObjectsServed++
+				c.stats.BytesServed += seg.NominalBytes
+				c.cfg.Events.Add(trace.Event{
+					At: p.Now(), Kind: trace.KindDelivery, Tenant: r.Tenant,
+					Query: r.QueryID, Object: r.Object.String(), Group: -1,
+				})
+				c.evCh.Send(p, event{done: true, doneID: s.tenant})
+			}
+		})
+	}
+	return s
+}
+
+func (c *CSD) stopStreams(p *vtime.Proc) {
+	for _, s := range c.streams {
+		for w := 0; w < s.workers; w++ {
+			s.queue.Send(p, nil)
+		}
+	}
+}
+
+// orderRequests arranges same-group requests before dispatch. Requests of
+// different tenants land on independent streams, so ordering only matters
+// within a tenant; SemanticRoundRobin interleaves each query's relations
+// evenly (§4.4), SequentialOrder preserves arrival order.
+func (c *CSD) orderRequests(reqs []*Request) []*Request {
+	if c.cfg.Order == SequentialOrder {
+		return reqs
+	}
+	// Bucket by query, then by table, preserving arrival order within
+	// each bucket.
+	type tableQueue struct {
+		table string
+		reqs  []*Request
+	}
+	type queryBucket struct {
+		id     string
+		tables []*tableQueue
+		byName map[string]*tableQueue
+		total  int
+	}
+	var queries []*queryBucket
+	index := make(map[string]*queryBucket)
+	for _, r := range reqs {
+		qb, ok := index[r.QueryID]
+		if !ok {
+			qb = &queryBucket{id: r.QueryID, byName: make(map[string]*tableQueue)}
+			index[r.QueryID] = qb
+			queries = append(queries, qb)
+		}
+		tq, ok := qb.byName[r.Object.Table]
+		if !ok {
+			tq = &tableQueue{table: r.Object.Table}
+			qb.byName[r.Object.Table] = tq
+			qb.tables = append(qb.tables, tq)
+		}
+		tq.reqs = append(tq.reqs, r)
+		qb.total++
+	}
+	out := make([]*Request, 0, len(reqs))
+	for _, qb := range queries {
+		// Round-robin across the query's tables: A.1, B.1, C.1, A.2, ...
+		cursors := make([]int, len(qb.tables))
+		for emitted := 0; emitted < qb.total; {
+			for ti, tq := range qb.tables {
+				if cursors[ti] < len(tq.reqs) {
+					out = append(out, tq.reqs[cursors[ti]])
+					cursors[ti]++
+					emitted++
+				}
+			}
+		}
+	}
+	return out
+}

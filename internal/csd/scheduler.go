@@ -1,0 +1,157 @@
+package csd
+
+import (
+	"sort"
+)
+
+// Scheduler decides which disk group to load next. NextGroup receives the
+// currently loaded group, the pending requests bucketed by group (never
+// empty, and never containing only the loaded group), and a waiting
+// function that returns, for a query id, the number of group switches
+// since that query was last serviced (§4.4). Implementations must return a
+// group with pending requests that differs from loaded.
+type Scheduler interface {
+	Name() string
+	NextGroup(loaded int, pending map[int][]*Request, waiting func(queryID string) int) int
+}
+
+// sortedGroups returns the candidate groups (excluding loaded) in
+// ascending order for deterministic tie-breaking.
+func sortedGroups(loaded int, pending map[int][]*Request) []int {
+	groups := make([]int, 0, len(pending))
+	for g := range pending {
+		if g != loaded {
+			groups = append(groups, g)
+		}
+	}
+	sort.Ints(groups)
+	return groups
+}
+
+// distinctQueries counts distinct query ids among requests.
+func distinctQueries(reqs []*Request) int {
+	seen := make(map[string]struct{}, len(reqs))
+	for _, r := range reqs {
+		seen[r.QueryID] = struct{}{}
+	}
+	return len(seen)
+}
+
+// FCFSObject loads the group holding the oldest pending object request —
+// the fairness-first policy current CSD firmware uses (§4.4). It produces
+// many unwarranted switches because it ignores which requests belong to
+// the same query.
+type FCFSObject struct{}
+
+// NewFCFSObject returns the object-level FCFS scheduler.
+func NewFCFSObject() FCFSObject { return FCFSObject{} }
+
+func (FCFSObject) Name() string { return "fcfs-object" }
+
+func (FCFSObject) NextGroup(loaded int, pending map[int][]*Request, _ func(string) int) int {
+	best, bestSeq := -1, int(^uint(0)>>1)
+	for _, g := range sortedGroups(loaded, pending) {
+		for _, r := range pending[g] {
+			if r.seq < bestSeq {
+				best, bestSeq = g, r.seq
+			}
+		}
+	}
+	return best
+}
+
+// FCFSQuery services queries in arrival order: the next group is the one
+// holding data for the query whose oldest pending request is globally
+// oldest. Fair across tenants but inefficient: it cannot merge requests
+// across queries (§4.4).
+type FCFSQuery struct{}
+
+// NewFCFSQuery returns the query-level FCFS scheduler.
+func NewFCFSQuery() FCFSQuery { return FCFSQuery{} }
+
+func (FCFSQuery) Name() string { return "fcfs-query" }
+
+func (FCFSQuery) NextGroup(loaded int, pending map[int][]*Request, _ func(string) int) int {
+	// Oldest pending request per query, then oldest query overall.
+	oldestPerQuery := make(map[string]int)
+	for g, reqs := range pending {
+		if g == loaded {
+			continue
+		}
+		for _, r := range reqs {
+			if cur, ok := oldestPerQuery[r.QueryID]; !ok || r.seq < cur {
+				oldestPerQuery[r.QueryID] = r.seq
+			}
+		}
+	}
+	bestQuery, bestSeq := "", int(^uint(0)>>1)
+	for q, seq := range oldestPerQuery {
+		if seq < bestSeq || (seq == bestSeq && q < bestQuery) {
+			bestQuery, bestSeq = q, seq
+		}
+	}
+	// Load the group holding that query's oldest pending request.
+	best, bestReqSeq := -1, int(^uint(0)>>1)
+	for _, g := range sortedGroups(loaded, pending) {
+		for _, r := range pending[g] {
+			if r.QueryID == bestQuery && r.seq < bestReqSeq {
+				best, bestReqSeq = g, r.seq
+			}
+		}
+	}
+	return best
+}
+
+// MaxQueries loads the group with the most distinct pending queries — the
+// throughput-optimal tertiary-storage policy (within 2% of optimal, [35])
+// — but can starve groups with few queries.
+type MaxQueries struct{}
+
+// NewMaxQueries returns the efficiency-only scheduler.
+func NewMaxQueries() MaxQueries { return MaxQueries{} }
+
+func (MaxQueries) Name() string { return "max-queries" }
+
+func (MaxQueries) NextGroup(loaded int, pending map[int][]*Request, _ func(string) int) int {
+	best, bestN := -1, -1
+	for _, g := range sortedGroups(loaded, pending) {
+		if n := distinctQueries(pending[g]); n > bestN {
+			best, bestN = g, n
+		}
+	}
+	return best
+}
+
+// RankBased implements the paper's scheduler: each candidate group g gets
+// rank R(g) = Ng + K·Σ Wq(g), where Ng is the number of distinct queries
+// with pending data on g and Wq is the number of switches since query q
+// was last serviced. K=1 maximizes fairness while preserving the
+// Max-Queries behaviour for equal waiting times (§4.4).
+type RankBased struct {
+	K float64
+}
+
+// NewRankBased returns the rank scheduler with scaling factor k.
+func NewRankBased(k float64) *RankBased { return &RankBased{K: k} }
+
+func (s *RankBased) Name() string { return "rank-based" }
+
+func (s *RankBased) NextGroup(loaded int, pending map[int][]*Request, waiting func(string) int) int {
+	best, bestRank, bestN := -1, -1.0, -1
+	for _, g := range sortedGroups(loaded, pending) {
+		queries := make(map[string]struct{})
+		for _, r := range pending[g] {
+			queries[r.QueryID] = struct{}{}
+		}
+		sumWait := 0
+		for q := range queries {
+			sumWait += waiting(q)
+		}
+		rank := float64(len(queries)) + s.K*float64(sumWait)
+		// Tie-break on Ng (efficiency), then on group id (determinism).
+		if rank > bestRank || (rank == bestRank && len(queries) > bestN) {
+			best, bestRank, bestN = g, rank, len(queries)
+		}
+	}
+	return best
+}

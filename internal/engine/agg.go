@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (k AggKind) String() string {
+	return [...]string{"count", "sum", "min", "max", "avg"}[k]
+}
+
+// AggSpec is one aggregate output: Kind applied to Arg (nil for COUNT(*)).
+// ArgKind declares the argument's type for MIN/MAX, whose output kind is
+// data-dependent (it defaults to int64, the zero Kind).
+type AggSpec struct {
+	Kind    AggKind
+	Arg     expr.Expr
+	Name    string
+	ArgKind tuple.Kind
+}
+
+// GroupCol is one grouping column of a HashAgg.
+type GroupCol struct {
+	Name string
+	Kind tuple.Kind
+	E    expr.Expr
+}
+
+// HashAgg is a blocking hash aggregation with deterministic (sorted by
+// group key) output order.
+type HashAgg struct {
+	child  Iterator
+	groups []GroupCol
+	aggs   []AggSpec
+	schema *tuple.Schema
+
+	out []tuple.Row
+	idx int
+}
+
+// NewHashAgg builds a grouped aggregation. With no group columns it
+// produces exactly one row (global aggregates).
+func NewHashAgg(child Iterator, groups []GroupCol, aggs []AggSpec) *HashAgg {
+	cols := make([]tuple.Column, 0, len(groups)+len(aggs))
+	for _, g := range groups {
+		cols = append(cols, tuple.Column{Name: g.Name, Kind: g.Kind})
+	}
+	for _, a := range aggs {
+		cols = append(cols, tuple.Column{Name: a.Name, Kind: aggOutputKind(a)})
+	}
+	return &HashAgg{child: child, groups: groups, aggs: aggs, schema: tuple.NewSchema(cols...)}
+}
+
+// aggOutputKind: COUNT yields int64, SUM/AVG yield float64, MIN/MAX yield
+// the argument's declared kind.
+func aggOutputKind(a AggSpec) tuple.Kind {
+	switch a.Kind {
+	case AggCount:
+		return tuple.KindInt64
+	case AggSum, AggAvg:
+		return tuple.KindFloat64
+	default:
+		return a.ArgKind
+	}
+}
+
+// Schema implements Iterator.
+func (a *HashAgg) Schema() *tuple.Schema { return a.schema }
+
+// accum is one group's accumulator state.
+type accum struct {
+	key    string
+	groupV tuple.Row
+	counts []int64
+	sums   []float64
+	minmax []tuple.Value
+	seen   []bool
+}
+
+// Open implements Iterator: drains the child and aggregates.
+func (a *HashAgg) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	defer a.child.Close()
+	groups := make(map[string]*accum)
+	for {
+		row, ok, err := a.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		gv := make(tuple.Row, len(a.groups))
+		var kb strings.Builder
+		for i, g := range a.groups {
+			v, err := g.E.Eval(row)
+			if err != nil {
+				return err
+			}
+			gv[i] = v
+			fmt.Fprintf(&kb, "%d|%s\x00", v.K, v.String())
+		}
+		key := kb.String()
+		acc, ok := groups[key]
+		if !ok {
+			acc = &accum{
+				key:    key,
+				groupV: gv,
+				counts: make([]int64, len(a.aggs)),
+				sums:   make([]float64, len(a.aggs)),
+				minmax: make([]tuple.Value, len(a.aggs)),
+				seen:   make([]bool, len(a.aggs)),
+			}
+			groups[key] = acc
+		}
+		for i, spec := range a.aggs {
+			var v tuple.Value
+			if spec.Arg != nil {
+				v, err = spec.Arg.Eval(row)
+				if err != nil {
+					return err
+				}
+			}
+			acc.counts[i]++
+			switch spec.Kind {
+			case AggSum, AggAvg:
+				acc.sums[i] += v.AsFloat()
+			case AggMin:
+				if !acc.seen[i] || tuple.Compare(v, acc.minmax[i]) < 0 {
+					acc.minmax[i] = v
+				}
+			case AggMax:
+				if !acc.seen[i] || tuple.Compare(v, acc.minmax[i]) > 0 {
+					acc.minmax[i] = v
+				}
+			}
+			acc.seen[i] = true
+		}
+	}
+	// Global aggregation over zero rows still yields one row of zeros.
+	if len(a.groups) == 0 && len(groups) == 0 {
+		groups[""] = &accum{
+			counts: make([]int64, len(a.aggs)),
+			sums:   make([]float64, len(a.aggs)),
+			minmax: make([]tuple.Value, len(a.aggs)),
+			seen:   make([]bool, len(a.aggs)),
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	a.out = a.out[:0]
+	for _, k := range keys {
+		acc := groups[k]
+		row := make(tuple.Row, 0, len(a.groups)+len(a.aggs))
+		row = append(row, acc.groupV...)
+		for i, spec := range a.aggs {
+			switch spec.Kind {
+			case AggCount:
+				row = append(row, tuple.Int(acc.counts[i]))
+			case AggSum:
+				row = append(row, tuple.Float(acc.sums[i]))
+			case AggAvg:
+				if acc.counts[i] == 0 {
+					row = append(row, tuple.Float(0))
+				} else {
+					row = append(row, tuple.Float(acc.sums[i]/float64(acc.counts[i])))
+				}
+			case AggMin, AggMax:
+				row = append(row, acc.minmax[i])
+			}
+		}
+		a.out = append(a.out, row)
+	}
+	a.idx = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (a *HashAgg) Next() (tuple.Row, bool, error) {
+	if a.idx >= len(a.out) {
+		return nil, false, nil
+	}
+	r := a.out[a.idx]
+	a.idx++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (a *HashAgg) Close() error {
+	a.out = nil
+	return nil
+}

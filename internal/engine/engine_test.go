@@ -1,0 +1,404 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/segment"
+	"repro/internal/tuple"
+)
+
+// buildTable registers n rows of (k, v) pairs split into segments and
+// returns the catalog plus backing store.
+func buildTable(t *testing.T, name string, rows []tuple.Row, perSeg int) (*catalog.TableMeta, map[segment.ObjectID]*segment.Segment) {
+	t.Helper()
+	sch := tuple.NewSchema(
+		tuple.Column{Name: "k", Kind: tuple.KindInt64},
+		tuple.Column{Name: "v", Kind: tuple.KindString},
+	)
+	segs := segment.Split(0, name, rows, perSeg, 1e9)
+	store := make(map[segment.ObjectID]*segment.Segment)
+	for _, sg := range segs {
+		store[sg.ID] = sg
+	}
+	cat := catalog.New(0)
+	tm := cat.MustAddTable(name, sch, segs)
+	return tm, store
+}
+
+func kvRows(n int) []tuple.Row {
+	out := make([]tuple.Row, n)
+	for i := range out {
+		out[i] = tuple.Row{tuple.Int(int64(i)), tuple.Str(fmt.Sprintf("v%d", i))}
+	}
+	return out
+}
+
+func TestSeqScanAllRows(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(10), 3)
+	rows, err := Collect(NewSeqScan(NewTestCtx(store), tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].AsInt() != int64(i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+// countingClock tallies virtual charges.
+type countingClock struct{ total time.Duration }
+
+func (c *countingClock) Sleep(d time.Duration) { c.total += d }
+
+func TestSeqScanChargesPerSegment(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(10), 3) // 4 segments
+	clk := &countingClock{}
+	ctx := &Ctx{Clock: clk, Fetch: MapFetcher(store), Costs: Costs{ProcessPerObject: time.Second}}
+	if _, err := Collect(NewSeqScan(ctx, tm)); err != nil {
+		t.Fatal(err)
+	}
+	if clk.total != 4*time.Second {
+		t.Fatalf("charged %v, want 4s", clk.total)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(10), 4)
+	ctx := NewTestCtx(store)
+	scan := NewSeqScan(ctx, tm)
+	pred := expr.ColGE(tm.Schema, "k", tuple.Int(7))
+	rows, err := Collect(NewFilter(scan, pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+}
+
+func TestProject(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(3), 10)
+	scan := NewSeqScan(NewTestCtx(store), tm)
+	proj := NewProject(scan, []ProjectCol{
+		{Name: "k2", Kind: tuple.KindInt64, E: expr.Arith{Op: expr.Mul, L: expr.Bind(tm.Schema, "k"), R: expr.Lit(tuple.Int(2))}},
+	})
+	rows, err := Collect(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 2, 4}
+	for i, r := range rows {
+		if r[0].AsInt() != want[i] {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+	if proj.Schema().Cols[0].Name != "k2" {
+		t.Fatalf("schema %v", proj.Schema())
+	}
+}
+
+func TestProjectKindMismatch(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(1), 10)
+	scan := NewSeqScan(NewTestCtx(store), tm)
+	proj := NewProject(scan, []ProjectCol{
+		{Name: "bad", Kind: tuple.KindString, E: expr.Bind(tm.Schema, "k")},
+	})
+	if _, err := Collect(proj); err == nil {
+		t.Fatal("kind mismatch not detected")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(10), 4)
+	rows, err := Collect(NewLimit(NewSeqScan(NewTestCtx(store), tm), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	// left: (k, v) k=0..9; right: (k, v) k=5..14 -> matches 5..9.
+	lt, lstore := buildTable(t, "l", kvRows(10), 3)
+	var rrows []tuple.Row
+	for i := 5; i < 15; i++ {
+		rrows = append(rrows, tuple.Row{tuple.Int(int64(i)), tuple.Str("r")})
+	}
+	rsch := tuple.NewSchema(
+		tuple.Column{Name: "k", Kind: tuple.KindInt64},
+		tuple.Column{Name: "v", Kind: tuple.KindString},
+	)
+	rsegs := segment.Split(0, "r", rrows, 4, 1e9)
+	store := lstore
+	for _, sg := range rsegs {
+		store[sg.ID] = sg
+	}
+	rcat := catalog.New(0)
+	rt := rcat.MustAddTable("r", rsch, rsegs)
+
+	ctx := NewTestCtx(store)
+	join := JoinOn(NewSeqScan(ctx, lt), NewSeqScan(ctx, rt), [][2]string{{"k", "k"}})
+	rows, err := Collect(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Join output schema: k, v, right.k, v -> disambiguated.
+	names := join.Schema().ColumnNames()
+	if !reflect.DeepEqual(names, []string{"k", "v", "right.k", "right.v"}) {
+		t.Fatalf("join schema %v", names)
+	}
+	var keys []int
+	for _, r := range rows {
+		if r[0].AsInt() != r[2].AsInt() {
+			t.Fatalf("join mismatch %v", r)
+		}
+		keys = append(keys, int(r[0].AsInt()))
+	}
+	sort.Ints(keys)
+	if !reflect.DeepEqual(keys, []int{5, 6, 7, 8, 9}) {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+func TestHashJoinDuplicates(t *testing.T) {
+	sch := tuple.NewSchema(tuple.Column{Name: "k", Kind: tuple.KindInt64})
+	l := NewValues(sch, []tuple.Row{{tuple.Int(1)}, {tuple.Int(1)}, {tuple.Int(2)}})
+	r := NewValues(sch, []tuple.Row{{tuple.Int(1)}, {tuple.Int(1)}, {tuple.Int(3)}})
+	rows, err := Collect(JoinOn(l, r, [][2]string{{"k", "k"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 left ones x 2 right ones = 4 result rows.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+}
+
+func TestHashJoinHashCollisionSafety(t *testing.T) {
+	// Different keys that could collide in the hash must not join.
+	sch := tuple.NewSchema(tuple.Column{Name: "k", Kind: tuple.KindInt64})
+	var lrows, rrows []tuple.Row
+	for i := 0; i < 1000; i++ {
+		lrows = append(lrows, tuple.Row{tuple.Int(int64(i))})
+		rrows = append(rrows, tuple.Row{tuple.Int(int64(i + 500))})
+	}
+	rows, err := Collect(JoinOn(NewValues(sch, lrows), NewValues(sch, rrows), [][2]string{{"k", "k"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("got %d rows, want 500", len(rows))
+	}
+}
+
+func TestBuildJoinTreeThreeWay(t *testing.T) {
+	a := tuple.NewSchema(tuple.Column{Name: "x", Kind: tuple.KindInt64})
+	b := tuple.NewSchema(tuple.Column{Name: "y", Kind: tuple.KindInt64})
+	c := tuple.NewSchema(tuple.Column{Name: "z", Kind: tuple.KindInt64})
+	mk := func(s *tuple.Schema, vals ...int64) Iterator {
+		rows := make([]tuple.Row, len(vals))
+		for i, v := range vals {
+			rows[i] = tuple.Row{tuple.Int(v)}
+		}
+		return NewValues(s, rows)
+	}
+	tree, err := BuildJoinTree(
+		[]Iterator{mk(a, 1, 2, 3), mk(b, 2, 3, 4), mk(c, 3, 4, 5)},
+		[]JoinSpec{{LeftCol: "x", RightCol: "y"}, {LeftCol: "y", RightCol: "z"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x=y: (2,2),(3,3); then y=z: (3,3,3) only... plus (2,2) joins z? z
+	// has 3,4,5 so y=2 no match; y=3 matches z=3.
+	if len(rows) != 1 || rows[0][0].AsInt() != 3 {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestBuildJoinTreeErrors(t *testing.T) {
+	s := tuple.NewSchema(tuple.Column{Name: "x", Kind: tuple.KindInt64})
+	if _, err := BuildJoinTree([]Iterator{NewValues(s, nil)}, nil); err == nil {
+		t.Fatal("single input accepted")
+	}
+}
+
+func TestHashAggGlobal(t *testing.T) {
+	sch := tuple.NewSchema(tuple.Column{Name: "x", Kind: tuple.KindInt64})
+	in := NewValues(sch, []tuple.Row{{tuple.Int(1)}, {tuple.Int(2)}, {tuple.Int(3)}})
+	agg := NewHashAgg(in, nil, []AggSpec{
+		{Kind: AggCount, Name: "n"},
+		{Kind: AggSum, Arg: expr.Bind(sch, "x"), Name: "s"},
+		{Kind: AggAvg, Arg: expr.Bind(sch, "x"), Name: "a"},
+	})
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0][0].AsInt() != 3 || rows[0][1].AsFloat() != 6 || rows[0][2].AsFloat() != 2 {
+		t.Fatalf("agg row %v", rows[0])
+	}
+}
+
+func TestHashAggEmptyInputGlobal(t *testing.T) {
+	sch := tuple.NewSchema(tuple.Column{Name: "x", Kind: tuple.KindInt64})
+	agg := NewHashAgg(NewValues(sch, nil), nil, []AggSpec{{Kind: AggCount, Name: "n"}})
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].AsInt() != 0 {
+		t.Fatalf("agg over empty: %v", rows)
+	}
+}
+
+func TestHashAggGrouped(t *testing.T) {
+	sch := tuple.NewSchema(
+		tuple.Column{Name: "g", Kind: tuple.KindString},
+		tuple.Column{Name: "x", Kind: tuple.KindInt64},
+	)
+	in := NewValues(sch, []tuple.Row{
+		{tuple.Str("b"), tuple.Int(10)},
+		{tuple.Str("a"), tuple.Int(1)},
+		{tuple.Str("b"), tuple.Int(20)},
+		{tuple.Str("a"), tuple.Int(2)},
+	})
+	agg := NewHashAgg(in,
+		[]GroupCol{{Name: "g", Kind: tuple.KindString, E: expr.Bind(sch, "g")}},
+		[]AggSpec{
+			{Kind: AggCount, Name: "n"},
+			{Kind: AggSum, Arg: expr.Bind(sch, "x"), Name: "s"},
+			{Kind: AggMin, Arg: expr.Bind(sch, "x"), Name: "lo"},
+			{Kind: AggMax, Arg: expr.Bind(sch, "x"), Name: "hi"},
+		})
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d groups", len(rows))
+	}
+	// Deterministic order: sorted by key => "a" first.
+	if rows[0][0].AsString() != "a" || rows[0][1].AsInt() != 2 || rows[0][2].AsFloat() != 3 {
+		t.Fatalf("group a: %v", rows[0])
+	}
+	if rows[1][0].AsString() != "b" || rows[1][3].AsInt() != 10 || rows[1][4].AsInt() != 20 {
+		t.Fatalf("group b: %v", rows[1])
+	}
+}
+
+func TestSortAscDesc(t *testing.T) {
+	sch := tuple.NewSchema(
+		tuple.Column{Name: "a", Kind: tuple.KindInt64},
+		tuple.Column{Name: "b", Kind: tuple.KindInt64},
+	)
+	in := NewValues(sch, []tuple.Row{
+		{tuple.Int(1), tuple.Int(9)},
+		{tuple.Int(2), tuple.Int(5)},
+		{tuple.Int(1), tuple.Int(3)},
+	})
+	srt := NewSort(in, []SortKey{
+		{E: expr.Bind(sch, "a")},
+		{E: expr.Bind(sch, "b"), Desc: true},
+	})
+	rows, err := Collect(srt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{1, 9}, {1, 3}, {2, 5}}
+	for i, w := range want {
+		if rows[i][0].AsInt() != w[0] || rows[i][1].AsInt() != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, rows[i], w)
+		}
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	sch := tuple.NewSchema(
+		tuple.Column{Name: "k", Kind: tuple.KindInt64},
+		tuple.Column{Name: "seq", Kind: tuple.KindInt64},
+	)
+	var in []tuple.Row
+	for i := 0; i < 10; i++ {
+		in = append(in, tuple.Row{tuple.Int(int64(i % 2)), tuple.Int(int64(i))})
+	}
+	rows, err := Collect(NewSort(NewValues(sch, in), []SortKey{{E: expr.Bind(sch, "k")}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64 = -1
+	for _, r := range rows[:5] { // k=0 block preserves seq order
+		if r[1].AsInt() < last {
+			t.Fatalf("unstable sort: %v", rows)
+		}
+		last = r[1].AsInt()
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	sch := tuple.NewSchema(
+		tuple.Column{Name: "a", Kind: tuple.KindInt64},
+		tuple.Column{Name: "b", Kind: tuple.KindString},
+	)
+	in := NewValues(sch, []tuple.Row{
+		{tuple.Int(1), tuple.Str("x")},
+		{tuple.Int(1), tuple.Str("x")},
+		{tuple.Int(1), tuple.Str("y")},
+		{tuple.Int(2), tuple.Str("x")},
+		{tuple.Int(1), tuple.Str("x")},
+	})
+	rows, err := Collect(NewDistinct(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("distinct rows = %d, want 3", len(rows))
+	}
+	// First occurrence order preserved.
+	if rows[0][1].AsString() != "x" || rows[1][1].AsString() != "y" || rows[2][0].AsInt() != 2 {
+		t.Fatalf("order %v", rows)
+	}
+}
+
+func TestDistinctKeyCollisionSafety(t *testing.T) {
+	// Rows that render similarly must still be distinguished by kind.
+	sch := tuple.NewSchema(tuple.Column{Name: "v", Kind: tuple.KindInt64})
+	sch2 := tuple.NewSchema(tuple.Column{Name: "v", Kind: tuple.KindString})
+	_ = sch2
+	in := NewValues(sch, []tuple.Row{{tuple.Int(1)}, {tuple.Int(1)}})
+	rows, err := Collect(NewDistinct(in))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows %v err %v", rows, err)
+	}
+}
+
+func TestCollectPropagatesFetchError(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(5), 2)
+	// Remove one backing object to break the fetch.
+	delete(store, tm.Objects[1])
+	if _, err := Collect(NewSeqScan(NewTestCtx(store), tm)); err == nil {
+		t.Fatal("missing object not reported")
+	}
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// explainable lets operators describe themselves for plan display.
+type explainable interface {
+	explain() (label string, children []Iterator)
+}
+
+// Explain renders the operator tree as an indented plan, similar to
+// EXPLAIN output in classical engines.
+func Explain(it Iterator) string {
+	var sb strings.Builder
+	var walk func(it Iterator, depth int)
+	walk = func(it Iterator, depth int) {
+		indent := strings.Repeat("  ", depth)
+		label := fmt.Sprintf("%T", it)
+		var children []Iterator
+		if e, ok := it.(explainable); ok {
+			label, children = e.explain()
+		}
+		fmt.Fprintf(&sb, "%s-> %s\n", indent, label)
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	walk(it, 0)
+	return sb.String()
+}
+
+func (s *SeqScan) explain() (string, []Iterator) {
+	return fmt.Sprintf("SeqScan %s (%d segments, %d rows)", s.table.Name, len(s.table.Objects), s.table.RowCount), nil
+}
+
+func (f *Filter) explain() (string, []Iterator) {
+	return fmt.Sprintf("Filter %s", f.pred), []Iterator{f.child}
+}
+
+func (pr *Project) explain() (string, []Iterator) {
+	parts := make([]string, len(pr.cols))
+	for i, c := range pr.cols {
+		parts[i] = fmt.Sprintf("%s=%s", c.Name, c.E)
+	}
+	return "Project " + strings.Join(parts, ", "), []Iterator{pr.child}
+}
+
+func (l *Limit) explain() (string, []Iterator) {
+	return fmt.Sprintf("Limit %d", l.n), []Iterator{l.child}
+}
+
+func (v *Values) explain() (string, []Iterator) {
+	return fmt.Sprintf("Values (%d rows)", len(v.rows)), nil
+}
+
+func (j *HashJoin) explain() (string, []Iterator) {
+	pairs := make([]string, len(j.leftKeys))
+	for i := range j.leftKeys {
+		pairs[i] = fmt.Sprintf("%s=%s",
+			j.left.Schema().Cols[j.leftKeys[i]].Name,
+			j.right.Schema().Cols[j.rightKeys[i]].Name)
+	}
+	return "HashJoin on " + strings.Join(pairs, ", "), []Iterator{j.left, j.right}
+}
+
+func (a *HashAgg) explain() (string, []Iterator) {
+	var parts []string
+	for _, g := range a.groups {
+		parts = append(parts, "group:"+g.Name)
+	}
+	for _, spec := range a.aggs {
+		if spec.Arg != nil {
+			parts = append(parts, fmt.Sprintf("%s(%s)", spec.Kind, spec.Arg))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s(*)", spec.Kind))
+		}
+	}
+	return "HashAgg " + strings.Join(parts, ", "), []Iterator{a.child}
+}
+
+func (s *Sort) explain() (string, []Iterator) {
+	parts := make([]string, len(s.keys))
+	for i, k := range s.keys {
+		dir := "asc"
+		if k.Desc {
+			dir = "desc"
+		}
+		parts[i] = fmt.Sprintf("%s %s", k.E, dir)
+	}
+	return "Sort " + strings.Join(parts, ", "), []Iterator{s.child}
+}

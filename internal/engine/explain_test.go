@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+func TestExplainTree(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(10), 3)
+	ctx := NewTestCtx(store)
+	plan := NewLimit(
+		NewSort(
+			NewProject(
+				NewFilter(NewSeqScan(ctx, tm), expr.ColGE(tm.Schema, "k", tuple.Int(2))),
+				[]ProjectCol{{Name: "k2", Kind: tuple.KindInt64, E: expr.Bind(tm.Schema, "k")}},
+			),
+			[]SortKey{{E: expr.NewCol(0, "k2"), Desc: true}},
+		),
+		3,
+	)
+	out := Explain(plan)
+	wantLines := []string{"Limit 3", "Sort k2 desc", "Project k2=k", "Filter", "SeqScan t (4 segments, 10 rows)"}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w) {
+			t.Fatalf("explain missing %q:\n%s", w, out)
+		}
+	}
+	// Indentation deepens down the tree.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i])-len(strings.TrimLeft(lines[i], " ")) <= len(lines[i-1])-len(strings.TrimLeft(lines[i-1], " ")) {
+			t.Fatalf("indentation not increasing:\n%s", out)
+		}
+	}
+}
+
+func TestExplainJoinAndAgg(t *testing.T) {
+	sch := tuple.NewSchema(tuple.Column{Name: "k", Kind: tuple.KindInt64})
+	sch2 := tuple.NewSchema(tuple.Column{Name: "k2", Kind: tuple.KindInt64})
+	join := JoinOn(NewValues(sch, nil), NewValues(sch2, nil), [][2]string{{"k", "k2"}})
+	agg := NewHashAgg(join, nil, []AggSpec{{Kind: AggCount, Name: "n"}})
+	out := Explain(agg)
+	for _, w := range []string{"HashAgg count(*)", "HashJoin on k=k2", "Values (0 rows)"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("explain missing %q:\n%s", w, out)
+		}
+	}
+}

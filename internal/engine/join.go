@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// HashJoin is a blocking binary equi-join: it fully materializes the build
+// (left) side into a hash table on Open, then streams the probe (right)
+// side. This is the classical engine behaviour the paper contrasts with
+// MJoin: the build side is pulled in its entirety before the first probe
+// tuple is requested, pinning the storage access order to the plan shape.
+type HashJoin struct {
+	left, right         Iterator
+	leftKeys, rightKeys []int
+	schema              *tuple.Schema
+
+	table map[uint64][]tuple.Row
+	// current probe matches being emitted
+	matches  []tuple.Row
+	matchIdx int
+	probeRow tuple.Row
+}
+
+// NewHashJoin joins left and right on equality of the given key columns
+// (by position in each side's schema).
+func NewHashJoin(left, right Iterator, leftKeys, rightKeys []int) *HashJoin {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		panic("engine: hash join needs equal, non-empty key lists")
+	}
+	return &HashJoin{
+		left: left, right: right,
+		leftKeys: leftKeys, rightKeys: rightKeys,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// JoinOn resolves key column names on both sides and builds the join.
+func JoinOn(left, right Iterator, on [][2]string) *HashJoin {
+	lk := make([]int, len(on))
+	rk := make([]int, len(on))
+	for i, pair := range on {
+		lk[i] = left.Schema().MustColIndex(pair[0])
+		rk[i] = right.Schema().MustColIndex(pair[1])
+	}
+	return NewHashJoin(left, right, lk, rk)
+}
+
+// Schema implements Iterator.
+func (j *HashJoin) Schema() *tuple.Schema { return j.schema }
+
+// hashKeys hashes the key columns of a row.
+func hashKeys(row tuple.Row, keys []int) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, k := range keys {
+		h = h*1099511628211 ^ row[k].Hash()
+	}
+	return h
+}
+
+func keysEqual(a tuple.Row, ak []int, b tuple.Row, bk []int) bool {
+	for i := range ak {
+		av, bv := a[ak[i]], b[bk[i]]
+		if av.K != bv.K || !tuple.Equal(av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Open implements Iterator: drains the build side.
+func (j *HashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[uint64][]tuple.Row)
+	for {
+		row, ok, err := j.left.Next()
+		if err != nil {
+			j.left.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		h := hashKeys(row, j.leftKeys)
+		j.table[h] = append(j.table[h], row)
+	}
+	if err := j.left.Close(); err != nil {
+		return err
+	}
+	j.matches, j.matchIdx, j.probeRow = nil, 0, nil
+	return j.right.Open()
+}
+
+// Next implements Iterator.
+func (j *HashJoin) Next() (tuple.Row, bool, error) {
+	for {
+		for j.matchIdx < len(j.matches) {
+			build := j.matches[j.matchIdx]
+			j.matchIdx++
+			if keysEqual(build, j.leftKeys, j.probeRow, j.rightKeys) {
+				return build.Concat(j.probeRow), true, nil
+			}
+		}
+		probe, ok, err := j.right.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.probeRow = probe
+		j.matches = j.table[hashKeys(probe, j.rightKeys)]
+		j.matchIdx = 0
+	}
+}
+
+// Close implements Iterator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.matches = nil
+	return j.right.Close()
+}
+
+// BuildJoinTree chains binary hash joins left-deep over the inputs:
+// ((in[0] ⋈ in[1]) ⋈ in[2]) ⋈ ... with each join's keys named by the
+// caller. Used by the workload query plans.
+type JoinSpec struct {
+	// LeftCol is resolved against the accumulated left schema, RightCol
+	// against inputs[i+1].
+	LeftCol, RightCol string
+}
+
+// BuildJoinTree constructs the left-deep tree; len(specs) must be
+// len(inputs)-1.
+func BuildJoinTree(inputs []Iterator, specs []JoinSpec) (Iterator, error) {
+	if len(inputs) < 2 || len(specs) != len(inputs)-1 {
+		return nil, fmt.Errorf("engine: join tree needs n inputs and n-1 specs, got %d/%d", len(inputs), len(specs))
+	}
+	cur := inputs[0]
+	for i, spec := range specs {
+		right := inputs[i+1]
+		cur = JoinOn(cur, right, [][2]string{{spec.LeftCol, spec.RightCol}})
+	}
+	return cur, nil
+}

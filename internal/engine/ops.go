@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+// Filter passes through rows satisfying a boolean predicate.
+type Filter struct {
+	child Iterator
+	pred  expr.Expr
+}
+
+// NewFilter wraps child with predicate pred (bound to child's schema).
+func NewFilter(child Iterator, pred expr.Expr) *Filter {
+	return &Filter{child: child, pred: pred}
+}
+
+// Schema implements Iterator.
+func (f *Filter) Schema() *tuple.Schema { return f.child.Schema() }
+
+// Open implements Iterator.
+func (f *Filter) Open() error { return f.child.Open() }
+
+// Next implements Iterator.
+func (f *Filter) Next() (tuple.Row, bool, error) {
+	for {
+		row, ok, err := f.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := expr.EvalBool(f.pred, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// ProjectCol is one output column of a projection.
+type ProjectCol struct {
+	Name string
+	Kind tuple.Kind
+	E    expr.Expr
+}
+
+// Project computes a new row from expressions over the child's rows.
+type Project struct {
+	child  Iterator
+	cols   []ProjectCol
+	schema *tuple.Schema
+}
+
+// NewProject builds a projection.
+func NewProject(child Iterator, cols []ProjectCol) *Project {
+	sc := make([]tuple.Column, len(cols))
+	for i, c := range cols {
+		sc[i] = tuple.Column{Name: c.Name, Kind: c.Kind}
+	}
+	return &Project{child: child, cols: cols, schema: tuple.NewSchema(sc...)}
+}
+
+// Schema implements Iterator.
+func (pr *Project) Schema() *tuple.Schema { return pr.schema }
+
+// Open implements Iterator.
+func (pr *Project) Open() error { return pr.child.Open() }
+
+// Next implements Iterator.
+func (pr *Project) Next() (tuple.Row, bool, error) {
+	row, ok, err := pr.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(tuple.Row, len(pr.cols))
+	for i, c := range pr.cols {
+		v, err := c.E.Eval(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.K != c.Kind {
+			return nil, false, fmt.Errorf("engine: projection %q produced %v, declared %v", c.Name, v.K, c.Kind)
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Iterator.
+func (pr *Project) Close() error { return pr.child.Close() }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	child Iterator
+	n     int
+	seen  int
+}
+
+// NewLimit wraps child with a row cap.
+func NewLimit(child Iterator, n int) *Limit {
+	return &Limit{child: child, n: n}
+}
+
+// Schema implements Iterator.
+func (l *Limit) Schema() *tuple.Schema { return l.child.Schema() }
+
+// Open implements Iterator.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.child.Open()
+}
+
+// Next implements Iterator.
+func (l *Limit) Next() (tuple.Row, bool, error) {
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	row, ok, err := l.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (l *Limit) Close() error { return l.child.Close() }
+
+// Distinct suppresses duplicate rows (SELECT DISTINCT). It is streaming:
+// each row is remembered by its rendered key, so memory grows with the
+// number of distinct rows seen.
+type Distinct struct {
+	child Iterator
+	seen  map[string]struct{}
+}
+
+// NewDistinct wraps child with duplicate elimination.
+func NewDistinct(child Iterator) *Distinct {
+	return &Distinct{child: child}
+}
+
+// Schema implements Iterator.
+func (d *Distinct) Schema() *tuple.Schema { return d.child.Schema() }
+
+// Open implements Iterator.
+func (d *Distinct) Open() error {
+	d.seen = make(map[string]struct{})
+	return d.child.Open()
+}
+
+// Next implements Iterator.
+func (d *Distinct) Next() (tuple.Row, bool, error) {
+	for {
+		row, ok, err := d.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := rowKey(row)
+		if _, dup := d.seen[key]; dup {
+			continue
+		}
+		d.seen[key] = struct{}{}
+		return row, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.child.Close()
+}
+
+// rowKey renders a canonical duplicate-detection key.
+func rowKey(row tuple.Row) string {
+	var sb []byte
+	for _, v := range row {
+		sb = append(sb, byte(v.K))
+		sb = append(sb, v.String()...)
+		sb = append(sb, 0)
+	}
+	return string(sb)
+}
+
+// Values is a leaf iterator over in-memory rows; used by tests and by the
+// MJoin result bridge.
+type Values struct {
+	schema *tuple.Schema
+	rows   []tuple.Row
+	idx    int
+}
+
+// NewValues builds a constant relation.
+func NewValues(schema *tuple.Schema, rows []tuple.Row) *Values {
+	return &Values{schema: schema, rows: rows}
+}
+
+// Schema implements Iterator.
+func (v *Values) Schema() *tuple.Schema { return v.schema }
+
+// Open implements Iterator.
+func (v *Values) Open() error { v.idx = 0; return nil }
+
+// Next implements Iterator.
+func (v *Values) Next() (tuple.Row, bool, error) {
+	if v.idx >= len(v.rows) {
+		return nil, false, nil
+	}
+	r := v.rows[v.idx]
+	v.idx++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (v *Values) Close() error { return nil }

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// Sort is a blocking in-memory sort with a stable order.
+type Sort struct {
+	child Iterator
+	keys  []SortKey
+
+	out []tuple.Row
+	idx int
+}
+
+// NewSort wraps child with an ORDER BY.
+func NewSort(child Iterator, keys []SortKey) *Sort {
+	return &Sort{child: child, keys: keys}
+}
+
+// Schema implements Iterator.
+func (s *Sort) Schema() *tuple.Schema { return s.child.Schema() }
+
+// Open implements Iterator: drains and sorts the child.
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	defer s.child.Close()
+	s.out = s.out[:0]
+	for {
+		row, ok, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.out = append(s.out, row)
+	}
+	// Precompute key values to avoid re-evaluating during comparisons.
+	keyVals := make([][]tuple.Value, len(s.out))
+	var evalErr error
+	for i, row := range s.out {
+		kv := make([]tuple.Value, len(s.keys))
+		for j, k := range s.keys {
+			v, err := k.E.Eval(row)
+			if err != nil {
+				return err
+			}
+			kv[j] = v
+		}
+		keyVals[i] = kv
+	}
+	idx := make([]int, len(s.out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, k := range s.keys {
+			c := tuple.Compare(keyVals[idx[a]][j], keyVals[idx[b]][j])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([]tuple.Row, len(s.out))
+	for i, j := range idx {
+		sorted[i] = s.out[j]
+	}
+	s.out = sorted
+	s.idx = 0
+	return evalErr
+}
+
+// Next implements Iterator.
+func (s *Sort) Next() (tuple.Row, bool, error) {
+	if s.idx >= len(s.out) {
+		return nil, false, nil
+	}
+	r := s.out[s.idx]
+	s.idx++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (s *Sort) Close() error {
+	s.out = nil
+	return nil
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/metrics"
+	"repro/internal/skipper"
+)
+
+// BreakdownPoint is one engine's averaged execution-time split.
+type BreakdownPoint struct {
+	Mode       skipper.Mode
+	Total      time.Duration
+	Processing time.Duration // includes FUSE on the vanilla path
+	Switch     time.Duration
+	Transfer   time.Duration
+}
+
+// Figure9Data measures the per-client execution-time breakdown with five
+// clients running Q12 (§5.2.1 Figure 9), averaged across clients.
+func (p Params) Figure9Data() ([]BreakdownPoint, error) {
+	var out []BreakdownPoint
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		res, err := p.run(runSpec{
+			clients: 5, mode: mode, switchLat: -1, cache: p.CacheObjects,
+			dataset: p.tpchDataset(p.SF), queries: q12Queries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var agg BreakdownPoint
+		agg.Mode = mode
+		for _, cs := range res.Clients {
+			b := metrics.Compute(cs.Elapsed(), cs.Processing, cs.Fuse, cs.StallIntervals, res.CSD.SwitchIntervals)
+			agg.Total += b.Total
+			agg.Processing += b.Processing + b.Fuse
+			agg.Switch += b.Switch
+			agg.Transfer += b.Transfer
+		}
+		n := time.Duration(len(res.Clients))
+		agg.Total /= n
+		agg.Processing /= n
+		agg.Switch /= n
+		agg.Transfer /= n
+		out = append(out, agg)
+	}
+	return out, nil
+}
+
+// Figure9 renders Figure 9 as percentage splits.
+func (p Params) Figure9() (*Figure, error) {
+	pts, err := p.Figure9Data()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:      "Figure 9",
+		Title:   "Avg exec-time breakdown, 5 clients, Q12 (% of total)",
+		Columns: []string{"engine", "processing", "switch", "transfer"},
+	}
+	for _, pt := range pts {
+		f.Rows = append(f.Rows, []string{
+			pt.Mode.String(),
+			fmt.Sprintf("%.1f%%", metrics.Percent(pt.Processing, pt.Total)),
+			fmt.Sprintf("%.1f%%", metrics.Percent(pt.Switch, pt.Total)),
+			fmt.Sprintf("%.1f%%", metrics.Percent(pt.Transfer, pt.Total)),
+		})
+	}
+	return f, nil
+}
+
+// Table3Point is one engine's component split for the single-client,
+// single-group run of Table 3.
+type Table3Point struct {
+	Mode    skipper.Mode
+	Exec    time.Duration
+	Fuse    time.Duration
+	Network time.Duration
+	Total   time.Duration
+}
+
+// Table3Data reproduces Table 3: one client, all data in one group (no
+// switches); execution time split into query execution, FUSE overhead and
+// network access.
+func (p Params) Table3Data() ([]Table3Point, error) {
+	var out []Table3Point
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		res, err := p.run(runSpec{
+			clients: 1, mode: mode, switchLat: -1, cache: p.CacheObjects,
+			layoutPol: layout.AllInOne{},
+			dataset:   p.tpchDataset(p.SF), queries: q12Queries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cs := res.Clients[0]
+		out = append(out, Table3Point{
+			Mode:    mode,
+			Exec:    cs.Processing,
+			Fuse:    cs.Fuse,
+			Network: cs.Stalled(),
+			Total:   cs.Elapsed(),
+		})
+	}
+	return out, nil
+}
+
+// Table3 renders Table 3.
+func (p Params) Table3() (*Figure, error) {
+	pts, err := p.Table3Data()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:      "Table 3",
+		Title:   "Component breakdown, 1 client, no group switches (Q12)",
+		Columns: []string{"component", "PostgreSQL", "%", "Skipper", "%"},
+		Notes: []string{
+			"Skipper overlaps MJoin processing with CSD transfers, so its total is below",
+			"exec+network; the paper's middleware serialized them (1007 s total).",
+		},
+	}
+	van, skp := pts[0], pts[1]
+	row := func(name string, v, s time.Duration) []string {
+		return []string{
+			name,
+			secs(v), fmt.Sprintf("%.1f%%", metrics.Percent(v, van.Total)),
+			secs(s), fmt.Sprintf("%.1f%%", metrics.Percent(s, skp.Total)),
+		}
+	}
+	f.Rows = append(f.Rows,
+		row("Query execution", van.Exec, skp.Exec),
+		row("FUSE file system", van.Fuse, skp.Fuse),
+		row("Network access", van.Network, skp.Network),
+		row("Total", van.Total, skp.Total),
+	)
+	return f, nil
+}
+
+// Figure10Point is one x position of Figure 10.
+type Figure10Point struct {
+	SwitchLatency time.Duration
+	Vanilla       time.Duration
+	Skipper       time.Duration
+}
+
+// Figure10Data measures sensitivity to group switch latency for both
+// engines with five clients (§5.2.2).
+func (p Params) Figure10Data() ([]Figure10Point, error) {
+	var out []Figure10Point
+	for _, s := range []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second, 40 * time.Second} {
+		van, err := p.run(runSpec{
+			clients: 5, mode: skipper.ModeVanilla, switchLat: s,
+			dataset: p.tpchDataset(p.SF), queries: q12Queries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		skp, err := p.run(runSpec{
+			clients: 5, mode: skipper.ModeSkipper, switchLat: s, cache: p.CacheObjects,
+			dataset: p.tpchDataset(p.SF), queries: q12Queries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure10Point{SwitchLatency: s, Vanilla: avgElapsed(van), Skipper: avgElapsed(skp)})
+	}
+	return out, nil
+}
+
+// Figure10 renders Figure 10.
+func (p Params) Figure10() (*Figure, error) {
+	pts, err := p.Figure10Data()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:      "Figure 10",
+		Title:   "Avg exec time (s) vs group switch latency, 5 clients (Q12)",
+		Columns: []string{"switch latency (s)", "PostgreSQL", "Skipper"},
+	}
+	for _, pt := range pts {
+		f.Rows = append(f.Rows, []string{secs(pt.SwitchLatency), secs(pt.Vanilla), secs(pt.Skipper)})
+	}
+	return f, nil
+}

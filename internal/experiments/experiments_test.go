@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests use Quick() parameters: the shapes the paper
+// reports must hold at reduced scale too, since they are protocol
+// properties, not absolute-throughput properties.
+
+func TestTable1Renders(t *testing.T) {
+	f := Table1()
+	s := f.String()
+	for _, want := range []string{"$75.0", "$13.5", "$4.5", "$0.2", "52.5%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	pts := Figure2Data()
+	if len(pts) != 7 {
+		t.Fatalf("%d configs", len(pts))
+	}
+	byName := map[string]float64{}
+	for _, pt := range pts {
+		byName[pt.Config] = pt.CostK
+	}
+	// All-tape cheapest, All-SSD most expensive, 3-tier beats 2-tier.
+	if !(byName["All-tape"] < byName["3-Tier"] && byName["3-Tier"] < byName["2-Tier"] &&
+		byName["2-Tier"] < byName["All-SCSI"] && byName["All-SCSI"] < byName["All-SSD"]) {
+		t.Fatalf("cost ordering broken: %v", byName)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	pts := Figure3Data()
+	if len(pts) != 6 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Ratio <= 1 {
+			t.Errorf("CST at $%.2f/GB not cheaper (%v)", pt.CSDPrice, pt.Ratio)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Figure4Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// CSD time grows with clients; HDD stays flat; at 5 clients CSD is
+	// far slower than HDD.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CSD <= pts[i-1].CSD {
+			t.Fatalf("CSD time not increasing: %v", pts)
+		}
+	}
+	flatness := float64(pts[4].HDD) / float64(pts[0].HDD)
+	if flatness > 1.3 {
+		t.Fatalf("HDD ideal not flat: %v", pts)
+	}
+	if pts[4].CSD < 2*pts[4].HDD {
+		t.Fatalf("CSD at 5 clients (%v) should be >2x HDD (%v)", pts[4].CSD, pts[4].HDD)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Figure5Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Avg <= pts[i-1].Avg {
+			t.Fatalf("not monotone in S: %v", pts)
+		}
+	}
+	// The paper reports ~6x from S=0 to S=20 at full scale; at reduced
+	// scale the blow-up is still substantial.
+	if ratio := float64(pts[4].Avg) / float64(pts[0].Avg); ratio < 2 {
+		t.Fatalf("S sensitivity ratio %.2f < 2", ratio)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Figure7Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[4]
+	if last.Skipper >= last.Vanilla {
+		t.Fatalf("skipper (%v) not faster than vanilla (%v) at 5 clients", last.Skipper, last.Vanilla)
+	}
+	if float64(last.Vanilla)/float64(last.Skipper) < 2 {
+		t.Fatalf("speedup %.2f < 2x", float64(last.Vanilla)/float64(last.Skipper))
+	}
+	// Skipper should stay within a small multiple of ideal.
+	if float64(last.Skipper) > 4*float64(last.Ideal) {
+		t.Fatalf("skipper %v vs ideal %v: too slow", last.Skipper, last.Ideal)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Figure8Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d workloads", len(pts))
+	}
+	for name, pt := range pts {
+		if pt.Skipper >= pt.Vanilla {
+			t.Errorf("%s: skipper %v >= vanilla %v", name, pt.Skipper, pt.Vanilla)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Figure9Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	van, skp := pts[0], pts[1]
+	vanSwitchPct := float64(van.Switch) / float64(van.Total)
+	skpSwitchPct := float64(skp.Switch) / float64(skp.Total)
+	// The paper: vanilla spends ~65% of its time in switches, Skipper ~2%.
+	if vanSwitchPct < 0.3 {
+		t.Fatalf("vanilla switch share %.2f too low", vanSwitchPct)
+	}
+	if skpSwitchPct > 0.15 {
+		t.Fatalf("skipper switch share %.2f too high", skpSwitchPct)
+	}
+	// Component accounting must add up.
+	for _, pt := range pts {
+		if sum := pt.Processing + pt.Switch + pt.Transfer; sum > pt.Total {
+			t.Fatalf("%v: components %v exceed total %v", pt.Mode, sum, pt.Total)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Table3Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	van, skp := pts[0], pts[1]
+	// No switches: vanilla total = exec + fuse + network exactly.
+	if van.Exec+van.Fuse+van.Network != van.Total {
+		t.Fatalf("vanilla accounting: %v+%v+%v != %v", van.Exec, van.Fuse, van.Network, van.Total)
+	}
+	// MJoin per-object cost is ~6% above vanilla's.
+	ratio := float64(skp.Exec) / float64(van.Exec)
+	if ratio < 1.01 || ratio > 1.12 {
+		t.Fatalf("mjoin/vanilla exec ratio %.3f, want ~1.06", ratio)
+	}
+	if skp.Fuse != 0 {
+		t.Fatalf("skipper has FUSE cost %v", skp.Fuse)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Figure10Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanGrowth := float64(pts[3].Vanilla) / float64(pts[0].Vanilla)
+	skpGrowth := float64(pts[3].Skipper) / float64(pts[0].Skipper)
+	if vanGrowth < 1.5 {
+		t.Fatalf("vanilla growth %.2f under 4x switch latency", vanGrowth)
+	}
+	if skpGrowth > 1.25 {
+		t.Fatalf("skipper growth %.2f: should be insensitive", skpGrowth)
+	}
+}
+
+func TestFigure11aShape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Figure11aData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d layouts", len(pts))
+	}
+	// All-in-one: no switches for either engine; vanilla degrades as
+	// data fans out across groups; Skipper wins 2x+ on every layout
+	// with switches and is far less layout-sensitive than vanilla.
+	allin1, perG := pts[0], pts[2]
+	if perG.Vanilla <= allin1.Vanilla {
+		t.Fatalf("vanilla not layout-sensitive: %v", pts)
+	}
+	for _, pt := range pts[1:] {
+		if r := float64(pt.Vanilla) / float64(pt.Skipper); r < 2 {
+			t.Fatalf("%s: skipper speedup %.2f < 2x", pt.Layout, r)
+		}
+	}
+	vanSpread := float64(pts[2].Vanilla) / float64(pts[0].Vanilla)
+	skpSpread := float64(pts[2].Skipper) / float64(pts[0].Skipper)
+	if skpSpread >= vanSpread {
+		t.Fatalf("skipper layout spread %.2f >= vanilla %.2f", skpSpread, vanSpread)
+	}
+}
+
+func TestFigure11bShape(t *testing.T) {
+	p := Quick()
+	pts, err := p.cacheSweep(p.SF, []int{6, 8, 10, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GET count decreases (weakly) as cache grows; largest cache needs
+	// no reissues beyond the input footprint.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Gets > pts[i-1].Gets {
+			t.Fatalf("GETs grew with cache: %v", pts)
+		}
+		if pts[i].Avg > pts[i-1].Avg {
+			t.Fatalf("time grew with cache: %v", pts)
+		}
+	}
+	if pts[0].Gets <= pts[len(pts)-1].Gets/1 && pts[0].Gets == pts[len(pts)-1].Gets {
+		t.Fatalf("no reissue effect visible: %v", pts)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	p := Quick()
+	pts, err := p.Figure12Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Figure12Point{}
+	for _, pt := range pts {
+		byName[pt.Policy] = pt
+	}
+	fcfs, maxq, rank := byName["fairness"], byName["maxquery"], byName["ranking"]
+	// Max-Queries is most efficient (lowest cumulative) but starves the
+	// lone client (highest max stretch); FCFS trades efficiency for
+	// fairness; ranking sits between.
+	if maxq.Cumulative > fcfs.Cumulative {
+		t.Fatalf("maxquery (%v) slower than fcfs (%v)", maxq.Cumulative, fcfs.Cumulative)
+	}
+	if maxq.MaxStretch < rank.MaxStretch {
+		t.Fatalf("maxquery max-stretch %.2f below ranking %.2f", maxq.MaxStretch, rank.MaxStretch)
+	}
+	if rank.Cumulative > fcfs.Cumulative {
+		t.Fatalf("ranking (%v) slower than fcfs (%v)", rank.Cumulative, fcfs.Cumulative)
+	}
+	if fcfs.Switches < rank.Switches {
+		t.Fatalf("fcfs produced fewer switches (%d) than ranking (%d)", fcfs.Switches, rank.Switches)
+	}
+}
+
+func TestQuickRunsFast(t *testing.T) {
+	// Guard: the Quick experiment suite used by tests must stay cheap.
+	start := time.Now()
+	p := Quick()
+	if _, err := p.Figure7Data(); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("quick figure7 took %v", el)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	p := Quick()
+	f, err := p.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.String()
+	if !strings.Contains(s, "Figure 7") || !strings.Contains(s, "Skipper") {
+		t.Fatalf("rendering:\n%s", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) < 7 {
+		t.Fatalf("too few lines:\n%s", s)
+	}
+}

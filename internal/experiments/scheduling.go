@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/csd"
+	"repro/internal/layout"
+	"repro/internal/metrics"
+	"repro/internal/skipper"
+)
+
+// Figure12Point summarizes one scheduling policy's fairness/efficiency.
+type Figure12Point struct {
+	Policy     string
+	L2Norm     float64
+	MaxStretch float64
+	Cumulative time.Duration
+	Switches   int
+}
+
+// Figure12Data compares FCFS, Max-Queries and rank-based scheduling under
+// the skewed layout of §5.2.5: five Skipper clients repeating Q12 ten
+// times; two groups hold two clients each and the last group one client.
+// Stretch normalizes each client's time by its single-client ("alone")
+// execution time.
+func (p Params) Figure12Data() ([]Figure12Point, error) {
+	const repeats = 10
+	// Ideal: one client alone on the CSD — no competing tenants, its own
+	// group, no switches.
+	alone, err := p.run(runSpec{
+		clients: 1, mode: skipper.ModeSkipper, switchLat: -1, cache: p.CacheObjects,
+		repeat:  repeats,
+		dataset: p.tpchDataset(p.SF), queries: q12Queries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Per-query ideal: the single-client run services every query
+	// without competition; stretch is computed per query (§5.2.5).
+	ideal := alone.Clients[0].Elapsed() / repeats
+
+	policies := []struct {
+		name  string
+		sched csd.Scheduler
+	}{
+		{"fairness", csd.NewFCFSQuery()},
+		{"maxquery", csd.NewMaxQueries()},
+		{"ranking", csd.NewRankBased(1)},
+	}
+	var out []Figure12Point
+	for _, pol := range policies {
+		res, err := p.run(runSpec{
+			clients: 5, mode: skipper.ModeSkipper, switchLat: -1, cache: p.CacheObjects,
+			repeat:    repeats,
+			layoutPol: layout.ByTenant{Groups: []int{0, 0, 1, 1, 2}},
+			scheduler: pol.sched,
+			dataset:   p.tpchDataset(p.SF), queries: q12Queries,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pol.name, err)
+		}
+		var stretches []float64
+		for _, cs := range res.Clients {
+			for _, qr := range cs.PerQuery {
+				stretches = append(stretches, metrics.Stretch(qr.Finish-qr.Start, ideal))
+			}
+		}
+		out = append(out, Figure12Point{
+			Policy:     pol.name,
+			L2Norm:     metrics.L2Norm(stretches),
+			MaxStretch: metrics.Max(stretches),
+			Cumulative: cumElapsed(res),
+			Switches:   res.CSD.GroupSwitches,
+		})
+	}
+	return out, nil
+}
+
+// Figure12 renders Figure 12 (both panels).
+func (p Params) Figure12() (*Figure, error) {
+	pts, err := p.Figure12Data()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:      "Figure 12",
+		Title:   "Fairness vs efficiency: scheduling policies under a skewed layout (Q12 x10, 5 clients)",
+		Columns: []string{"policy", "L2-norm stretch", "max stretch", "cumulative time (s)", "switches"},
+	}
+	for _, pt := range pts {
+		f.Rows = append(f.Rows, []string{
+			pt.Policy,
+			fmt.Sprintf("%.2f", pt.L2Norm),
+			fmt.Sprintf("%.2f", pt.MaxStretch),
+			secs(pt.Cumulative),
+			fmt.Sprint(pt.Switches),
+		})
+	}
+	return f, nil
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/skipper"
+	"repro/internal/workload"
+)
+
+// Figure11aPoint is one layout's bar pair.
+type Figure11aPoint struct {
+	Layout  string
+	Vanilla time.Duration
+	Skipper time.Duration
+}
+
+// Figure11aData measures sensitivity to the CSD data layout with four
+// clients (§5.2.3): all-in-one, two-clients-per-group, one-client-per-
+// group, and the incremental split layout.
+func (p Params) Figure11aData() ([]Figure11aPoint, error) {
+	layouts := []struct {
+		name string
+		pol  layout.Policy
+	}{
+		{"Allin1", layout.AllInOne{}},
+		{"2perG", layout.ClientsPerGroup{K: 2}},
+		{"1perG", layout.OnePerGroup()},
+		{"Increm.", layout.Incremental{}},
+	}
+	var out []Figure11aPoint
+	for _, l := range layouts {
+		van, err := p.run(runSpec{
+			clients: 4, mode: skipper.ModeVanilla, switchLat: -1, layoutPol: l.pol,
+			dataset: p.tpchDataset(p.SF), queries: q12Queries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		skp, err := p.run(runSpec{
+			clients: 4, mode: skipper.ModeSkipper, switchLat: -1, layoutPol: l.pol, cache: p.CacheObjects,
+			dataset: p.tpchDataset(p.SF), queries: q12Queries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure11aPoint{Layout: l.name, Vanilla: avgElapsed(van), Skipper: avgElapsed(skp)})
+	}
+	return out, nil
+}
+
+// Figure11a renders Figure 11a.
+func (p Params) Figure11a() (*Figure, error) {
+	pts, err := p.Figure11aData()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:      "Figure 11a",
+		Title:   "Avg exec time (s) vs data layout, 4 clients (Q12)",
+		Columns: []string{"layout", "PostgreSQL", "Skipper"},
+	}
+	for _, pt := range pts {
+		f.Rows = append(f.Rows, []string{pt.Layout, secs(pt.Vanilla), secs(pt.Skipper)})
+	}
+	return f, nil
+}
+
+// CacheSweepPoint is one cache-size position of Figures 11b/11c.
+type CacheSweepPoint struct {
+	CacheObjects int
+	Avg          time.Duration
+	// Gets is the average number of GET requests issued per client,
+	// including MJoin reissues (the black line of Figures 11b/c).
+	Gets int
+}
+
+// cacheSweep runs five Skipper clients on Q5 for each cache size.
+func (p Params) cacheSweep(sf int, caches []int) ([]CacheSweepPoint, error) {
+	var out []CacheSweepPoint
+	for _, cache := range caches {
+		res, err := p.run(runSpec{
+			clients: 5, mode: skipper.ModeSkipper, switchLat: -1, cache: cache,
+			dataset: p.tpchDataset(sf), queries: q5Queries,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cache %d: %w", cache, err)
+		}
+		gets := 0
+		for _, cs := range res.Clients {
+			gets += cs.GetsIssued
+		}
+		out = append(out, CacheSweepPoint{
+			CacheObjects: cache,
+			Avg:          avgElapsed(res),
+			Gets:         gets / len(res.Clients),
+		})
+	}
+	return out, nil
+}
+
+// q5Caches derives the sweep's cache sizes as fractions of the Q5 input
+// footprint, clamped to at least one object per relation plus one. At
+// SF-50 (63 input objects) this yields the paper's 10–30 GB points.
+func (p Params) q5Caches(sf int, fracs []float64) []int {
+	ds := p.tpchDataset(sf)(0)
+	footprint := len(workload.Q5(ds.Catalog).Join.Objects())
+	minCache := len(workload.Q5(ds.Catalog).Join.Relations) + 1
+	caches := make([]int, 0, len(fracs))
+	for _, fr := range fracs {
+		c := int(fr*float64(footprint) + 0.5)
+		if c < minCache {
+			c = minCache
+		}
+		if len(caches) == 0 || c > caches[len(caches)-1] {
+			caches = append(caches, c)
+		}
+	}
+	return caches
+}
+
+// Figure11bData sweeps the MJoin cache size on Q5 at SF-50 (§5.2.4):
+// cache from ~16% to ~48% of the input footprint (10 to 30 objects at
+// SF-50). The paper's vanilla reference is 3,710 s; VanillaQ5 measures
+// ours.
+func (p Params) Figure11bData() ([]CacheSweepPoint, error) {
+	return p.cacheSweep(p.SF, p.q5Caches(p.SF, []float64{0.16, 0.24, 0.32, 0.40, 0.48}))
+}
+
+// VanillaQ5 measures the vanilla engine's Q5 time in the same five-client
+// setup, the reference line of §5.2.4.
+func (p Params) VanillaQ5() (time.Duration, error) {
+	res, err := p.run(runSpec{
+		clients: 5, mode: skipper.ModeVanilla, switchLat: -1,
+		dataset: p.tpchDataset(p.SF), queries: q5Queries,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return avgElapsed(res), nil
+}
+
+// Figure11b renders Figure 11b.
+func (p Params) Figure11b() (*Figure, error) {
+	pts, err := p.Figure11bData()
+	if err != nil {
+		return nil, err
+	}
+	van, err := p.VanillaQ5()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:      "Figure 11b",
+		Title:   "Skipper avg exec time and GET count vs cache size (Q5, SF-50, 5 clients)",
+		Columns: []string{"cache (objects)", "avg exec time (s)", "GET requests/client"},
+		Notes:   []string{fmt.Sprintf("vanilla engine reference: %s s", secs(van))},
+	}
+	for _, pt := range pts {
+		f.Rows = append(f.Rows, []string{fmt.Sprint(pt.CacheObjects), secs(pt.Avg), fmt.Sprint(pt.Gets)})
+	}
+	return f, nil
+}
+
+// Figure11cData repeats the sweep at SF-100 (§5.2.4): cache from 10% to
+// 30% of the whole dataset in 5% steps (14 to 42 objects at SF-100,
+// where the dataset totals 140 objects).
+func (p Params) Figure11cData() ([]CacheSweepPoint, error) {
+	return p.cacheSweep(p.SF100, p.q5Caches(p.SF100, []float64{0.113, 0.169, 0.226, 0.282, 0.339}))
+}
+
+// Figure11c renders Figure 11c.
+func (p Params) Figure11c() (*Figure, error) {
+	pts, err := p.Figure11cData()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:      "Figure 11c",
+		Title:   "Skipper avg exec time and GET count vs cache size (Q5, SF-100, 5 clients)",
+		Columns: []string{"cache (objects)", "avg exec time (s)", "GET requests/client"},
+	}
+	for _, pt := range pts {
+		f.Rows = append(f.Rows, []string{fmt.Sprint(pt.CacheObjects), secs(pt.Avg), fmt.Sprint(pt.Gets)})
+	}
+	return f, nil
+}

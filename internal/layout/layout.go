@@ -1,0 +1,199 @@
+// Package layout implements object-to-disk-group placement policies for
+// the CSD. In a virtualized data center the database has no control over
+// placement (§3.2 of the paper), so experiments exercise several layouts:
+// everything in one group, K clients per group, one client per group, the
+// "incremental" split layout of §5.2.3, and the skewed 2-2-1 layout used
+// by the scheduling-fairness experiment (§5.2.5).
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/segment"
+)
+
+// Assignment maps every object to its disk group.
+type Assignment struct {
+	groups    map[segment.ObjectID]int
+	numGroups int
+}
+
+// NewAssignment returns an empty assignment with the given group count.
+func NewAssignment(numGroups int) *Assignment {
+	if numGroups <= 0 {
+		panic("layout: numGroups must be positive")
+	}
+	return &Assignment{groups: make(map[segment.ObjectID]int), numGroups: numGroups}
+}
+
+// Place assigns an object to a group.
+func (a *Assignment) Place(id segment.ObjectID, group int) {
+	if group < 0 || group >= a.numGroups {
+		panic(fmt.Sprintf("layout: group %d out of range [0,%d)", group, a.numGroups))
+	}
+	a.groups[id] = group
+}
+
+// GroupOf returns the group holding the object.
+func (a *Assignment) GroupOf(id segment.ObjectID) (int, error) {
+	g, ok := a.groups[id]
+	if !ok {
+		return 0, fmt.Errorf("layout: object %v not placed", id)
+	}
+	return g, nil
+}
+
+// NumGroups returns the number of disk groups.
+func (a *Assignment) NumGroups() int { return a.numGroups }
+
+// NumObjects returns the number of placed objects.
+func (a *Assignment) NumObjects() int { return len(a.groups) }
+
+// TenantObjects lists the objects owned by one tenant (database client),
+// in catalog order.
+type TenantObjects struct {
+	Tenant  int
+	Objects []segment.ObjectID
+}
+
+// Policy produces an assignment for a set of tenants' objects.
+type Policy interface {
+	Name() string
+	Assign(tenants []TenantObjects) *Assignment
+}
+
+// AllInOne places every object in a single group: the configuration used
+// to emulate the HDD capacity tier ("ideal") and the Allin1 layout.
+type AllInOne struct{}
+
+func (AllInOne) Name() string { return "all-in-one" }
+
+func (AllInOne) Assign(tenants []TenantObjects) *Assignment {
+	a := NewAssignment(1)
+	for _, t := range tenants {
+		for _, id := range t.Objects {
+			a.Place(id, 0)
+		}
+	}
+	return a
+}
+
+// ClientsPerGroup packs K consecutive tenants into each group. K=1 is the
+// paper's default one-group-per-client layout.
+type ClientsPerGroup struct{ K int }
+
+func (p ClientsPerGroup) Name() string { return fmt.Sprintf("%d-clients-per-group", p.K) }
+
+func (p ClientsPerGroup) Assign(tenants []TenantObjects) *Assignment {
+	if p.K <= 0 {
+		panic("layout: ClientsPerGroup.K must be positive")
+	}
+	n := (len(tenants) + p.K - 1) / p.K
+	if n == 0 {
+		n = 1
+	}
+	a := NewAssignment(n)
+	for i, t := range tenants {
+		g := i / p.K
+		for _, id := range t.Objects {
+			a.Place(id, g)
+		}
+	}
+	return a
+}
+
+// OnePerGroup is the paper's default layout: each client's data in its own
+// dedicated group.
+func OnePerGroup() Policy { return ClientsPerGroup{K: 1} }
+
+// Incremental reproduces §5.2.3's "Increm." layout: each tenant's data is
+// split into two halves stored on adjacent groups, so group g holds the
+// first half of tenant g's data and the second half of tenant g-1's:
+// G1={C1.1, C4.2}, G2={C1.2, C2.1}, ... for four tenants.
+type Incremental struct{}
+
+func (Incremental) Name() string { return "incremental" }
+
+func (Incremental) Assign(tenants []TenantObjects) *Assignment {
+	n := len(tenants)
+	if n == 0 {
+		return NewAssignment(1)
+	}
+	a := NewAssignment(n)
+	for i, t := range tenants {
+		half := (len(t.Objects) + 1) / 2
+		for j, id := range t.Objects {
+			if j < half {
+				a.Place(id, i)
+			} else {
+				a.Place(id, (i+1)%n)
+			}
+		}
+	}
+	return a
+}
+
+// ByTenant places tenant i in Groups[i]; the scheduling-fairness
+// experiment uses ByTenant{Groups: []int{0, 0, 1, 1, 2}} (two groups with
+// two clients each, one group with a single client).
+type ByTenant struct{ Groups []int }
+
+func (p ByTenant) Name() string { return fmt.Sprintf("by-tenant%v", p.Groups) }
+
+func (p ByTenant) Assign(tenants []TenantObjects) *Assignment {
+	if len(p.Groups) < len(tenants) {
+		panic("layout: ByTenant has fewer group entries than tenants")
+	}
+	max := 0
+	for _, g := range p.Groups[:len(tenants)] {
+		if g > max {
+			max = g
+		}
+	}
+	a := NewAssignment(max + 1)
+	for i, t := range tenants {
+		for _, id := range t.Objects {
+			a.Place(id, p.Groups[i])
+		}
+	}
+	return a
+}
+
+// RelocateGroup reassigns every object in a failed group to fallback,
+// modeling §3.2's "a set of disks could fail in a group causing the CSD
+// to temporarily stop allocating data in that group": subsequent runs see
+// the fragmented layout the failure produced. It returns the number of
+// objects moved.
+func (a *Assignment) RelocateGroup(failed, fallback int) int {
+	if failed == fallback {
+		panic("layout: relocation target equals failed group")
+	}
+	if fallback < 0 || fallback >= a.numGroups {
+		panic(fmt.Sprintf("layout: fallback group %d out of range [0,%d)", fallback, a.numGroups))
+	}
+	moved := 0
+	for id, g := range a.groups {
+		if g == failed {
+			a.groups[id] = fallback
+			moved++
+		}
+	}
+	return moved
+}
+
+// RoundRobinObjects spreads each tenant's objects across all groups in
+// object order — the adversarial "no locality" placement a shared CSD may
+// produce for load balancing (§3.2). Used by property tests and ablations.
+type RoundRobinObjects struct{ NumGroups int }
+
+func (p RoundRobinObjects) Name() string { return fmt.Sprintf("round-robin-%d", p.NumGroups) }
+
+func (p RoundRobinObjects) Assign(tenants []TenantObjects) *Assignment {
+	a := NewAssignment(p.NumGroups)
+	for _, t := range tenants {
+		for j, id := range t.Objects {
+			a.Place(id, j%p.NumGroups)
+		}
+	}
+	return a
+}

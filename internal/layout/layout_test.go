@@ -1,0 +1,222 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/segment"
+)
+
+func tenant(n, objs int) TenantObjects {
+	t := TenantObjects{Tenant: n}
+	for i := 0; i < objs; i++ {
+		t.Objects = append(t.Objects, segment.ObjectID{Tenant: n, Table: "t", Index: i})
+	}
+	return t
+}
+
+func groupsOf(t *testing.T, a *Assignment, to TenantObjects) []int {
+	t.Helper()
+	out := make([]int, len(to.Objects))
+	for i, id := range to.Objects {
+		g, err := a.GroupOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func TestAllInOne(t *testing.T) {
+	a := AllInOne{}.Assign([]TenantObjects{tenant(0, 3), tenant(1, 2)})
+	if a.NumGroups() != 1 {
+		t.Fatalf("groups %d", a.NumGroups())
+	}
+	if a.NumObjects() != 5 {
+		t.Fatalf("objects %d", a.NumObjects())
+	}
+	for _, to := range []TenantObjects{tenant(0, 3), tenant(1, 2)} {
+		for _, g := range groupsOf(t, a, to) {
+			if g != 0 {
+				t.Fatal("object not in group 0")
+			}
+		}
+	}
+}
+
+func TestOnePerGroup(t *testing.T) {
+	tens := []TenantObjects{tenant(0, 2), tenant(1, 2), tenant(2, 2)}
+	a := OnePerGroup().Assign(tens)
+	if a.NumGroups() != 3 {
+		t.Fatalf("groups %d", a.NumGroups())
+	}
+	for i, to := range tens {
+		for _, g := range groupsOf(t, a, to) {
+			if g != i {
+				t.Fatalf("tenant %d object in group %d", i, g)
+			}
+		}
+	}
+}
+
+func TestTwoClientsPerGroup(t *testing.T) {
+	tens := []TenantObjects{tenant(0, 1), tenant(1, 1), tenant(2, 1), tenant(3, 1)}
+	a := ClientsPerGroup{K: 2}.Assign(tens)
+	if a.NumGroups() != 2 {
+		t.Fatalf("groups %d", a.NumGroups())
+	}
+	want := []int{0, 0, 1, 1}
+	for i, to := range tens {
+		if g := groupsOf(t, a, to)[0]; g != want[i] {
+			t.Fatalf("tenant %d in group %d, want %d", i, g, want[i])
+		}
+	}
+}
+
+func TestIncrementalSplitsHalves(t *testing.T) {
+	// Four tenants with 4 objects each: group g holds tenant g's first
+	// half and tenant (g-1 mod 4)'s second half (§5.2.3).
+	tens := []TenantObjects{tenant(0, 4), tenant(1, 4), tenant(2, 4), tenant(3, 4)}
+	a := Incremental{}.Assign(tens)
+	if a.NumGroups() != 4 {
+		t.Fatalf("groups %d", a.NumGroups())
+	}
+	for i, to := range tens {
+		gs := groupsOf(t, a, to)
+		for j, g := range gs {
+			want := i
+			if j >= 2 {
+				want = (i + 1) % 4
+			}
+			if g != want {
+				t.Fatalf("tenant %d object %d in group %d, want %d", i, j, g, want)
+			}
+		}
+	}
+}
+
+func TestIncrementalOddSplit(t *testing.T) {
+	a := Incremental{}.Assign([]TenantObjects{tenant(0, 3), tenant(1, 3)})
+	gs := groupsOf(t, a, tenant(0, 3))
+	// ceil(3/2)=2 objects in own group, 1 in the next.
+	if gs[0] != 0 || gs[1] != 0 || gs[2] != 1 {
+		t.Fatalf("groups %v", gs)
+	}
+}
+
+func TestByTenantSkewed(t *testing.T) {
+	tens := []TenantObjects{tenant(0, 1), tenant(1, 1), tenant(2, 1), tenant(3, 1), tenant(4, 1)}
+	a := ByTenant{Groups: []int{0, 0, 1, 1, 2}}.Assign(tens)
+	if a.NumGroups() != 3 {
+		t.Fatalf("groups %d", a.NumGroups())
+	}
+	want := []int{0, 0, 1, 1, 2}
+	for i, to := range tens {
+		if g := groupsOf(t, a, to)[0]; g != want[i] {
+			t.Fatalf("tenant %d group %d", i, g)
+		}
+	}
+}
+
+func TestRoundRobinObjects(t *testing.T) {
+	a := RoundRobinObjects{NumGroups: 3}.Assign([]TenantObjects{tenant(0, 7)})
+	gs := groupsOf(t, a, tenant(0, 7))
+	for i, g := range gs {
+		if g != i%3 {
+			t.Fatalf("object %d in group %d", i, g)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	policies := []Policy{
+		AllInOne{},
+		ClientsPerGroup{K: 2},
+		OnePerGroup(),
+		Incremental{},
+		ByTenant{Groups: []int{0, 1}},
+		RoundRobinObjects{NumGroups: 3},
+	}
+	seen := map[string]bool{}
+	for _, p := range policies {
+		name := p.Name()
+		if name == "" {
+			t.Fatalf("%T has empty name", p)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate policy name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestClientsPerGroupValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=0 accepted")
+		}
+	}()
+	ClientsPerGroup{K: 0}.Assign([]TenantObjects{tenant(0, 1)})
+}
+
+func TestIncrementalEmptyTenants(t *testing.T) {
+	a := Incremental{}.Assign(nil)
+	if a.NumGroups() != 1 || a.NumObjects() != 0 {
+		t.Fatalf("empty incremental: %d groups %d objects", a.NumGroups(), a.NumObjects())
+	}
+}
+
+func TestByTenantTooFewGroupsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short Groups accepted")
+		}
+	}()
+	ByTenant{Groups: []int{0}}.Assign([]TenantObjects{tenant(0, 1), tenant(1, 1)})
+}
+
+func TestUnplacedObjectError(t *testing.T) {
+	a := NewAssignment(1)
+	if _, err := a.GroupOf(segment.ObjectID{Table: "x"}); err == nil {
+		t.Fatal("unplaced object lookup succeeded")
+	}
+}
+
+func TestRelocateGroup(t *testing.T) {
+	tens := []TenantObjects{tenant(0, 2), tenant(1, 2), tenant(2, 2)}
+	a := OnePerGroup().Assign(tens)
+	moved := a.RelocateGroup(1, 2)
+	if moved != 2 {
+		t.Fatalf("moved %d, want 2", moved)
+	}
+	for _, id := range tens[1].Objects {
+		g, err := a.GroupOf(id)
+		if err != nil || g != 2 {
+			t.Fatalf("object %v in group %d (%v)", id, g, err)
+		}
+	}
+	// Other tenants untouched.
+	if g, _ := a.GroupOf(tens[0].Objects[0]); g != 0 {
+		t.Fatalf("tenant 0 moved to %d", g)
+	}
+}
+
+func TestRelocateGroupPanics(t *testing.T) {
+	a := NewAssignment(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for self-relocation")
+		}
+	}()
+	a.RelocateGroup(1, 1)
+}
+
+func TestPlaceOutOfRangePanics(t *testing.T) {
+	a := NewAssignment(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range group")
+		}
+	}()
+	a.Place(segment.ObjectID{Table: "x"}, 5)
+}

@@ -1,0 +1,89 @@
+package mjoin
+
+import (
+	"repro/internal/segment"
+)
+
+// PolicyInfo exposes the state manager's bookkeeping to eviction policies.
+// The state manager has full visibility of cache contents and pending
+// subplans, which is exactly what the paper's greedy heuristics exploit.
+type PolicyInfo interface {
+	// PendingCount returns the number of pending (unexecuted, unpruned)
+	// subplans that include the object.
+	PendingCount(id segment.ObjectID) int
+	// ExecutableCounts returns, for every object, the number of pending
+	// subplans that include it and whose every object is present in
+	// cache ∪ {arriving}. Objects absent from the map have count zero.
+	// Computed in one pass over the pending set per eviction decision.
+	ExecutableCounts() map[segment.ObjectID]int
+	// ArrivalSeq returns a monotone sequence number of the object's most
+	// recent arrival (for FIFO/LRU tie-breaking).
+	ArrivalSeq(id segment.ObjectID) int
+}
+
+// EvictionPolicy picks which cached object to drop to admit an arrival.
+type EvictionPolicy interface {
+	Name() string
+	// PickVictim returns one element of cached. cached is non-empty and
+	// ordered by arrival (oldest first).
+	PickVictim(cached []segment.ObjectID, arriving segment.ObjectID, info PolicyInfo) segment.ObjectID
+}
+
+// MaxProgress is the paper's final policy (§4.2 "Maximal progress"): evict
+// the object participating in the fewest executable subplans given the
+// current cache state and the arriving object; break ties by fewest
+// pending subplans, then FIFO. A side effect is that small relations,
+// whose objects participate in many subplans, stay pinned — automatically
+// favouring star-schema dimension tables.
+type MaxProgress struct{}
+
+func (MaxProgress) Name() string { return "max-progress" }
+
+func (MaxProgress) PickVictim(cached []segment.ObjectID, _ segment.ObjectID, info PolicyInfo) segment.ObjectID {
+	exec := info.ExecutableCounts()
+	victim := cached[0]
+	bestExec, bestPend := exec[victim], info.PendingCount(victim)
+	for _, id := range cached[1:] {
+		e, p := exec[id], info.PendingCount(id)
+		if e < bestExec || (e == bestExec && p < bestPend) {
+			victim, bestExec, bestPend = id, e, p
+		}
+	}
+	return victim
+}
+
+// MaxPending is the paper's first cut (§4.2 "Maximal number of pending
+// subplans"): evict the object with the fewest pending subplans. It stalls
+// at low cache capacities because it ignores what is actually executable
+// right now.
+type MaxPending struct{}
+
+func (MaxPending) Name() string { return "max-pending" }
+
+func (MaxPending) PickVictim(cached []segment.ObjectID, _ segment.ObjectID, info PolicyInfo) segment.ObjectID {
+	victim := cached[0]
+	best := info.PendingCount(victim)
+	for _, id := range cached[1:] {
+		if p := info.PendingCount(id); p < best {
+			victim, best = id, p
+		}
+	}
+	return victim
+}
+
+// LRU evicts the least-recently-arrived object — the baseline ablation
+// showing that storage-oblivious caching wastes reissues.
+type LRU struct{}
+
+func (LRU) Name() string { return "lru" }
+
+func (LRU) PickVictim(cached []segment.ObjectID, _ segment.ObjectID, info PolicyInfo) segment.ObjectID {
+	victim := cached[0]
+	best := info.ArrivalSeq(victim)
+	for _, id := range cached[1:] {
+		if s := info.ArrivalSeq(id); s < best {
+			victim, best = id, s
+		}
+	}
+	return victim
+}

@@ -1,0 +1,131 @@
+package mjoin
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+// This file implements the stateless n-ary join operator (§4.1): the
+// state manager builds one hash table per cached object, keyed by the
+// join column that attaches the object's relation to the chain, and
+// subplan execution probes those tables directly — no per-subplan
+// rebuild. Relation 0 (the probe root) needs no hash table.
+
+// cacheEntry is the cached state of one arrived object: its filtered
+// rows plus the hash table on the relation's inbound join column.
+type cacheEntry struct {
+	rows []tuple.Row
+	// table maps hash(join-key) -> rows; nil for relation 0.
+	table map[uint64][]tuple.Row
+	// keyIdx is the column the table is keyed on (RightCol of the
+	// relation's JoinCond), -1 for relation 0.
+	keyIdx int
+}
+
+// buildEntry constructs the cache entry for an arrival of relation rel.
+func (m *manager) buildEntry(rel int, rows []tuple.Row) *cacheEntry {
+	e := &cacheEntry{rows: rows, keyIdx: -1}
+	if rel == 0 {
+		return e
+	}
+	jc := m.q.Joins[rel-1]
+	schema := m.q.Relations[rel].Table.Schema
+	e.keyIdx = schema.MustColIndex(jc.RightCol)
+	e.table = make(map[uint64][]tuple.Row, len(rows))
+	for _, r := range rows {
+		h := r[e.keyIdx].Hash()
+		e.table[h] = append(e.table[h], r)
+	}
+	return e
+}
+
+// probePlan precomputes, for each relation i>0, where the chain's left
+// key lives in the accumulated partial tuple.
+type probePlan struct {
+	// leftIdx[i-1] is the offset of Joins[i-1].LeftCol within the
+	// concatenation of relations 0..i-1.
+	leftIdx []int
+	// width[i] is the arity of relation i.
+	width []int
+}
+
+func buildProbePlan(q *Query) (*probePlan, error) {
+	pp := &probePlan{}
+	acc := q.Relations[0].Table.Schema
+	pp.width = append(pp.width, acc.Len())
+	for i, jc := range q.Joins {
+		idx, ok := acc.ColIndex(jc.LeftCol)
+		if !ok {
+			return nil, fmt.Errorf("mjoin: join %d: column %q not found in accumulated schema", i, jc.LeftCol)
+		}
+		pp.leftIdx = append(pp.leftIdx, idx)
+		rs := q.Relations[jc.Rel].Table.Schema
+		pp.width = append(pp.width, rs.Len())
+		acc = acc.Concat(rs)
+	}
+	return pp, nil
+}
+
+// executeSubplan joins the subplan's cached segments by probing the
+// per-object hash tables left to right and appends result tuples.
+func (m *manager) executeSubplan(sp subplan) {
+	entries := make([]*cacheEntry, len(sp))
+	for ri, si := range sp {
+		id := m.objByRef[objRef{ri, si}]
+		e, ok := m.cache[id]
+		if !ok {
+			panic(fmt.Sprintf("mjoin: executing subplan with uncached object %v", id))
+		}
+		if len(e.rows) == 0 {
+			return // an empty leg cannot produce output
+		}
+		entries[ri] = e
+	}
+	// Depth-first probe without materializing intermediate relations.
+	partial := make(tuple.Row, 0, 64)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(entries) {
+			out := make(tuple.Row, len(partial))
+			copy(out, partial)
+			m.rows = append(m.rows, out)
+			return
+		}
+		e := entries[depth]
+		keyIdx := m.probe.leftIdx[depth-1]
+		key := partial[keyIdx]
+		for _, match := range e.table[key.Hash()] {
+			mv := match[e.keyIdx]
+			if mv.K != key.K || !tuple.Equal(key, mv) {
+				continue // hash collision
+			}
+			partial = append(partial, match...)
+			rec(depth + 1)
+			partial = partial[:len(partial)-len(match)]
+		}
+	}
+	for _, root := range entries[0].rows {
+		partial = append(partial[:0], root...)
+		rec(1)
+	}
+}
+
+// filterRows applies the relation's local predicate.
+func filterRows(pred expr.Expr, rows []tuple.Row) ([]tuple.Row, error) {
+	if pred == nil {
+		return rows, nil
+	}
+	var out []tuple.Row
+	for _, r := range rows {
+		keep, err := expr.EvalBool(pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

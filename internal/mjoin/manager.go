@@ -1,0 +1,433 @@
+package mjoin
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/segment"
+	"repro/internal/tuple"
+)
+
+// Source supplies objects out of order. The production implementation is
+// the client proxy over the CSD; tests script arbitrary arrival orders.
+type Source interface {
+	// Request issues GETs for the given objects. The state manager calls
+	// it once per cycle with every object still needed.
+	Request(objs []segment.ObjectID)
+	// NextArrival blocks until one requested object arrives. The source
+	// delivers exactly one arrival per requested object per cycle.
+	NextArrival() *segment.Segment
+}
+
+// Costs parametrizes virtual processing charges.
+type Costs struct {
+	// ProcessPerObject is charged on every arrival that is scanned into
+	// the cache (including rescans of reissued objects). The paper's
+	// Table 3 measures MJoin's per-object processing at ≈6% above the
+	// vanilla engine's.
+	ProcessPerObject time.Duration
+}
+
+// DefaultCosts mirrors Table 3: 433 s over 57 objects ≈ 7.6 s/object.
+func DefaultCosts() Costs { return Costs{ProcessPerObject: 7600 * time.Millisecond} }
+
+// Config controls one MJoin execution.
+type Config struct {
+	// CacheSize is the buffer capacity in objects; it must be at least
+	// the number of relations or no subplan could ever run.
+	CacheSize int
+	// Policy picks eviction victims (default MaxProgress).
+	Policy EvictionPolicy
+	// Pruning marks subplans containing a result-free object as executed
+	// and never refetches the object (§5.2.4). Default on.
+	Pruning bool
+	// Clock charges virtual processing time (default: no charging).
+	Clock engine.Clock
+	// Costs are the virtual charges.
+	Costs Costs
+	// MaxCycles bounds request-reissue cycles as a livelock guard.
+	MaxCycles int
+}
+
+// DefaultConfig returns a Config with the paper's defaults for the given
+// cache size.
+func DefaultConfig(cacheSize int) Config {
+	return Config{
+		CacheSize: cacheSize,
+		Policy:    MaxProgress{},
+		Pruning:   true,
+		Clock:     engine.NopClock{},
+		MaxCycles: 1 << 20,
+	}
+}
+
+// Stats reports what one execution did.
+type Stats struct {
+	Requests         int // GETs issued, including reissues (Fig 11b/c)
+	Cycles           int // request/arrival cycles
+	Arrivals         int // objects received
+	Evictions        int
+	SubplansTotal    int
+	SubplansExecuted int
+	SubplansPruned   int
+	ResultRows       int
+	// PinnedCycles counts cycles that ran with a designated subplan
+	// pinned — i.e. how often the livelock escape hatch was needed.
+	// Zero on the paper's workloads and delivery orders.
+	PinnedCycles int
+}
+
+// Result bundles the join output with execution statistics.
+type Result struct {
+	Schema *tuple.Schema
+	Rows   []tuple.Row
+	Stats  Stats
+}
+
+// objRef locates an object inside the query: relation and segment index.
+type objRef struct {
+	rel, seg int
+}
+
+// manager is the per-execution state (Algorithm 1).
+type manager struct {
+	q   *Query
+	cfg Config
+	src Source
+
+	schema   *tuple.Schema
+	probe    *probePlan
+	objIndex map[segment.ObjectID]objRef
+	objByRef map[objRef]segment.ObjectID
+
+	pending      map[string]subplan
+	pendingCount map[segment.ObjectID]int
+
+	cache      map[segment.ObjectID]*cacheEntry
+	cacheOrder []segment.ObjectID // arrival order, oldest first
+	arrivalSeq map[segment.ObjectID]int
+	seq        int
+
+	stats Stats
+	rows  []tuple.Row
+
+	arriving segment.ObjectID // current arrival, for ExecutableCount
+
+	// pinned marks the objects of one designated subplan after a cycle
+	// that executed nothing. Pinned objects cannot be evicted and must
+	// be cached on arrival, guaranteeing the designated subplan runs in
+	// the next cycle. This closes a livelock the paper's greedy
+	// heuristics leave open under adversarial arrival orders: with a
+	// cache of exactly R objects, an unlucky delivery order can evict
+	// every partially-assembled combination forever.
+	pinned map[segment.ObjectID]bool
+}
+
+// Run executes the query to completion against the source.
+func Run(q *Query, cfg Config, src Source) (*Result, error) {
+	schema, err := q.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheSize < len(q.Relations) {
+		return nil, fmt.Errorf("mjoin: cache of %d objects cannot hold one object per relation (%d needed)", cfg.CacheSize, len(q.Relations))
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = MaxProgress{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = engine.NopClock{}
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 1 << 20
+	}
+	probe, err := buildProbePlan(q)
+	if err != nil {
+		return nil, err
+	}
+	m := &manager{
+		q:            q,
+		cfg:          cfg,
+		src:          src,
+		schema:       schema,
+		probe:        probe,
+		objIndex:     make(map[segment.ObjectID]objRef),
+		objByRef:     make(map[objRef]segment.ObjectID),
+		pending:      make(map[string]subplan),
+		pendingCount: make(map[segment.ObjectID]int),
+		cache:        make(map[segment.ObjectID]*cacheEntry),
+		arrivalSeq:   make(map[segment.ObjectID]int),
+	}
+	for ri, rel := range q.Relations {
+		for si, id := range rel.Table.Objects {
+			ref := objRef{rel: ri, seg: si}
+			m.objIndex[id] = ref
+			m.objByRef[ref] = id
+		}
+	}
+	for _, sp := range enumerateSubplans(q) {
+		m.pending[sp.key()] = sp
+		for ri, si := range sp {
+			m.pendingCount[m.objByRef[objRef{ri, si}]]++
+		}
+	}
+	m.stats.SubplansTotal = len(m.pending)
+	if err := m.loop(); err != nil {
+		return nil, err
+	}
+	m.stats.ResultRows = len(m.rows)
+	return &Result{Schema: schema, Rows: m.rows, Stats: m.stats}, nil
+}
+
+// loop is the outer request/receive cycle.
+func (m *manager) loop() error {
+	for len(m.pending) > 0 {
+		if m.stats.Cycles >= m.cfg.MaxCycles {
+			return fmt.Errorf("mjoin: no progress after %d cycles (%d subplans stuck)", m.stats.Cycles, len(m.pending))
+		}
+		m.stats.Cycles++
+		toFetch := m.neededObjects()
+		if len(toFetch) == 0 {
+			// Everything needed is cached; finish the runnable work.
+			m.executeAllRunnable()
+			if len(m.pending) > 0 {
+				return fmt.Errorf("mjoin: %d subplans pending with all objects cached", len(m.pending))
+			}
+			return nil
+		}
+		m.src.Request(toFetch)
+		m.stats.Requests += len(toFetch)
+		if len(m.pinned) > 0 {
+			m.stats.PinnedCycles++
+		}
+		execBefore := m.stats.SubplansExecuted + m.stats.SubplansPruned
+		for range toFetch {
+			seg := m.src.NextArrival()
+			m.processArrival(seg)
+		}
+		if m.stats.SubplansExecuted+m.stats.SubplansPruned == execBefore {
+			m.pinDesignatedSubplan()
+		} else {
+			m.pinned = nil
+		}
+	}
+	return nil
+}
+
+// pinDesignatedSubplan selects the lexicographically smallest pending
+// subplan and pins its objects so the next cycle is guaranteed to execute
+// it (progress guarantee; see the pinned field).
+func (m *manager) pinDesignatedSubplan() {
+	var bestKey string
+	for key := range m.pending {
+		if bestKey == "" || key < bestKey {
+			bestKey = key
+		}
+	}
+	sp := m.pending[bestKey]
+	m.pinned = make(map[segment.ObjectID]bool, len(sp))
+	for ri, si := range sp {
+		m.pinned[m.objByRef[objRef{ri, si}]] = true
+	}
+}
+
+// neededObjects returns, deduplicated and in relation-then-segment order,
+// every uncached object that some pending subplan requires.
+func (m *manager) neededObjects() []segment.ObjectID {
+	need := make(map[segment.ObjectID]bool)
+	for _, sp := range m.pending {
+		for ri, si := range sp {
+			id := m.objByRef[objRef{ri, si}]
+			if _, cached := m.cache[id]; !cached {
+				need[id] = true
+			}
+		}
+	}
+	var out []segment.ObjectID
+	for _, rel := range m.q.Relations {
+		for _, id := range rel.Table.Objects {
+			if need[id] {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// processArrival folds one delivered object into the cache and runs every
+// subplan it makes runnable.
+func (m *manager) processArrival(seg *segment.Segment) {
+	m.stats.Arrivals++
+	id := seg.ID
+	ref, known := m.objIndex[id]
+	if !known {
+		panic(fmt.Sprintf("mjoin: arrival of object %v not in query %s", id, m.q.ID))
+	}
+	if m.pendingCount[id] == 0 {
+		// Raced with pruning/completion: no pending subplan needs it.
+		return
+	}
+	// Scanning the object into a hash table costs processing time, every
+	// time it (re)arrives.
+	m.cfg.Clock.Sleep(m.cfg.Costs.ProcessPerObject)
+	rows, err := filterRows(m.q.Relations[ref.rel].Filter, seg.Rows)
+	if err != nil {
+		panic(fmt.Sprintf("mjoin: filter on %v: %v", id, err))
+	}
+	if m.cfg.Pruning && len(rows) == 0 {
+		m.pruneObject(id)
+		return
+	}
+	if len(m.cache) >= m.cfg.CacheSize {
+		candidates := m.cacheOrder
+		if len(m.pinned) > 0 {
+			candidates = nil
+			for _, cid := range m.cacheOrder {
+				if !m.pinned[cid] {
+					candidates = append(candidates, cid)
+				}
+			}
+			if len(candidates) == 0 {
+				// Cache is entirely pinned. A pinned arrival always has
+				// room (a subplan has at most CacheSize objects), so the
+				// arrival must be unpinned: drop it and let a later
+				// cycle refetch it.
+				if m.pinned[id] {
+					panic(fmt.Sprintf("mjoin: pinned arrival %v with fully pinned cache", id))
+				}
+				return
+			}
+		}
+		m.arriving = id
+		victim := m.cfg.Policy.PickVictim(candidates, id, m)
+		m.evict(victim)
+	}
+	m.cache[id] = m.buildEntry(ref.rel, rows)
+	m.cacheOrder = append(m.cacheOrder, id)
+	m.seq++
+	m.arrivalSeq[id] = m.seq
+	m.executeRunnableWith(id)
+}
+
+// pruneObject marks every pending subplan containing the object as pruned:
+// the object contributes no tuples, so those subplans cannot produce
+// results (§5.2.4).
+func (m *manager) pruneObject(id segment.ObjectID) {
+	ref := m.objIndex[id]
+	for key, sp := range m.pending {
+		if sp[ref.rel] == ref.seg {
+			m.removePending(key, sp)
+			m.stats.SubplansPruned++
+		}
+	}
+}
+
+// evict drops a cached object; subplans still needing it will trigger a
+// reissue in a later cycle.
+func (m *manager) evict(victim segment.ObjectID) {
+	if _, ok := m.cache[victim]; !ok {
+		panic(fmt.Sprintf("mjoin: policy picked non-cached victim %v", victim))
+	}
+	delete(m.cache, victim)
+	for i, id := range m.cacheOrder {
+		if id == victim {
+			m.cacheOrder = append(m.cacheOrder[:i], m.cacheOrder[i+1:]...)
+			break
+		}
+	}
+	m.stats.Evictions++
+}
+
+// executeRunnableWith runs every pending subplan that contains id and
+// whose objects are all cached. Only subplans containing the newest
+// arrival can have become runnable.
+func (m *manager) executeRunnableWith(id segment.ObjectID) {
+	ref := m.objIndex[id]
+	var runnable []string
+	for key, sp := range m.pending {
+		if sp[ref.rel] != ref.seg {
+			continue
+		}
+		if m.allCached(sp) {
+			runnable = append(runnable, key)
+		}
+	}
+	m.executeKeys(runnable)
+}
+
+// executeAllRunnable runs every pending subplan whose objects are cached.
+func (m *manager) executeAllRunnable() {
+	var runnable []string
+	for key, sp := range m.pending {
+		if m.allCached(sp) {
+			runnable = append(runnable, key)
+		}
+	}
+	m.executeKeys(runnable)
+}
+
+func (m *manager) executeKeys(keys []string) {
+	for _, key := range keys {
+		sp, ok := m.pending[key]
+		if !ok {
+			continue
+		}
+		m.executeSubplan(sp)
+		m.removePending(key, sp)
+		m.stats.SubplansExecuted++
+	}
+}
+
+func (m *manager) allCached(sp subplan) bool {
+	for ri, si := range sp {
+		if _, ok := m.cache[m.objByRef[objRef{ri, si}]]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// removePending drops a subplan from the pending set and bookkeeping.
+func (m *manager) removePending(key string, sp subplan) {
+	delete(m.pending, key)
+	for ri, si := range sp {
+		m.pendingCount[m.objByRef[objRef{ri, si}]]--
+	}
+}
+
+// PolicyInfo implementation.
+
+// PendingCount implements PolicyInfo.
+func (m *manager) PendingCount(id segment.ObjectID) int { return m.pendingCount[id] }
+
+// ExecutableCounts implements PolicyInfo: one pass over the pending set
+// tallying, per object, the subplans executable given cache ∪ {arriving}.
+func (m *manager) ExecutableCounts() map[segment.ObjectID]int {
+	counts := make(map[segment.ObjectID]int, len(m.cache)+1)
+	ids := make([]segment.ObjectID, len(m.q.Relations))
+	for _, sp := range m.pending {
+		ok := true
+		for ri, si := range sp {
+			oid := m.objByRef[objRef{ri, si}]
+			ids[ri] = oid
+			if oid == m.arriving {
+				continue
+			}
+			if _, cached := m.cache[oid]; !cached {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, oid := range ids {
+			counts[oid]++
+		}
+	}
+	return counts
+}
+
+// ArrivalSeq implements PolicyInfo.
+func (m *manager) ArrivalSeq(id segment.ObjectID) int { return m.arrivalSeq[id] }

@@ -1,0 +1,139 @@
+// Package mjoin implements Skipper's core contribution: a CSD-driven,
+// cache-aware multi-way join (§4.1–§4.2). The traditional monolithic MJoin
+// operator is split into a state manager and a stateless n-ary join: the
+// state manager enumerates subplans (one per combination of segments
+// across the query's relations), requests all needed objects upfront,
+// executes subplans as out-of-order arrivals make them runnable, evicts
+// under cache pressure with a progress-based policy, and reissues requests
+// for evicted objects still needed by pending subplans.
+package mjoin
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/segment"
+	"repro/internal/tuple"
+)
+
+// Relation is one input of the multi-way join.
+type Relation struct {
+	// Table provides the schema and backing objects.
+	Table *catalog.TableMeta
+	// Filter is the local predicate applied as tuples arrive (nil keeps
+	// every row). Filtering at arrival both shrinks the cached state and
+	// enables subplan pruning for clustered selectivity (§5.2.4).
+	Filter expr.Expr
+}
+
+// JoinCond joins relation Rel (by index into Query.Relations) to the
+// accumulated prefix of relations before it: LeftCol must resolve in the
+// concatenated schema of relations[0..Rel-1], RightCol in relation Rel.
+type JoinCond struct {
+	Rel               int
+	LeftCol, RightCol string
+}
+
+// Query is a multi-way equi-join over R relations connected by R-1 join
+// conditions (a join chain/tree flattened left-deep). Column names must be
+// unique across relations (TPC-H style l_/o_ prefixes).
+type Query struct {
+	ID        string
+	Relations []Relation
+	Joins     []JoinCond
+}
+
+// Validate checks structural soundness and returns the output schema.
+func (q *Query) Validate() (*tuple.Schema, error) {
+	if len(q.Relations) == 0 {
+		return nil, fmt.Errorf("mjoin: query %s has no relations", q.ID)
+	}
+	if len(q.Joins) != len(q.Relations)-1 {
+		return nil, fmt.Errorf("mjoin: query %s has %d relations but %d join conditions", q.ID, len(q.Relations), len(q.Joins))
+	}
+	acc := q.Relations[0].Table.Schema
+	for i, jc := range q.Joins {
+		if jc.Rel != i+1 {
+			return nil, fmt.Errorf("mjoin: join %d must attach relation %d, got %d", i, i+1, jc.Rel)
+		}
+		if _, ok := acc.ColIndex(jc.LeftCol); !ok {
+			return nil, fmt.Errorf("mjoin: join %d: column %q not in accumulated schema %v", i, jc.LeftCol, acc.ColumnNames())
+		}
+		rs := q.Relations[jc.Rel].Table.Schema
+		if _, ok := rs.ColIndex(jc.RightCol); !ok {
+			return nil, fmt.Errorf("mjoin: join %d: column %q not in relation %q", i, jc.RightCol, q.Relations[jc.Rel].Table.Name)
+		}
+		acc = acc.Concat(rs)
+	}
+	return acc, nil
+}
+
+// OutputSchema returns the join output schema, panicking on an invalid
+// query.
+func (q *Query) OutputSchema() *tuple.Schema {
+	s, err := q.Validate()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Objects lists every object the query needs, relation by relation — the
+// state manager's readObjectsFromCatalog step.
+func (q *Query) Objects() []segment.ObjectID {
+	var out []segment.ObjectID
+	for _, r := range q.Relations {
+		out = append(out, r.Table.Objects...)
+	}
+	return out
+}
+
+// NumSubplans returns the size of the subplan lattice: the product of the
+// relations' segment counts.
+func (q *Query) NumSubplans() int {
+	n := 1
+	for _, r := range q.Relations {
+		n *= len(r.Table.Objects)
+	}
+	return n
+}
+
+// subplan identifies one combination of segment indices, one per relation.
+type subplan []int
+
+// key renders a canonical map key for the combination.
+func (sp subplan) key() string {
+	b := make([]byte, 0, len(sp)*3)
+	for _, i := range sp {
+		b = append(b, byte(i>>16), byte(i>>8), byte(i))
+	}
+	return string(b)
+}
+
+// enumerateSubplans materializes the full lattice in lexicographic order.
+func enumerateSubplans(q *Query) []subplan {
+	dims := make([]int, len(q.Relations))
+	total := 1
+	for i, r := range q.Relations {
+		dims[i] = len(r.Table.Objects)
+		total *= dims[i]
+	}
+	out := make([]subplan, 0, total)
+	cur := make(subplan, len(dims))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(dims) {
+			cp := make(subplan, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for i := 0; i < dims[d]; i++ {
+			cur[d] = i
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,109 @@
+// Package segment defines the object format used to store relation data in
+// the cold storage device: a relation is split into fixed-size segments,
+// each stored as one CSD object (the paper uses 1 GB PostgreSQL segments
+// stored as Swift objects, one container per relation).
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// ObjectID names one stored object: a tenant (database client), a relation
+// (container) and a segment index within the relation.
+type ObjectID struct {
+	Tenant int
+	Table  string
+	Index  int
+}
+
+func (id ObjectID) String() string {
+	return fmt.Sprintf("t%d/%s/%04d", id.Tenant, id.Table, id.Index)
+}
+
+// Segment is the in-memory form of one object: a slice of rows plus the
+// nominal on-device size used by the virtual-time transfer model. Rows
+// carry the actual tuples so joins compute real results; NominalBytes
+// carries the paper-scale size (1 GB) so timing matches the paper.
+type Segment struct {
+	ID           ObjectID
+	Rows         []tuple.Row
+	NominalBytes int64
+}
+
+// Encode serializes the segment: a header (tenant, index, nominal size,
+// table name) followed by the row batch. The schema is not stored; it is
+// catalog metadata, as in the paper's setup where only catalog files live
+// in the VM image.
+func (g *Segment) Encode(schema *tuple.Schema) ([]byte, error) {
+	out := binary.AppendVarint(nil, int64(g.ID.Tenant))
+	out = binary.AppendVarint(out, int64(g.ID.Index))
+	out = binary.AppendVarint(out, g.NominalBytes)
+	out = binary.AppendUvarint(out, uint64(len(g.ID.Table)))
+	out = append(out, g.ID.Table...)
+	body, err := tuple.EncodeRows(schema, g.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("segment %v: %w", g.ID, err)
+	}
+	return append(out, body...), nil
+}
+
+// Decode parses a segment previously produced by Encode.
+func Decode(schema *tuple.Schema, data []byte) (*Segment, error) {
+	g := &Segment{}
+	var n int
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("segment: bad tenant header")
+	}
+	g.ID.Tenant = int(v)
+	data = data[n:]
+	v, n = binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("segment: bad index header")
+	}
+	g.ID.Index = int(v)
+	data = data[n:]
+	g.NominalBytes, n = binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("segment: bad size header")
+	}
+	data = data[n:]
+	ln, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < ln {
+		return nil, fmt.Errorf("segment: bad table-name header")
+	}
+	g.ID.Table = string(data[n : n+int(ln)])
+	data = data[n+int(ln):]
+	rows, err := tuple.DecodeRows(schema, data)
+	if err != nil {
+		return nil, fmt.Errorf("segment %v: %w", g.ID, err)
+	}
+	g.Rows = rows
+	return g, nil
+}
+
+// Split partitions rows into segments of at most rowsPerSegment rows each,
+// assigning sequential indices and the given nominal per-segment size. An
+// empty relation still produces one empty segment so that scans and the
+// subplan lattice are well-defined.
+func Split(tenant int, table string, rows []tuple.Row, rowsPerSegment int, nominalBytes int64) []*Segment {
+	if rowsPerSegment <= 0 {
+		panic("segment: rowsPerSegment must be positive")
+	}
+	var segs []*Segment
+	for start := 0; start == 0 || start < len(rows); start += rowsPerSegment {
+		end := start + rowsPerSegment
+		if end > len(rows) {
+			end = len(rows)
+		}
+		segs = append(segs, &Segment{
+			ID:           ObjectID{Tenant: tenant, Table: table, Index: len(segs)},
+			Rows:         rows[start:end],
+			NominalBytes: nominalBytes,
+		})
+	}
+	return segs
+}

@@ -1,0 +1,224 @@
+package skipper
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/csd"
+	"repro/internal/engine"
+	"repro/internal/layout"
+	"repro/internal/mjoin"
+	"repro/internal/segment"
+	"repro/internal/trace"
+	"repro/internal/tuple"
+	"repro/internal/vtime"
+)
+
+// Cluster runs a set of database clients against one shared CSD on a
+// virtual-time simulation — the paper's testbed of §5.1 (five PostgreSQL
+// VMs against one Swift-based emulated CSD).
+type Cluster struct {
+	Clients []*Client
+	Layout  layout.Policy
+	CSD     csd.Config
+	Costs   Costs
+	// Store backs every tenant's objects.
+	Store map[segment.ObjectID]*segment.Segment
+	// Trace, if non-nil, receives simulator trace lines.
+	Trace func(at time.Duration, format string, args ...any)
+	// Events, if non-nil, receives structured trace events (query spans
+	// from the clients; GETs, deliveries and switches from the CSD).
+	Events *trace.Log
+}
+
+// RunResult aggregates a cluster run.
+type RunResult struct {
+	Clients  []*ClientStats
+	CSD      csd.Stats
+	Makespan time.Duration
+}
+
+// Run executes every client's workload to completion and returns the
+// gathered statistics.
+func (cl *Cluster) Run() (*RunResult, error) {
+	if len(cl.Clients) == 0 {
+		return nil, fmt.Errorf("skipper: cluster has no clients")
+	}
+	if cl.Layout == nil {
+		cl.Layout = layout.OnePerGroup()
+	}
+	if cl.Costs == (Costs{}) {
+		cl.Costs = DefaultCosts()
+	}
+	if cl.CSD.Scheduler == nil {
+		cl.CSD = csd.DefaultConfig()
+	}
+	if cl.Events != nil && cl.CSD.Events == nil {
+		cl.CSD.Events = cl.Events
+	}
+	tenants := make([]layout.TenantObjects, len(cl.Clients))
+	for i, c := range cl.Clients {
+		tenants[i] = layout.TenantObjects{Tenant: c.Tenant, Objects: c.Catalog.AllObjects()}
+	}
+	assign := cl.Layout.Assign(tenants)
+
+	sim := vtime.NewSim()
+	if cl.Trace != nil {
+		sim.SetTracer(cl.Trace)
+	}
+	dev := csd.New(sim, cl.CSD, cl.Store, assign)
+	dev.Start()
+
+	done := vtime.NewChan[int](sim, "cluster.done", len(cl.Clients))
+	var runErr error
+	for _, c := range cl.Clients {
+		c := c
+		sim.Spawn(fmt.Sprintf("client.t%d", c.Tenant), func(p *vtime.Proc) {
+			if err := cl.runClient(p, sim, dev, c); err != nil && runErr == nil {
+				runErr = err
+			}
+			done.Send(p, c.Tenant)
+		})
+	}
+	sim.Spawn("cluster.coordinator", func(p *vtime.Proc) {
+		for range cl.Clients {
+			done.Recv(p)
+		}
+		dev.Shutdown(p)
+	})
+	if err := sim.Run(); err != nil {
+		return nil, fmt.Errorf("skipper: simulation: %w", err)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	res := &RunResult{CSD: dev.Stats(), Makespan: sim.Now()}
+	for _, c := range cl.Clients {
+		res.Clients = append(res.Clients, &c.stats)
+	}
+	return res, nil
+}
+
+// runClient executes one client's query sequence.
+func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, c *Client) error {
+	c.stats = ClientStats{Tenant: c.Tenant, Mode: c.Mode, Start: p.Now()}
+	px := newProxy(sim, dev, c.Tenant, &c.stats)
+	px.proc = p
+	clock := &chargingClock{proc: p, stats: &c.stats}
+	for qi, spec := range c.Queries {
+		queryID := fmt.Sprintf("t%d.%s#%d", c.Tenant, spec.Name, qi)
+		px.query = queryID
+		qStart := p.Now()
+		cl.Events.Add(trace.Event{At: qStart, Kind: trace.KindQueryStart, Tenant: c.Tenant, Query: queryID, Group: -1})
+		var rows []tuple.Row
+		var err error
+		switch c.Mode {
+		case ModeVanilla:
+			rows, err = cl.runVanilla(clock, px, spec)
+		case ModeSkipper:
+			rows, err = cl.runSkipper(clock, px, c, spec)
+		default:
+			err = fmt.Errorf("skipper: unknown mode %d", c.Mode)
+		}
+		if err != nil {
+			return fmt.Errorf("skipper: tenant %d query %s: %w", c.Tenant, spec.Name, err)
+		}
+		c.stats.PerQuery = append(c.stats.PerQuery, QueryRun{
+			Name: spec.Name, QueryID: queryID,
+			Start: qStart, Finish: p.Now(), Rows: len(rows),
+		})
+		cl.Events.Add(trace.Event{At: p.Now(), Kind: trace.KindQueryEnd, Tenant: c.Tenant, Query: queryID, Group: -1})
+		c.stats.Rows += int64(len(rows))
+		if c.Think > 0 && qi < len(c.Queries)-1 {
+			p.Sleep(c.Think)
+		}
+	}
+	c.stats.Finish = p.Now()
+	return nil
+}
+
+// runVanilla executes the query on the pull-based engine over synchronous
+// per-segment GETs.
+func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, spec QuerySpec) ([]tuple.Row, error) {
+	ctx := &engine.Ctx{
+		Clock: clock,
+		Fetch: &vanillaFetcher{px: px, fuse: cl.Costs.FusePerObject},
+		Costs: engine.Costs{ProcessPerObject: cl.Costs.VanillaPerObject},
+	}
+	it, err := BuildPullPlan(ctx, spec.Join)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Shape != nil {
+		it = spec.Shape(it)
+	}
+	return engine.Collect(it)
+}
+
+// runSkipper executes the query with the cache-aware MJoin over the
+// push-based proxy.
+func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec QuerySpec) ([]tuple.Row, error) {
+	cacheSize := c.CacheObjects
+	if cacheSize <= 0 {
+		cacheSize = len(spec.Join.Objects())
+	}
+	cfg := mjoin.Config{
+		CacheSize: cacheSize,
+		Policy:    c.Policy,
+		Pruning:   true,
+		Clock:     clock,
+		Costs:     mjoin.Costs{ProcessPerObject: cl.Costs.MJoinPerObject},
+	}
+	if c.Pruning != nil {
+		cfg.Pruning = *c.Pruning
+	}
+	res, err := mjoin.Run(spec.Join, cfg, px)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.MJoin = addStats(c.stats.MJoin, res.Stats)
+	rows := res.Rows
+	if spec.Shape != nil {
+		shaped, err := engine.Collect(spec.Shape(engine.NewValues(res.Schema, res.Rows)))
+		if err != nil {
+			return nil, err
+		}
+		rows = shaped
+	}
+	return rows, nil
+}
+
+func addStats(a, b mjoin.Stats) mjoin.Stats {
+	return mjoin.Stats{
+		Requests:         a.Requests + b.Requests,
+		Cycles:           a.Cycles + b.Cycles,
+		Arrivals:         a.Arrivals + b.Arrivals,
+		Evictions:        a.Evictions + b.Evictions,
+		SubplansTotal:    a.SubplansTotal + b.SubplansTotal,
+		SubplansExecuted: a.SubplansExecuted + b.SubplansExecuted,
+		SubplansPruned:   a.SubplansPruned + b.SubplansPruned,
+		ResultRows:       a.ResultRows + b.ResultRows,
+	}
+}
+
+// BuildPullPlan translates an mjoin.Query into the classical engine's
+// left-deep plan: filtered sequential scans joined by blocking binary hash
+// joins, pulled in plan order.
+func BuildPullPlan(ctx *engine.Ctx, q *mjoin.Query) (engine.Iterator, error) {
+	if _, err := q.Validate(); err != nil {
+		return nil, err
+	}
+	its := make([]engine.Iterator, len(q.Relations))
+	for i, rel := range q.Relations {
+		var it engine.Iterator = engine.NewSeqScan(ctx, rel.Table)
+		if rel.Filter != nil {
+			it = engine.NewFilter(it, rel.Filter)
+		}
+		its[i] = it
+	}
+	it := its[0]
+	for i, jc := range q.Joins {
+		it = engine.JoinOn(it, its[i+1], [][2]string{{jc.LeftCol, jc.RightCol}})
+	}
+	return it, nil
+}

@@ -1,0 +1,214 @@
+// Package skipper ties the pieces of the Skipper architecture together
+// (Figure 6): database clients (one per VM/tenant), the client proxy that
+// tags GET requests with query identifiers and mediates between the MJoin
+// state manager and the CSD, and a Cluster harness that runs several
+// tenants concurrently against one shared device and gathers per-client
+// timing — the setup of every experiment in §5.
+package skipper
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/csd"
+	"repro/internal/engine"
+	"repro/internal/mjoin"
+	"repro/internal/segment"
+	"repro/internal/vtime"
+)
+
+// Mode selects the execution engine of a client.
+type Mode uint8
+
+const (
+	// ModeVanilla is the classical pull-based engine: one synchronous
+	// GET per segment, in plan order.
+	ModeVanilla Mode = iota
+	// ModeSkipper is the MJoin-based out-of-order engine: all GETs
+	// upfront, execution driven by arrival order.
+	ModeSkipper
+)
+
+func (m Mode) String() string {
+	if m == ModeVanilla {
+		return "vanilla"
+	}
+	return "skipper"
+}
+
+// Costs bundles the virtual processing-cost calibration (Table 3).
+type Costs struct {
+	// VanillaPerObject is the pull engine's per-segment processing cost
+	// (407 s / 57 objects ≈ 7.14 s).
+	VanillaPerObject time.Duration
+	// MJoinPerObject is the MJoin per-arrival cost (433 s / 57 ≈ 7.6 s;
+	// ≈6% above vanilla).
+	MJoinPerObject time.Duration
+	// FusePerObject is the FUSE interposition overhead on the vanilla
+	// path only (15.75 s / 57 ≈ 276 ms).
+	FusePerObject time.Duration
+}
+
+// DefaultCosts returns the Table 3 calibration.
+func DefaultCosts() Costs {
+	return Costs{
+		VanillaPerObject: 7140 * time.Millisecond,
+		MJoinPerObject:   7600 * time.Millisecond,
+		FusePerObject:    276 * time.Millisecond,
+	}
+}
+
+// QuerySpec is one query a client runs: an MJoin query plus an optional
+// post-join shaping stage (aggregation etc.) applied to the join output.
+type QuerySpec struct {
+	Name string
+	// Join defines relations, local filters and join conditions; both
+	// engines execute exactly this logical query.
+	Join *mjoin.Query
+	// Shape, if non-nil, wraps the join output (vanilla) or the MJoin
+	// result rows (skipper) with the final operators.
+	Shape func(input engine.Iterator) engine.Iterator
+}
+
+// ClientStats is the per-client timing record used by the experiments.
+type ClientStats struct {
+	Tenant int
+	Mode   Mode
+	// Start/Finish bound the whole workload (all queries).
+	Start, Finish time.Duration
+	// PerQuery holds one entry per executed query, in order.
+	PerQuery []QueryRun
+	// Processing accumulates virtual compute charges.
+	Processing time.Duration
+	// Fuse accumulates FUSE overhead charges (vanilla only).
+	Fuse time.Duration
+	// StallIntervals are the periods the client spent blocked waiting
+	// for data from the CSD.
+	StallIntervals []csd.Interval
+	// GetsIssued counts GET requests (including MJoin reissues).
+	GetsIssued int
+	// Rows is the total result row count across queries.
+	Rows int64
+	// MJoin aggregates state-manager statistics (skipper mode).
+	MJoin mjoin.Stats
+}
+
+// QueryRun records one query execution.
+type QueryRun struct {
+	Name          string
+	QueryID       string
+	Start, Finish time.Duration
+	Rows          int
+}
+
+// Elapsed returns the client's total workload time.
+func (s *ClientStats) Elapsed() time.Duration { return s.Finish - s.Start }
+
+// Stalled sums the stall intervals.
+func (s *ClientStats) Stalled() time.Duration {
+	var d time.Duration
+	for _, iv := range s.StallIntervals {
+		d += iv.To - iv.From
+	}
+	return d
+}
+
+// Client is one database instance (one VM) bound to a tenant's catalog.
+type Client struct {
+	Tenant  int
+	Mode    Mode
+	Catalog *catalog.Catalog
+	Queries []QuerySpec
+	// CacheObjects is the MJoin buffer capacity in objects (skipper
+	// mode). The paper expresses it in GB; with 1 GB objects the numbers
+	// coincide.
+	CacheObjects int
+	// Policy overrides the eviction policy (default MaxProgress).
+	Policy mjoin.EvictionPolicy
+	// Pruning toggles subplan pruning (default true).
+	Pruning *bool
+	// Think, if set, inserts a pause between successive queries.
+	Think time.Duration
+
+	stats ClientStats
+}
+
+// Stats returns the client's record after the run.
+func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// proxy is the client proxy daemon (§4.3): it owns the reply channel,
+// tags requests with the query id, counts GETs, and records stalls.
+type proxy struct {
+	sim    *vtime.Sim
+	dev    *csd.CSD
+	tenant int
+	stats  *ClientStats
+	reply  *vtime.Chan[csd.Delivery]
+	proc   *vtime.Proc
+	query  string
+}
+
+func newProxy(sim *vtime.Sim, dev *csd.CSD, tenant int, stats *ClientStats) *proxy {
+	return &proxy{
+		sim:    sim,
+		dev:    dev,
+		tenant: tenant,
+		stats:  stats,
+		reply:  vtime.NewChan[csd.Delivery](sim, fmt.Sprintf("proxy.t%d.reply", tenant), 1<<20),
+	}
+}
+
+// Request implements mjoin.Source: issue tagged GETs for a batch.
+func (px *proxy) Request(objs []segment.ObjectID) {
+	reqs := make([]*csd.Request, len(objs))
+	for i, id := range objs {
+		reqs[i] = &csd.Request{Object: id, QueryID: px.query, Tenant: px.tenant, Reply: px.reply}
+	}
+	px.dev.Submit(px.proc, reqs...)
+	px.stats.GetsIssued += len(objs)
+}
+
+// NextArrival implements mjoin.Source: block until one object arrives,
+// recording the stall.
+func (px *proxy) NextArrival() *segment.Segment {
+	from := px.proc.Now()
+	d := px.reply.Recv(px.proc)
+	if to := px.proc.Now(); to > from {
+		px.stats.StallIntervals = append(px.stats.StallIntervals, csd.Interval{From: from, To: to})
+	}
+	return d.Seg
+}
+
+// fetchSync is the vanilla path: one GET, wait, charge FUSE overhead.
+func (px *proxy) fetchSync(id segment.ObjectID, fuse time.Duration) *segment.Segment {
+	px.Request([]segment.ObjectID{id})
+	seg := px.NextArrival()
+	if fuse > 0 {
+		px.proc.Sleep(fuse)
+		px.stats.Fuse += fuse
+	}
+	return seg
+}
+
+// chargingClock charges processing time to both the simulation clock and
+// the client's accounting.
+type chargingClock struct {
+	proc  *vtime.Proc
+	stats *ClientStats
+}
+
+func (c *chargingClock) Sleep(d time.Duration) {
+	c.proc.Sleep(d)
+	c.stats.Processing += d
+}
+
+// vanillaFetcher adapts the proxy to engine.Fetcher.
+type vanillaFetcher struct {
+	px   *proxy
+	fuse time.Duration
+}
+
+func (f *vanillaFetcher) Fetch(id segment.ObjectID) (*segment.Segment, error) {
+	return f.px.fetchSync(id, f.fuse), nil
+}

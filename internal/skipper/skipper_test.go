@@ -1,0 +1,311 @@
+package skipper
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/csd"
+	"repro/internal/engine"
+	"repro/internal/layout"
+	"repro/internal/mjoin"
+	"repro/internal/segment"
+	"repro/internal/tuple"
+)
+
+// makeTenantDB builds, for one tenant, two relations a(ak, pay) and
+// b(bk, pay) whose keys join one-to-one, split into segsA/segsB segments.
+func makeTenantDB(tenant, rowsPer, segsA, segsB int, store map[segment.ObjectID]*segment.Segment) *catalog.Catalog {
+	cat := catalog.New(tenant)
+	mk := func(name, col string, nsegs int) {
+		sch := tuple.NewSchema(
+			tuple.Column{Name: col, Kind: tuple.KindInt64},
+			tuple.Column{Name: col + "_pay", Kind: tuple.KindString},
+		)
+		n := rowsPer * nsegs
+		rows := make([]tuple.Row, n)
+		for i := range rows {
+			rows[i] = tuple.Row{tuple.Int(int64(i)), tuple.Str(fmt.Sprintf("%s-%d", name, i))}
+		}
+		segs := segment.Split(tenant, name, rows, rowsPer, 1e9)
+		for _, sg := range segs {
+			store[sg.ID] = sg
+		}
+		cat.MustAddTable(name, sch, segs)
+	}
+	mk("a", "ak", segsA)
+	mk("b", "bk", segsB)
+	return cat
+}
+
+func joinQuery(cat *catalog.Catalog) *mjoin.Query {
+	return &mjoin.Query{
+		ID: "j",
+		Relations: []mjoin.Relation{
+			{Table: cat.MustTable("a")},
+			{Table: cat.MustTable("b")},
+		},
+		Joins: []mjoin.JoinCond{{Rel: 1, LeftCol: "ak", RightCol: "bk"}},
+	}
+}
+
+// buildCluster creates n clients in the given mode over per-tenant
+// replicas of the same dataset.
+func buildCluster(n int, mode Mode, cache int) *Cluster {
+	store := make(map[segment.ObjectID]*segment.Segment)
+	clients := make([]*Client, n)
+	for t := 0; t < n; t++ {
+		cat := makeTenantDB(t, 10, 3, 3, store)
+		clients[t] = &Client{
+			Tenant:       t,
+			Mode:         mode,
+			Catalog:      cat,
+			CacheObjects: cache,
+			Queries:      []QuerySpec{{Name: "q", Join: joinQuery(cat)}},
+		}
+	}
+	return &Cluster{Clients: clients, Store: store}
+}
+
+func TestVanillaAndSkipperSameResults(t *testing.T) {
+	for _, mode := range []Mode{ModeVanilla, ModeSkipper} {
+		cl := buildCluster(2, mode, 6)
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for _, cs := range res.Clients {
+			// one-to-one join over 30 keys
+			if cs.Rows != 30 {
+				t.Fatalf("%v tenant %d: %d rows, want 30", mode, cs.Tenant, cs.Rows)
+			}
+		}
+	}
+}
+
+func TestSkipperScalesBetterThanVanilla(t *testing.T) {
+	// With 3 clients on one-group-per-client, the vanilla pull pattern
+	// pays a switch per object; Skipper batches per group.
+	van, err := buildCluster(3, ModeVanilla, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skp, err := buildCluster(3, ModeSkipper, 6).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skp.CSD.GroupSwitches >= van.CSD.GroupSwitches {
+		t.Fatalf("skipper switches %d >= vanilla %d", skp.CSD.GroupSwitches, van.CSD.GroupSwitches)
+	}
+	// Skipper needs exactly clients-1 switches... plus none for the first.
+	if skp.CSD.GroupSwitches != 2 {
+		t.Fatalf("skipper switches = %d, want 2", skp.CSD.GroupSwitches)
+	}
+	var vanAvg, skpAvg time.Duration
+	for i := range van.Clients {
+		vanAvg += van.Clients[i].Elapsed()
+		skpAvg += skp.Clients[i].Elapsed()
+	}
+	if skpAvg >= vanAvg {
+		t.Fatalf("skipper cumulative %v >= vanilla %v", skpAvg, vanAvg)
+	}
+}
+
+func TestVanillaSwitchCountMatchesModel(t *testing.T) {
+	// C clients, D objects each, one group per client, pull execution:
+	// the paper's model says every object access alternates groups, so
+	// switches ≈ C·D.
+	const C, D = 3, 6 // 3+3 segments per tenant
+	res, err := buildCluster(C, ModeVanilla, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := C * D
+	got := res.CSD.GroupSwitches
+	if got < want-C || got > want {
+		t.Fatalf("switches = %d, want ≈ %d", got, want)
+	}
+}
+
+func TestIdealLayoutHasNoSwitches(t *testing.T) {
+	cl := buildCluster(3, ModeVanilla, 0)
+	cl.Layout = layout.AllInOne{}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CSD.GroupSwitches != 0 {
+		t.Fatalf("switches = %d on all-in-one layout", res.CSD.GroupSwitches)
+	}
+}
+
+func TestProcessingAndFuseAccounting(t *testing.T) {
+	cl := buildCluster(1, ModeVanilla, 0)
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Clients[0]
+	costs := DefaultCosts()
+	// 6 objects scanned once each.
+	if want := 6 * costs.VanillaPerObject; cs.Processing != want {
+		t.Fatalf("processing %v, want %v", cs.Processing, want)
+	}
+	if want := 6 * costs.FusePerObject; cs.Fuse != want {
+		t.Fatalf("fuse %v, want %v", cs.Fuse, want)
+	}
+	if cs.GetsIssued != 6 {
+		t.Fatalf("gets %d", cs.GetsIssued)
+	}
+}
+
+func TestSkipperProcessingAccounting(t *testing.T) {
+	cl := buildCluster(1, ModeSkipper, 6)
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Clients[0]
+	costs := DefaultCosts()
+	if want := 6 * costs.MJoinPerObject; cs.Processing != want {
+		t.Fatalf("processing %v, want %v", cs.Processing, want)
+	}
+	if cs.Fuse != 0 {
+		t.Fatalf("fuse %v on skipper path", cs.Fuse)
+	}
+	if cs.MJoin.Requests != 6 || cs.MJoin.Cycles != 1 {
+		t.Fatalf("mjoin stats %+v", cs.MJoin)
+	}
+}
+
+func TestSkipperSmallCacheReissuesOnCluster(t *testing.T) {
+	cl := buildCluster(1, ModeSkipper, 2)
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Clients[0]
+	if cs.GetsIssued <= 6 {
+		t.Fatalf("gets = %d, expected reissues", cs.GetsIssued)
+	}
+	if cs.Rows != 30 {
+		t.Fatalf("rows = %d, want 30 despite cache pressure", cs.Rows)
+	}
+}
+
+func TestShapeStageApplies(t *testing.T) {
+	store := make(map[segment.ObjectID]*segment.Segment)
+	cat := makeTenantDB(0, 10, 2, 2, store)
+	shape := func(in engine.Iterator) engine.Iterator {
+		return engine.NewHashAgg(in, nil, []engine.AggSpec{{Kind: engine.AggCount, Name: "n"}})
+	}
+	for _, mode := range []Mode{ModeVanilla, ModeSkipper} {
+		c := &Client{
+			Tenant: 0, Mode: mode, Catalog: cat, CacheObjects: 4,
+			Queries: []QuerySpec{{Name: "agg", Join: joinQuery(cat), Shape: shape}},
+		}
+		cl := &Cluster{Clients: []*Client{c}, Store: store}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Clients[0].Rows != 1 {
+			t.Fatalf("%v: shaped rows = %d, want 1", mode, res.Clients[0].Rows)
+		}
+	}
+}
+
+func TestMultipleQueriesSequential(t *testing.T) {
+	store := make(map[segment.ObjectID]*segment.Segment)
+	cat := makeTenantDB(0, 10, 2, 2, store)
+	c := &Client{
+		Tenant: 0, Mode: ModeSkipper, Catalog: cat, CacheObjects: 4,
+		Think: 5 * time.Second,
+		Queries: []QuerySpec{
+			{Name: "q1", Join: joinQuery(cat)},
+			{Name: "q2", Join: joinQuery(cat)},
+		},
+	}
+	cl := &Cluster{Clients: []*Client{c}, Store: store}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Clients[0]
+	if len(cs.PerQuery) != 2 {
+		t.Fatalf("per-query records %d", len(cs.PerQuery))
+	}
+	if cs.PerQuery[1].Start < cs.PerQuery[0].Finish+5*time.Second {
+		t.Fatalf("think time not applied: %+v", cs.PerQuery)
+	}
+	if cs.PerQuery[0].QueryID == cs.PerQuery[1].QueryID {
+		t.Fatal("query ids not unique")
+	}
+}
+
+func TestStallIntervalsRecorded(t *testing.T) {
+	res, err := buildCluster(1, ModeVanilla, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Clients[0]
+	if len(cs.StallIntervals) == 0 {
+		t.Fatal("no stalls recorded")
+	}
+	// Stalls must be disjoint and ordered.
+	ivs := append([]csd.Interval(nil), cs.StallIntervals...)
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].From < ivs[j].From })
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].From < ivs[i-1].To {
+			t.Fatalf("overlapping stalls %v %v", ivs[i-1], ivs[i])
+		}
+	}
+	// Total = processing + fuse + stalls for a single vanilla client.
+	total := cs.Elapsed()
+	if got := cs.Processing + cs.Fuse + cs.Stalled(); got != total {
+		t.Fatalf("accounting gap: parts %v != total %v", got, total)
+	}
+}
+
+func TestSkipperLatencyInsensitivity(t *testing.T) {
+	// Figure 10's claim: Skipper's makespan barely moves as the group
+	// switch latency grows, while vanilla's explodes. The claim holds
+	// when transfers dominate switches (D/B >> S), so use a dataset
+	// large enough for that regime.
+	run := func(mode Mode, s time.Duration) time.Duration {
+		store := make(map[segment.ObjectID]*segment.Segment)
+		clients := make([]*Client, 3)
+		for tn := 0; tn < 3; tn++ {
+			cat := makeTenantDB(tn, 10, 12, 12, store)
+			clients[tn] = &Client{
+				Tenant: tn, Mode: mode, Catalog: cat, CacheObjects: 24,
+				Queries: []QuerySpec{{Name: "q", Join: joinQuery(cat)}},
+			}
+		}
+		cl := &Cluster{Clients: clients, Store: store}
+		cfg := csd.DefaultConfig()
+		cfg.GroupSwitch = s
+		cl.CSD = cfg
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum time.Duration
+		for _, cs := range res.Clients {
+			sum += cs.Elapsed()
+		}
+		return sum
+	}
+	van10, van40 := run(ModeVanilla, 10*time.Second), run(ModeVanilla, 40*time.Second)
+	skp10, skp40 := run(ModeSkipper, 10*time.Second), run(ModeSkipper, 40*time.Second)
+	vanGrowth := float64(van40) / float64(van10)
+	skpGrowth := float64(skp40) / float64(skp10)
+	if vanGrowth < 1.5 {
+		t.Fatalf("vanilla growth %.2f, expected sensitivity to S", vanGrowth)
+	}
+	if skpGrowth > 1.2 {
+		t.Fatalf("skipper growth %.2f, expected insensitivity to S", skpGrowth)
+	}
+}

@@ -1,0 +1,119 @@
+package sql
+
+import "strings"
+
+// SelectStmt is the AST of one SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Node // nil when absent
+	GroupBy  []ColumnRef
+	Having   Node
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projection: either * (Star), a bare expression, or an
+// aggregate call; an optional alias names the output column.
+type SelectItem struct {
+	Star bool
+	Agg  string // "", "COUNT", "SUM", "AVG", "MIN", "MAX"
+	// CountStar marks COUNT(*).
+	CountStar bool
+	Expr      Node
+	Alias     string
+}
+
+// TableRef names a relation in FROM, with optional JOIN..ON chaining
+// handled by the parser flattening everything into this list plus WHERE
+// conjuncts.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Node
+	Desc bool
+}
+
+// ColumnRef names a (possibly qualified) column.
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Node is an AST expression node.
+type Node interface{ nodeString() string }
+
+// ColNode references a column.
+type ColNode struct{ Ref ColumnRef }
+
+// LitNode is a literal: Kind is one of "int", "float", "string", "bool",
+// "date".
+type LitNode struct {
+	Kind string
+	Text string
+}
+
+// BinNode is a binary operation: comparison (=, <>, <, <=, >, >=),
+// arithmetic (+, -, *, /), or boolean (AND, OR).
+type BinNode struct {
+	Op   string
+	L, R Node
+}
+
+// NotNode negates a boolean expression.
+type NotNode struct{ E Node }
+
+// BetweenNode is E BETWEEN Lo AND Hi.
+type BetweenNode struct{ E, Lo, Hi Node }
+
+// InNode is E IN (lit, ...).
+type InNode struct {
+	E    Node
+	List []LitNode
+}
+
+// LikeNode is E LIKE 'prefix%' (only prefix patterns are supported).
+type LikeNode struct {
+	E       Node
+	Pattern string
+}
+
+// CaseNode is a searched CASE.
+type CaseNode struct {
+	Whens []CaseWhen
+	Else  Node
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct{ Cond, Then Node }
+
+func (n ColNode) nodeString() string { return n.Ref.String() }
+func (n LitNode) nodeString() string { return n.Text }
+func (n BinNode) nodeString() string {
+	return "(" + n.L.nodeString() + " " + n.Op + " " + n.R.nodeString() + ")"
+}
+func (n NotNode) nodeString() string { return "NOT " + n.E.nodeString() }
+func (n BetweenNode) nodeString() string {
+	return n.E.nodeString() + " BETWEEN " + n.Lo.nodeString() + " AND " + n.Hi.nodeString()
+}
+func (n InNode) nodeString() string {
+	parts := make([]string, len(n.List))
+	for i, l := range n.List {
+		parts[i] = l.Text
+	}
+	return n.E.nodeString() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+func (n LikeNode) nodeString() string { return n.E.nodeString() + " LIKE '" + n.Pattern + "'" }
+func (n CaseNode) nodeString() string { return "CASE ... END" }

@@ -1,0 +1,39 @@
+package sql_test
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+// A SQL statement is planned against a tenant's catalog and evaluated;
+// the same spec drives the vanilla engine and Skipper's MJoin.
+func ExamplePlanner() {
+	ds := workload.TPCH(0, workload.TPCHConfig{SF: 4, RowsPerObject: 20, Seed: 1})
+	planner := &sql.Planner{Catalog: ds.Catalog}
+	spec, err := planner.Plan(`
+		SELECT r_name, COUNT(*) AS nations
+		FROM region, nation
+		WHERE n_regionkey = r_regionkey
+		GROUP BY r_name
+		ORDER BY r_name`)
+	if err != nil {
+		fmt.Println("plan error:", err)
+		return
+	}
+	rows, err := workload.Evaluate(ds, spec)
+	if err != nil {
+		fmt.Println("run error:", err)
+		return
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	// Output:
+	// (AFRICA, 5)
+	// (AMERICA, 5)
+	// (ASIA, 5)
+	// (EUROPE, 5)
+	// (MIDDLE EAST, 5)
+}

@@ -1,0 +1,543 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	p.acceptSymbol(";")
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.pos++
+		return t.text, nil
+	}
+	// DATE is a keyword (DATE 'lit') but also a common table name (SSB's
+	// date dimension); accept it as an identifier in name position.
+	if t := p.peek(); t.kind == tokKeyword && t.text == "DATE" {
+		p.pos++
+		return "date", nil
+	}
+	return "", p.errorf("expected identifier, got %q", p.peek().text)
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(stmt); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = conjoin(stmt.Where, w)
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, ref)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, p.errorf("LIMIT expects a number, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+// parseFrom handles "FROM t1 [alias], t2 ..." and "FROM t1 JOIN t2 ON
+// cond ..." by flattening join conditions into WHERE conjuncts.
+func (p *parser) parseFrom(stmt *SelectStmt) error {
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return err
+	}
+	stmt.From = append(stmt.From, ref)
+	for {
+		if p.acceptSymbol(",") {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return err
+			}
+			stmt.From = append(stmt.From, ref)
+			continue
+		}
+		p.acceptKeyword("INNER")
+		if p.acceptKeyword("JOIN") {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return err
+			}
+			stmt.From = append(stmt.From, ref)
+			if err := p.expectKeyword("ON"); err != nil {
+				return err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			stmt.Where = conjoin(stmt.Where, cond)
+			continue
+		}
+		return nil
+	}
+}
+
+func conjoin(a, b Node) Node {
+	if a == nil {
+		return b
+	}
+	return BinNode{Op: "AND", L: a, R: b}
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.acceptKeyword("AS") {
+		ref.Alias, err = p.expectIdent()
+		return ref, err
+	}
+	if t := p.peek(); t.kind == tokIdent {
+		ref.Alias = t.text
+		p.pos++
+	}
+	return ref, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	if t := p.peek(); t.kind == tokKeyword {
+		switch t.text {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.pos++
+			if err := p.expectSymbol("("); err != nil {
+				return SelectItem{}, err
+			}
+			item := SelectItem{Agg: t.text}
+			if t.text == "COUNT" && p.acceptSymbol("*") {
+				item.CountStar = true
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Expr = e
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = p.parseAlias()
+			return item, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Expr: e, Alias: p.parseAlias()}, nil
+}
+
+func (p *parser) parseAlias() string {
+	if p.acceptKeyword("AS") {
+		if t := p.peek(); t.kind == tokIdent {
+			p.pos++
+			return t.text
+		}
+		return ""
+	}
+	if t := p.peek(); t.kind == tokIdent {
+		p.pos++
+		return t.text
+	}
+	return ""
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: name, Column: col}, nil
+	}
+	return ColumnRef{Column: name}, nil
+}
+
+// Expression grammar: or → and → not → predicate → additive →
+// multiplicative → primary.
+
+func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinNode{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = BinNode{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotNode{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Node, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return BinNode{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenNode{E: l, Lo: lo, Hi: hi}, nil
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []LitNode
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, lit)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return InNode{E: l, List: list}, nil
+	}
+	if p.acceptKeyword("LIKE") {
+		t := p.next()
+		if t.kind != tokString {
+			return nil, p.errorf("LIKE expects a string pattern")
+		}
+		return LikeNode{E: l, Pattern: t.text}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Node, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Node, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.pos++
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectSymbol(")")
+	case t.kind == tokNumber || t.kind == tokString:
+		return p.parseLiteralNode()
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.pos++
+		return LitNode{Kind: "bool", Text: t.text}, nil
+	case t.kind == tokKeyword && t.text == "DATE":
+		p.pos++
+		s := p.next()
+		if s.kind != tokString {
+			return nil, p.errorf("DATE expects a string literal")
+		}
+		return LitNode{Kind: "date", Text: s.text}, nil
+	case t.kind == tokKeyword && t.text == "CASE":
+		return p.parseCase()
+	case t.kind == tokIdent:
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		return ColNode{Ref: ref}, nil
+	default:
+		return nil, p.errorf("unexpected token %q", t.text)
+	}
+}
+
+func (p *parser) parseCase() (Node, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	var node CaseNode
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Whens = append(node.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(node.Whens) == 0 {
+		return nil, p.errorf("CASE needs at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = e
+	}
+	return node, p.expectKeyword("END")
+}
+
+func (p *parser) parseLiteral() (LitNode, error) {
+	n, err := p.parseLiteralNode()
+	if err != nil {
+		return LitNode{}, err
+	}
+	lit, ok := n.(LitNode)
+	if !ok {
+		return LitNode{}, p.errorf("expected literal")
+	}
+	return lit, nil
+}
+
+func (p *parser) parseLiteralNode() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if hasDot(t.text) {
+			return LitNode{Kind: "float", Text: t.text}, nil
+		}
+		return LitNode{Kind: "int", Text: t.text}, nil
+	case tokString:
+		return LitNode{Kind: "string", Text: t.text}, nil
+	default:
+		p.pos--
+		return nil, p.errorf("expected literal, got %q", t.text)
+	}
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// --- lexer ---
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a, b2 FROM t WHERE x >= 1.5 AND y = 'it''s' -- comment\n LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ",", "b2", "FROM", "t", "WHERE", "x", ">=", "1.5", "AND", "y", "=", "it's", "LIMIT", "3", ""}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("texts %q", texts)
+	}
+	if kinds[9] != tokNumber || kinds[13] != tokString {
+		t.Fatalf("kinds %v", kinds)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("SELECT a ? b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+// --- parser ---
+
+func TestParseSimple(t *testing.T) {
+	stmt, err := Parse("SELECT a, b FROM t WHERE a > 5 ORDER BY b DESC LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Items) != 2 || len(stmt.From) != 1 || stmt.Limit != 10 {
+		t.Fatalf("%+v", stmt)
+	}
+	if !stmt.OrderBy[0].Desc {
+		t.Fatal("DESC lost")
+	}
+}
+
+func TestParseJoinOnFlattensToWhere(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM a JOIN b ON a.x = b.y WHERE b.z < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.From) != 2 {
+		t.Fatalf("from %v", stmt.From)
+	}
+	cs := conjuncts(stmt.Where)
+	if len(cs) != 2 {
+		t.Fatalf("conjuncts %d", len(cs))
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt, err := Parse("SELECT g, COUNT(*), SUM(x) AS total FROM t GROUP BY g HAVING total > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.Items[1].CountStar || stmt.Items[2].Agg != "SUM" || stmt.Items[2].Alias != "total" {
+		t.Fatalf("%+v", stmt.Items)
+	}
+	if stmt.Having == nil || len(stmt.GroupBy) != 1 {
+		t.Fatalf("%+v", stmt)
+	}
+}
+
+func TestParseCaseInBetween(t *testing.T) {
+	stmt, err := Parse(`SELECT SUM(CASE WHEN p IN ('A','B') THEN 1 ELSE 0 END)
+		FROM t WHERE d BETWEEN '1994-01-01' AND '1994-12-31' AND m LIKE 'MA%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Items[0].Agg != "SUM" {
+		t.Fatalf("%+v", stmt.Items)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",            // no FROM
+		"SELECT a FROM",       // no table
+		"SELECT a FROM t x y", // trailing junk
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t LIMIT x",
+		"SELECT CASE END FROM t",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted %q", q)
+		}
+	}
+}

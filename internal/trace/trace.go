@@ -1,0 +1,189 @@
+// Package trace records structured simulation events — group switches,
+// GET requests, object deliveries, query spans — and renders them as a
+// chronological log or per-tenant summary. The event log is the
+// observability surface of the simulated testbed: experiments assert on
+// aggregated Stats, while humans debug runs by reading the trace.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+const (
+	// KindSwitch is a CSD group switch (From/To in Note as "g1->g2").
+	KindSwitch Kind = iota
+	// KindGet is a GET request arriving at the CSD.
+	KindGet
+	// KindDelivery is an object handed back to a client.
+	KindDelivery
+	// KindQueryStart marks a client beginning a query.
+	KindQueryStart
+	// KindQueryEnd marks query completion.
+	KindQueryEnd
+	// KindNote is free-form.
+	KindNote
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSwitch:
+		return "switch"
+	case KindGet:
+		return "get"
+	case KindDelivery:
+		return "deliver"
+	case KindQueryStart:
+		return "query-start"
+	case KindQueryEnd:
+		return "query-end"
+	default:
+		return "note"
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     time.Duration
+	Kind   Kind
+	Tenant int    // -1 when not tenant-specific
+	Query  string // query id when known
+	Object string // object id when known
+	Group  int    // disk group when known, else -1
+	Note   string
+}
+
+// Log accumulates events. The simulation is single-threaded, so no
+// locking is needed; a nil *Log ignores all records.
+type Log struct {
+	Events []Event
+}
+
+// Add appends an event; safe on a nil receiver.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.Events = append(l.Events, e)
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Events)
+}
+
+// CountByKind tallies events per kind.
+func (l *Log) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	if l == nil {
+		return out
+	}
+	for _, e := range l.Events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Filter returns the events matching the predicate, in order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.Events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes a chronological listing.
+func (l *Log) Render(w io.Writer) {
+	if l == nil {
+		return
+	}
+	for _, e := range l.Events {
+		parts := []string{fmt.Sprintf("%10.1fs  %-11s", e.At.Seconds(), e.Kind)}
+		if e.Tenant >= 0 {
+			parts = append(parts, fmt.Sprintf("t%d", e.Tenant))
+		}
+		if e.Query != "" {
+			parts = append(parts, e.Query)
+		}
+		if e.Object != "" {
+			parts = append(parts, e.Object)
+		}
+		if e.Group >= 0 {
+			parts = append(parts, fmt.Sprintf("g%d", e.Group))
+		}
+		if e.Note != "" {
+			parts = append(parts, e.Note)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+}
+
+// Summary renders per-tenant query spans and device activity counts.
+func (l *Log) Summary() string {
+	if l == nil || len(l.Events) == 0 {
+		return "(empty trace)\n"
+	}
+	var sb strings.Builder
+	counts := l.CountByKind()
+	kinds := make([]Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "%-12s %d\n", k, counts[k])
+	}
+	// Query spans per tenant.
+	type span struct {
+		query      string
+		start, end time.Duration
+		open       bool
+	}
+	spans := make(map[int][]span)
+	for _, e := range l.Events {
+		switch e.Kind {
+		case KindQueryStart:
+			spans[e.Tenant] = append(spans[e.Tenant], span{query: e.Query, start: e.At, open: true})
+		case KindQueryEnd:
+			ss := spans[e.Tenant]
+			for i := len(ss) - 1; i >= 0; i-- {
+				if ss[i].open && ss[i].query == e.Query {
+					ss[i].end = e.At
+					ss[i].open = false
+					break
+				}
+			}
+		}
+	}
+	tenants := make([]int, 0, len(spans))
+	for t := range spans {
+		tenants = append(tenants, t)
+	}
+	sort.Ints(tenants)
+	for _, t := range tenants {
+		for _, s := range spans[t] {
+			if s.open {
+				fmt.Fprintf(&sb, "t%d %-24s %.1fs .. (unfinished)\n", t, s.query, s.start.Seconds())
+			} else {
+				fmt.Fprintf(&sb, "t%d %-24s %.1fs .. %.1fs (%.1fs)\n",
+					t, s.query, s.start.Seconds(), s.end.Seconds(), (s.end - s.start).Seconds())
+			}
+		}
+	}
+	return sb.String()
+}

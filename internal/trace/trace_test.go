@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func secAt(s int) time.Duration { return time.Duration(s) * time.Second }
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(Event{Kind: KindGet})
+	if l.Len() != 0 {
+		t.Fatal("nil log grew")
+	}
+	if got := l.CountByKind(); len(got) != 0 {
+		t.Fatal("nil counts")
+	}
+	if got := l.Filter(func(Event) bool { return true }); got != nil {
+		t.Fatal("nil filter")
+	}
+	var sb strings.Builder
+	l.Render(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("nil render wrote output")
+	}
+	if !strings.Contains(l.Summary(), "empty") {
+		t.Fatal("nil summary")
+	}
+}
+
+func TestAddAndCount(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: secAt(1), Kind: KindGet, Tenant: 0})
+	l.Add(Event{At: secAt(2), Kind: KindGet, Tenant: 1})
+	l.Add(Event{At: secAt(3), Kind: KindSwitch, Tenant: -1})
+	if l.Len() != 3 {
+		t.Fatalf("len %d", l.Len())
+	}
+	c := l.CountByKind()
+	if c[KindGet] != 2 || c[KindSwitch] != 1 {
+		t.Fatalf("counts %v", c)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := &Log{}
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Kind: KindDelivery, Tenant: i % 2})
+	}
+	only1 := l.Filter(func(e Event) bool { return e.Tenant == 1 })
+	if len(only1) != 2 {
+		t.Fatalf("filtered %d", len(only1))
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: secAt(12), Kind: KindGet, Tenant: 3, Query: "t3.q#0", Object: "t3/a/0001", Group: 2})
+	var sb strings.Builder
+	l.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"12.0s", "get", "t3", "t3.q#0", "t3/a/0001", "g2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestSummarySpans(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: secAt(0), Kind: KindQueryStart, Tenant: 0, Query: "q0"})
+	l.Add(Event{At: secAt(5), Kind: KindSwitch, Tenant: -1})
+	l.Add(Event{At: secAt(30), Kind: KindQueryEnd, Tenant: 0, Query: "q0"})
+	l.Add(Event{At: secAt(31), Kind: KindQueryStart, Tenant: 1, Query: "q1"})
+	s := l.Summary()
+	if !strings.Contains(s, "0.0s .. 30.0s (30.0s)") {
+		t.Fatalf("span missing: %s", s)
+	}
+	if !strings.Contains(s, "unfinished") {
+		t.Fatalf("open span missing: %s", s)
+	}
+	if !strings.Contains(s, "switch") {
+		t.Fatalf("kind counts missing: %s", s)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSwitch; k <= KindNote; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The row codec packs a row into a byte slice using the schema as the
+// implicit type descriptor: fixed 8-byte little-endian payloads for numeric
+// kinds and uvarint-length-prefixed bytes for strings. No per-value type
+// tags are written; decoding requires the same schema.
+
+// AppendRow appends the encoding of r (which must match schema s) to dst
+// and returns the extended slice.
+func AppendRow(dst []byte, s *Schema, r Row) ([]byte, error) {
+	if err := s.Validate(r); err != nil {
+		return dst, err
+	}
+	for _, v := range r {
+		switch v.K {
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		case KindFloat64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		default: // int64, date, bool
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRow decodes one row matching schema s from the front of data and
+// returns the row and the remaining bytes.
+func DecodeRow(s *Schema, data []byte) (Row, []byte, error) {
+	r := make(Row, len(s.Cols))
+	for i, c := range s.Cols {
+		switch c.Kind {
+		case KindString:
+			n, sz := binary.Uvarint(data)
+			if sz <= 0 || uint64(len(data)-sz) < n {
+				return nil, data, fmt.Errorf("tuple: truncated string in column %q", c.Name)
+			}
+			r[i] = Value{K: KindString, S: string(data[sz : sz+int(n)])}
+			data = data[sz+int(n):]
+		case KindFloat64:
+			if len(data) < 8 {
+				return nil, data, fmt.Errorf("tuple: truncated float in column %q", c.Name)
+			}
+			r[i] = Value{K: KindFloat64, F: math.Float64frombits(binary.LittleEndian.Uint64(data))}
+			data = data[8:]
+		default:
+			if len(data) < 8 {
+				return nil, data, fmt.Errorf("tuple: truncated int in column %q", c.Name)
+			}
+			r[i] = Value{K: c.Kind, I: int64(binary.LittleEndian.Uint64(data))}
+			data = data[8:]
+		}
+	}
+	return r, data, nil
+}
+
+// EncodeRows encodes a batch of rows: a uvarint count followed by the rows.
+func EncodeRows(s *Schema, rows []Row) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(rows)))
+	var err error
+	for _, r := range rows {
+		out, err = AppendRow(out, s, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DecodeRows decodes a batch previously encoded with EncodeRows.
+func DecodeRows(s *Schema, data []byte) ([]Row, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("tuple: truncated row-batch header")
+	}
+	data = data[sz:]
+	rows := make([]Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, rest, err := DecodeRow(s, data)
+		if err != nil {
+			return nil, fmt.Errorf("tuple: row %d: %w", i, err)
+		}
+		rows = append(rows, r)
+		data = rest
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("tuple: %d trailing bytes after row batch", len(data))
+	}
+	return rows, nil
+}

@@ -1,0 +1,315 @@
+// Package tuple defines the value, row and schema types shared by the
+// storage layer and both query engines, plus a compact binary row codec
+// used by the segment (object) format.
+package tuple
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the supported column types.
+type Kind uint8
+
+const (
+	KindInt64 Kind = iota
+	KindFloat64
+	KindString
+	KindDate // days since 1970-01-01, stored as int64
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	case KindDate:
+		return "date"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed datum. The zero Value is the int64 0.
+type Value struct {
+	K Kind
+	I int64   // int64, date (days), bool (0/1)
+	F float64 // float64
+	S string  // string
+}
+
+// Int returns an int64 Value.
+func Int(v int64) Value { return Value{K: KindInt64, I: v} }
+
+// Float returns a float64 Value.
+func Float(v float64) Value { return Value{K: KindFloat64, F: v} }
+
+// Str returns a string Value.
+func Str(v string) Value { return Value{K: KindString, S: v} }
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value {
+	if v {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// Date returns a date Value for the given civil date.
+func Date(year int, month time.Month, day int) Value {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Value{K: KindDate, I: int64(t.Unix() / 86400)}
+}
+
+// DateFromDays returns a date Value for a raw day count since the epoch.
+func DateFromDays(days int64) Value { return Value{K: KindDate, I: days} }
+
+// AsInt returns the integer payload (int64, date or bool kinds).
+func (v Value) AsInt() int64 { return v.I }
+
+// AsFloat returns the value as a float64, converting integers.
+func (v Value) AsFloat() float64 {
+	if v.K == KindFloat64 {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// AsString returns the string payload.
+func (v Value) AsString() string { return v.S }
+
+// AsBool reports whether a bool Value is true.
+func (v Value) AsBool() bool { return v.I != 0 }
+
+// IsTrue reports whether the value is a true boolean.
+func (v Value) IsTrue() bool { return v.K == KindBool && v.I != 0 }
+
+func (v Value) String() string {
+	switch v.K {
+	case KindInt64:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat64:
+		return fmt.Sprintf("%g", v.F)
+	case KindString:
+		return v.S
+	case KindDate:
+		t := time.Unix(v.I*86400, 0).UTC()
+		return t.Format("2006-01-02")
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values of the same kind: -1, 0 or +1. Comparing
+// values of different kinds compares the numeric representations when both
+// are numeric (int/float/date/bool), otherwise it panics: schema type
+// checking happens at plan-build time, so a mismatch here is a bug.
+func Compare(a, b Value) int {
+	if a.K == b.K {
+		switch a.K {
+		case KindInt64, KindDate, KindBool:
+			return cmpInt(a.I, b.I)
+		case KindFloat64:
+			return cmpFloat(a.F, b.F)
+		case KindString:
+			return strings.Compare(a.S, b.S)
+		}
+	}
+	if a.K != KindString && b.K != KindString {
+		return cmpFloat(a.AsFloat(), b.AsFloat())
+	}
+	panic(fmt.Sprintf("tuple: cannot compare %v and %v", a.K, b.K))
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a 64-bit hash of the value, suitable for hash joins. Values
+// that are Equal hash identically (numeric kinds hash their float64
+// representation only when kinds differ, so int 3 and date 3 are distinct
+// but hash-join keys are always same-kind in practice).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	switch v.K {
+	case KindString:
+		b[0] = 's'
+		h.Write(b[:1])
+		h.Write([]byte(v.S))
+	case KindFloat64:
+		b[0] = 'f'
+		h.Write(b[:1])
+		putUint64(&b, math.Float64bits(v.F))
+		h.Write(b[:])
+	default:
+		b[0] = 'i'
+		h.Write(b[:1])
+		putUint64(&b, uint64(v.I))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func putUint64(b *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Row is an ordered list of values matching a Schema.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns a new row that is the concatenation of r and s.
+func (r Row) Concat(s Row) Row {
+	out := make(Row, 0, len(r)+len(s))
+	out = append(out, r...)
+	out = append(out, s...)
+	return out
+}
+
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Column describes one schema column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of named, typed columns.
+type Schema struct {
+	Cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate names panic.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.byName[c.Name]; dup {
+			panic(fmt.Sprintf("tuple: duplicate column %q", c.Name))
+		}
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// ColIndex returns the position of the named column.
+func (s *Schema) ColIndex(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// MustColIndex returns the position of the named column or panics.
+func (s *Schema) MustColIndex(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("tuple: unknown column %q (have %v)", name, s.ColumnNames()))
+	}
+	return i
+}
+
+// ColumnNames returns the column names in order.
+func (s *Schema) ColumnNames() []string {
+	names := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Concat returns the schema of a join output: the columns of s followed by
+// the columns of t. Name collisions are disambiguated with a "right."
+// prefix on the second operand, matching the executor's join behaviour.
+func (s *Schema) Concat(t *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Cols)+len(t.Cols))
+	cols = append(cols, s.Cols...)
+	for _, c := range t.Cols {
+		if _, dup := s.byName[c.Name]; dup {
+			c.Name = "right." + c.Name
+		}
+		cols = append(cols, c)
+	}
+	return NewSchema(cols...)
+}
+
+// Project returns a schema with only the named columns, in the given order.
+func (s *Schema) Project(names ...string) *Schema {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		cols[i] = s.Cols[s.MustColIndex(n)]
+	}
+	return NewSchema(cols...)
+}
+
+// Validate checks that the row matches the schema arity and kinds.
+func (s *Schema) Validate(r Row) error {
+	if len(r) != len(s.Cols) {
+		return fmt.Errorf("tuple: row arity %d != schema arity %d", len(r), len(s.Cols))
+	}
+	for i, v := range r {
+		if v.K != s.Cols[i].Kind {
+			return fmt.Errorf("tuple: column %q is %v, row has %v", s.Cols[i].Name, s.Cols[i].Kind, v.K)
+		}
+	}
+	return nil
+}
+
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = fmt.Sprintf("%s %s", c.Name, c.Kind)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

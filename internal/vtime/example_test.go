@@ -1,0 +1,34 @@
+package vtime_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// A producer feeds three items to a consumer over a simulated channel;
+// virtual time advances only through Sleep, so the run is deterministic.
+func Example() {
+	sim := vtime.NewSim()
+	ch := vtime.NewChan[string](sim, "items", 0)
+	sim.Spawn("producer", func(p *vtime.Proc) {
+		for _, item := range []string{"a", "b", "c"} {
+			p.Sleep(2 * time.Second)
+			ch.Send(p, item)
+		}
+	})
+	sim.Spawn("consumer", func(p *vtime.Proc) {
+		for i := 0; i < 3; i++ {
+			item := ch.Recv(p)
+			fmt.Printf("%s at %v\n", item, p.Now())
+		}
+	})
+	if err := sim.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// a at 2s
+	// b at 4s
+	// c at 6s
+}

@@ -1,0 +1,22 @@
+package workload
+
+import (
+	"repro/internal/engine"
+	"repro/internal/skipper"
+	"repro/internal/tuple"
+)
+
+// Evaluate runs a query spec locally (no simulation, no costs) against the
+// dataset's in-memory store — handy for result inspection and as the
+// ground truth in tests.
+func Evaluate(ds *Dataset, spec skipper.QuerySpec) ([]tuple.Row, error) {
+	ctx := engine.NewTestCtx(ds.Store)
+	it, err := skipper.BuildPullPlan(ctx, spec.Join)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Shape != nil {
+		it = spec.Shape(it)
+	}
+	return engine.Collect(it)
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/skipper"
+	"repro/internal/sql"
+)
+
+// This file defines additional benchmark queries through the SQL
+// front-end rather than hand-built plans — both to exercise the parser/
+// planner end-to-end and to document the queries in their natural form.
+
+// mustPlan compiles a SQL statement against the catalog.
+func mustPlan(cat *catalog.Catalog, name, query string) skipper.QuerySpec {
+	pl := &sql.Planner{Catalog: cat}
+	spec, err := pl.Plan(query)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %s: %v", name, err))
+	}
+	spec.Name = name
+	return spec
+}
+
+// Q3 is TPC-H Q3 ("shipping priority"): top unshipped orders by potential
+// revenue for one market segment.
+func Q3(cat *catalog.Catalog) skipper.QuerySpec {
+	return mustPlan(cat, "tpch-q3", `
+		SELECT l_orderkey, SUM(l_extendedprice * (1.0 - l_discount)) AS revenue, o_orderdate
+		FROM customer, orders, lineitem
+		WHERE c_mktsegment = 'BUILDING'
+		  AND c_custkey = o_custkey
+		  AND l_orderkey = o_orderkey
+		  AND o_orderdate < '1995-03-15'
+		  AND l_shipdate > '1995-03-15'
+		GROUP BY l_orderkey, o_orderdate
+		ORDER BY revenue DESC
+		LIMIT 10`)
+}
+
+// Q14 is TPC-H Q14 ("promotion effect"): the promo and total revenue for
+// one month of shipments. (The TPC-H percentage is promo/total; this
+// engine has no aggregate division, so both terms are returned.)
+func Q14(cat *catalog.Catalog) skipper.QuerySpec {
+	return mustPlan(cat, "tpch-q14", `
+		SELECT SUM(CASE WHEN p_type LIKE 'TYPE#1%'
+		           THEN l_extendedprice * (1.0 - l_discount) ELSE 0.0 END) AS promo_revenue,
+		       SUM(l_extendedprice * (1.0 - l_discount)) AS total_revenue
+		FROM lineitem, part
+		WHERE l_partkey = p_partkey
+		  AND l_shipdate BETWEEN '1995-09-01' AND '1995-09-30'`)
+}
+
+// SSBQ12 is SSB Q1.2: a tighter month-grain variant of the Q1 flight.
+func SSBQ12(cat *catalog.Catalog) skipper.QuerySpec {
+	return mustPlan(cat, "ssb-q1.2", `
+		SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey
+		  AND d_yearmonthnum = 199401
+		  AND lo_discount BETWEEN 4 AND 6
+		  AND lo_quantity BETWEEN 26 AND 35`)
+}
+
+// SSBQ13 is SSB Q1.3: the week-grain variant.
+func SSBQ13(cat *catalog.Catalog) skipper.QuerySpec {
+	return mustPlan(cat, "ssb-q1.3", `
+		SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey
+		  AND d_weeknuminyear = 6
+		  AND d_year = 1994
+		  AND lo_discount BETWEEN 5 AND 7
+		  AND lo_quantity BETWEEN 26 AND 35`)
+}
+
+// Q6SQL is TPC-H Q6 ("forecasting revenue change") — a single-relation
+// scan with tight predicates, demonstrating scans need no MJoin.
+func Q6SQL(cat *catalog.Catalog) skipper.QuerySpec {
+	return mustPlan(cat, "tpch-q6", `
+		SELECT SUM(l_extendedprice * l_discount) AS revenue
+		FROM lineitem
+		WHERE l_shipdate BETWEEN '1994-01-01' AND '1994-12-31'
+		  AND l_discount BETWEEN 0.02 AND 0.04
+		  AND l_quantity < 24`)
+}
