@@ -42,15 +42,17 @@ type GroupCol struct {
 }
 
 // HashAgg is a blocking hash aggregation with deterministic (sorted by
-// group key) output order.
+// group key) output order. The child is drained batch-at-a-time.
 type HashAgg struct {
 	child  Iterator
+	bchild BatchIterator
 	groups []GroupCol
 	aggs   []AggSpec
 	schema *tuple.Schema
 
 	out []tuple.Row
 	idx int
+	ob  *tuple.Batch
 }
 
 // NewHashAgg builds a grouped aggregation. With no group columns it
@@ -63,7 +65,7 @@ func NewHashAgg(child Iterator, groups []GroupCol, aggs []AggSpec) *HashAgg {
 	for _, a := range aggs {
 		cols = append(cols, tuple.Column{Name: a.Name, Kind: aggOutputKind(a)})
 	}
-	return &HashAgg{child: child, groups: groups, aggs: aggs, schema: tuple.NewSchema(cols...)}
+	return &HashAgg{child: child, bchild: AsBatch(child), groups: groups, aggs: aggs, schema: tuple.NewSchema(cols...)}
 }
 
 // aggOutputKind: COUNT yields int64, SUM/AVG yield float64, MIN/MAX yield
@@ -92,21 +94,11 @@ type accum struct {
 	seen   []bool
 }
 
-// Open implements Iterator: drains the child and aggregates.
+// Open implements Iterator: drains the child batch-at-a-time and
+// aggregates.
 func (a *HashAgg) Open() error {
-	if err := a.child.Open(); err != nil {
-		return err
-	}
-	defer a.child.Close()
 	groups := make(map[string]*accum)
-	for {
-		row, ok, err := a.child.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	err := drainBatches(a.bchild, func(row tuple.Row) error {
 		gv := make(tuple.Row, len(a.groups))
 		var kb strings.Builder
 		for i, g := range a.groups {
@@ -133,6 +125,7 @@ func (a *HashAgg) Open() error {
 		for i, spec := range a.aggs {
 			var v tuple.Value
 			if spec.Arg != nil {
+				var err error
 				v, err = spec.Arg.Eval(row)
 				if err != nil {
 					return err
@@ -153,6 +146,10 @@ func (a *HashAgg) Open() error {
 			}
 			acc.seen[i] = true
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	// Global aggregation over zero rows still yields one row of zeros.
 	if len(a.groups) == 0 && len(groups) == 0 {
@@ -203,6 +200,11 @@ func (a *HashAgg) Next() (tuple.Row, bool, error) {
 	r := a.out[a.idx]
 	a.idx++
 	return r, true, nil
+}
+
+// NextBatch implements BatchIterator, sharing the row cursor with Next.
+func (a *HashAgg) NextBatch() (*tuple.Batch, bool, error) {
+	return serveRowSlice(&a.ob, a.schema, a.out, &a.idx)
 }
 
 // Close implements Iterator.

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/segment"
 	"repro/internal/tuple"
 )
 
@@ -86,4 +88,154 @@ func BenchmarkSort10k(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Row vs batch execution benchmarks ---
+//
+// The same physical plans driven through the two protocols: the row path
+// pulls one tuple per Iterator.Next call (via the thin row cursor over the
+// batched core), the batch path moves DefaultBatchSize rows per
+// BatchIterator.NextBatch call.
+
+// drainRows drives a plan row-at-a-time through the Iterator interface.
+func drainRows(b *testing.B, it Iterator) int {
+	b.Helper()
+	if err := it.Open(); err != nil {
+		b.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// drainBatchwise drives a plan batch-at-a-time through BatchIterator.
+func drainBatchwise(b *testing.B, it Iterator) int {
+	b.Helper()
+	bi := AsBatch(it)
+	if err := bi.Open(); err != nil {
+		b.Fatal(err)
+	}
+	defer bi.Close()
+	n := 0
+	for {
+		batch, ok, err := bi.NextBatch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			return n
+		}
+		n += batch.Len()
+	}
+}
+
+// rowOnly hides an operator's batch interface, forcing row-at-a-time flow
+// across the edge above it — the seed engine's Volcano protocol, where
+// every tuple crosses an Iterator.Next interface call.
+type rowOnly struct{ it Iterator }
+
+func (r rowOnly) Open() error                    { return r.it.Open() }
+func (r rowOnly) Next() (tuple.Row, bool, error) { return r.it.Next() }
+func (r rowOnly) Close() error                   { return r.it.Close() }
+func (r rowOnly) Schema() *tuple.Schema          { return r.it.Schema() }
+
+// benchmarkRowVsBatch runs the same plan under both protocols. mkPlan
+// receives an edge wrapper applied between operators: the row variant
+// severs the batch interface at every edge, the batch variant keeps
+// batches flowing end-to-end.
+func benchmarkRowVsBatch(b *testing.B, mkPlan func(edge func(Iterator) Iterator) Iterator, wantRows int) {
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n := drainRows(b, mkPlan(func(it Iterator) Iterator { return rowOnly{it} })); n != wantRows {
+				b.Fatalf("rows %d, want %d", n, wantRows)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n := drainBatchwise(b, mkPlan(func(it Iterator) Iterator { return it })); n != wantRows {
+				b.Fatalf("rows %d, want %d", n, wantRows)
+			}
+		}
+	})
+}
+
+func BenchmarkRowVsBatchFilter(b *testing.B) {
+	rows, sch := benchRows(10000)
+	pred := expr.ColGE(sch, "k", tuple.Int(500))
+	benchmarkRowVsBatch(b, func(edge func(Iterator) Iterator) Iterator {
+		return NewFilter(edge(NewValues(sch, rows)), pred)
+	}, 5000)
+}
+
+func BenchmarkRowVsBatchJoin(b *testing.B) {
+	rows, sch := benchRows(10000)
+	benchmarkRowVsBatch(b, func(edge func(Iterator) Iterator) Iterator {
+		return JoinOn(edge(NewValues(sch, rows)), edge(NewValues(sch, rows)), [][2]string{{"k", "k"}})
+	}, 100000)
+}
+
+// benchJoinAggDataset builds a multi-segment star join: a fact table of
+// 40k rows across 8 segments and a dimension of 1k rows across 2
+// segments, backed by an in-memory fetcher.
+func benchJoinAggDataset() (*Ctx, *catalog.TableMeta, *catalog.TableMeta) {
+	factSch := tuple.NewSchema(
+		tuple.Column{Name: "f_id", Kind: tuple.KindInt64},
+		tuple.Column{Name: "f_dim", Kind: tuple.KindInt64},
+		tuple.Column{Name: "f_val", Kind: tuple.KindFloat64},
+	)
+	dimSch := tuple.NewSchema(
+		tuple.Column{Name: "d_id", Kind: tuple.KindInt64},
+		tuple.Column{Name: "d_grp", Kind: tuple.KindInt64},
+	)
+	factRows := make([]tuple.Row, 40000)
+	for i := range factRows {
+		factRows[i] = tuple.Row{tuple.Int(int64(i)), tuple.Int(int64(i % 1000)), tuple.Float(float64(i % 97))}
+	}
+	dimRows := make([]tuple.Row, 1000)
+	for i := range dimRows {
+		dimRows[i] = tuple.Row{tuple.Int(int64(i)), tuple.Int(int64(i % 10))}
+	}
+	store := make(map[segment.ObjectID]*segment.Segment)
+	cat := catalog.New(0)
+	factSegs := segment.Split(0, "fact", factRows, 5000, 1e9)
+	dimSegs := segment.Split(0, "dim", dimRows, 500, 1e9)
+	for _, sg := range factSegs {
+		store[sg.ID] = sg
+	}
+	for _, sg := range dimSegs {
+		store[sg.ID] = sg
+	}
+	fact := cat.MustAddTable("fact", factSch, factSegs)
+	dim := cat.MustAddTable("dim", dimSch, dimSegs)
+	return NewTestCtx(store), fact, dim
+}
+
+// BenchmarkRowVsBatchJoinAgg is the acceptance workload: a multi-segment
+// scan → filter → hash join → grouped aggregation pipeline, row path vs
+// batch path.
+func BenchmarkRowVsBatchJoinAgg(b *testing.B) {
+	ctx, fact, dim := benchJoinAggDataset()
+	mkPlan := func(edge func(Iterator) Iterator) Iterator {
+		scanF := NewFilter(edge(NewSeqScan(ctx, fact)), expr.ColGE(fact.Schema, "f_id", tuple.Int(1000)))
+		join := JoinOn(edge(scanF), edge(NewSeqScan(ctx, dim)), [][2]string{{"f_dim", "d_id"}})
+		return NewHashAgg(edge(join),
+			[]GroupCol{{Name: "d_grp", Kind: tuple.KindInt64, E: expr.Bind(join.Schema(), "d_grp")}},
+			[]AggSpec{
+				{Kind: AggSum, Arg: expr.Bind(join.Schema(), "f_val"), Name: "s"},
+				{Kind: AggCount, Name: "n"},
+			})
+	}
+	benchmarkRowVsBatch(b, mkPlan, 10)
 }

@@ -46,7 +46,7 @@ func (m MapFetcher) Fetch(id segment.ObjectID) (*segment.Segment, error) {
 	return sg, nil
 }
 
-// Costs carges virtual processing time. ProcessPerObject is the per-1-GB-
+// Costs charges virtual processing time. ProcessPerObject is the per-1-GB-
 // segment query-processing cost; the paper's Table 3 implies ≈7.14 s
 // (407 s of query execution over 57 objects).
 type Costs struct {
@@ -82,8 +82,13 @@ type Iterator interface {
 	Schema() *tuple.Schema
 }
 
-// Collect fully drains an iterator and returns all rows.
+// Collect fully drains an iterator and returns all rows. Batch-native
+// operators are drained batch-at-a-time; row-only iterators fall back to
+// the classic pull loop.
 func Collect(it Iterator) ([]tuple.Row, error) {
+	if bi, ok := it.(BatchIterator); ok {
+		return CollectBatches(bi)
+	}
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
@@ -102,7 +107,11 @@ func Collect(it Iterator) ([]tuple.Row, error) {
 }
 
 // SeqScan reads a relation segment by segment, in catalog order — the
-// strict plan-order pull that defeats CSD scheduling.
+// strict plan-order pull that defeats CSD scheduling. It is batch-native:
+// NextBatch copies up to DefaultBatchSize rows of the current segment into
+// a reused columnar batch; Next serves single rows off the same segment
+// cursor, so mixing the two protocols stays consistent and per-segment
+// cost charges are identical on both paths.
 type SeqScan struct {
 	ctx   *Ctx
 	table *catalog.TableMeta
@@ -110,6 +119,7 @@ type SeqScan struct {
 	segIdx int
 	rows   []tuple.Row
 	rowIdx int
+	out    *tuple.Batch
 }
 
 // NewSeqScan builds a sequential scan over the table.
@@ -126,15 +136,16 @@ func (s *SeqScan) Open() error {
 	return nil
 }
 
-// Next implements Iterator.
-func (s *SeqScan) Next() (tuple.Row, bool, error) {
+// loadSegment advances to the next segment holding unread rows, charging
+// the per-segment processing cost per fetch. ok=false signals exhaustion.
+func (s *SeqScan) loadSegment() (ok bool, err error) {
 	for s.rowIdx >= len(s.rows) {
 		if s.segIdx >= len(s.table.Objects) {
-			return nil, false, nil
+			return false, nil
 		}
 		sg, err := s.ctx.Fetch.Fetch(s.table.Objects[s.segIdx])
 		if err != nil {
-			return nil, false, err
+			return false, err
 		}
 		s.segIdx++
 		s.rows, s.rowIdx = sg.Rows, 0
@@ -142,9 +153,29 @@ func (s *SeqScan) Next() (tuple.Row, bool, error) {
 		// consumed.
 		s.ctx.Clock.Sleep(s.ctx.Costs.ProcessPerObject)
 	}
+	return true, nil
+}
+
+// Next implements Iterator.
+func (s *SeqScan) Next() (tuple.Row, bool, error) {
+	ok, err := s.loadSegment()
+	if !ok {
+		return nil, false, err
+	}
 	row := s.rows[s.rowIdx]
 	s.rowIdx++
 	return row, true, nil
+}
+
+// NextBatch implements BatchIterator. Batches never span a segment
+// boundary, so early termination (e.g. under a LIMIT) fetches exactly the
+// segments the row path would.
+func (s *SeqScan) NextBatch() (*tuple.Batch, bool, error) {
+	ok, err := s.loadSegment()
+	if !ok {
+		return nil, false, err
+	}
+	return serveRowSlice(&s.out, s.table.Schema, s.rows, &s.rowIdx)
 }
 
 // Close implements Iterator.

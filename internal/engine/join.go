@@ -11,16 +11,31 @@ import (
 // side. This is the classical engine behaviour the paper contrasts with
 // MJoin: the build side is pulled in its entirety before the first probe
 // tuple is requested, pinning the storage access order to the plan shape.
+//
+// Both sides move batch-at-a-time: the build side is hashed with one
+// vectorized pass per batch, and probe batches are hashed up front so the
+// inner match loop does no hashing at all.
 type HashJoin struct {
 	left, right         Iterator
+	bleft, bright       BatchIterator
 	leftKeys, rightKeys []int
 	schema              *tuple.Schema
 
-	table map[uint64][]tuple.Row
-	// current probe matches being emitted
-	matches  []tuple.Row
-	matchIdx int
-	probeRow tuple.Row
+	// table maps key hash -> indices into buildRows.
+	table     map[uint64][]int32
+	buildRows []tuple.Row
+
+	// probe-side cursor state
+	probeBatch  *tuple.Batch
+	probeHashes []uint64
+	probeIdx    int
+	probeRow    tuple.Row
+	matches     []int32
+	matchIdx    int
+
+	out    *tuple.Batch
+	outBuf tuple.Row
+	cur    rowCursor
 }
 
 // NewHashJoin joins left and right on equality of the given key columns
@@ -31,6 +46,7 @@ func NewHashJoin(left, right Iterator, leftKeys, rightKeys []int) *HashJoin {
 	}
 	return &HashJoin{
 		left: left, right: right,
+		bleft: AsBatch(left), bright: AsBatch(right),
 		leftKeys: leftKeys, rightKeys: rightKeys,
 		schema: left.Schema().Concat(right.Schema()),
 	}
@@ -50,15 +66,6 @@ func JoinOn(left, right Iterator, on [][2]string) *HashJoin {
 // Schema implements Iterator.
 func (j *HashJoin) Schema() *tuple.Schema { return j.schema }
 
-// hashKeys hashes the key columns of a row.
-func hashKeys(row tuple.Row, keys []int) uint64 {
-	var h uint64 = 14695981039346656037
-	for _, k := range keys {
-		h = h*1099511628211 ^ row[k].Hash()
-	}
-	return h
-}
-
 func keysEqual(a tuple.Row, ak []int, b tuple.Row, bk []int) bool {
 	for i := range ak {
 		av, bv := a[ak[i]], b[bk[i]]
@@ -69,56 +76,100 @@ func keysEqual(a tuple.Row, ak []int, b tuple.Row, bk []int) bool {
 	return true
 }
 
-// Open implements Iterator: drains the build side.
+// Open implements Iterator: drains the build side batch-at-a-time, hashing
+// each batch's key columns in one vectorized pass.
 func (j *HashJoin) Open() error {
-	if err := j.left.Open(); err != nil {
+	if err := j.bleft.Open(); err != nil {
 		return err
 	}
-	j.table = make(map[uint64][]tuple.Row)
+	j.table = make(map[uint64][]int32)
+	j.buildRows = j.buildRows[:0]
+	var hashes []uint64
 	for {
-		row, ok, err := j.left.Next()
+		b, ok, err := j.bleft.NextBatch()
 		if err != nil {
-			j.left.Close()
+			j.bleft.Close()
 			return err
 		}
 		if !ok {
 			break
 		}
-		h := hashKeys(row, j.leftKeys)
-		j.table[h] = append(j.table[h], row)
+		hashes = b.HashColumns(j.leftKeys, hashes)
+		rows := b.Rows()
+		for i, row := range rows {
+			j.table[hashes[i]] = append(j.table[hashes[i]], int32(len(j.buildRows)))
+			j.buildRows = append(j.buildRows, row)
+		}
 	}
-	if err := j.left.Close(); err != nil {
+	if err := j.bleft.Close(); err != nil {
 		return err
 	}
-	j.matches, j.matchIdx, j.probeRow = nil, 0, nil
-	return j.right.Open()
+	j.probeBatch, j.probeIdx, j.matches, j.matchIdx = nil, 0, nil, 0
+	j.cur.reset()
+	return j.bright.Open()
+}
+
+// loadProbeRow positions the match cursor on probe row i of the current
+// batch.
+func (j *HashJoin) loadProbeRow(i int) {
+	j.probeIdx = i
+	j.probeRow = j.probeBatch.AppendRowTo(j.probeRow[:0], i)
+	j.matches = j.table[j.probeHashes[i]]
+	j.matchIdx = 0
+}
+
+// NextBatch implements BatchIterator: emits up to a batch of joined rows.
+func (j *HashJoin) NextBatch() (*tuple.Batch, bool, error) {
+	if j.out == nil {
+		j.out = tuple.NewBatch(j.schema, DefaultBatchSize)
+	}
+	j.out.Reset()
+	for {
+		for j.probeBatch != nil && j.probeIdx < j.probeBatch.Len() {
+			for j.matchIdx < len(j.matches) {
+				build := j.buildRows[j.matches[j.matchIdx]]
+				j.matchIdx++
+				if !keysEqual(build, j.leftKeys, j.probeRow, j.rightKeys) {
+					continue // hash collision
+				}
+				j.outBuf = append(j.outBuf[:0], build...)
+				j.outBuf = append(j.outBuf, j.probeRow...)
+				j.out.AppendRow(j.outBuf)
+				if j.out.Full() {
+					return j.out, true, nil
+				}
+			}
+			if j.probeIdx+1 < j.probeBatch.Len() {
+				j.loadProbeRow(j.probeIdx + 1)
+			} else {
+				j.probeIdx = j.probeBatch.Len()
+			}
+		}
+		b, ok, err := j.bright.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if j.out.Len() > 0 {
+				return j.out, true, nil
+			}
+			return nil, false, nil
+		}
+		j.probeBatch = b
+		j.probeHashes = b.HashColumns(j.rightKeys, j.probeHashes)
+		j.loadProbeRow(0)
+	}
 }
 
 // Next implements Iterator.
-func (j *HashJoin) Next() (tuple.Row, bool, error) {
-	for {
-		for j.matchIdx < len(j.matches) {
-			build := j.matches[j.matchIdx]
-			j.matchIdx++
-			if keysEqual(build, j.leftKeys, j.probeRow, j.rightKeys) {
-				return build.Concat(j.probeRow), true, nil
-			}
-		}
-		probe, ok, err := j.right.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		j.probeRow = probe
-		j.matches = j.table[hashKeys(probe, j.rightKeys)]
-		j.matchIdx = 0
-	}
-}
+func (j *HashJoin) Next() (tuple.Row, bool, error) { return j.cur.next(j) }
 
 // Close implements Iterator.
 func (j *HashJoin) Close() error {
 	j.table = nil
-	j.matches = nil
-	return j.right.Close()
+	j.buildRows = nil
+	j.probeBatch, j.matches = nil, nil
+	return j.bright.Close()
 }
 
 // BuildJoinTree chains binary hash joins left-deep over the inputs:

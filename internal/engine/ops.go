@@ -7,42 +7,66 @@ import (
 	"repro/internal/tuple"
 )
 
-// Filter passes through rows satisfying a boolean predicate.
+// Filter passes through rows satisfying a boolean predicate. The core is
+// batch-at-a-time: each child batch is evaluated in one pass and survivors
+// are copied into a reused output batch; Next is a thin cursor on top.
 type Filter struct {
-	child Iterator
-	pred  expr.Expr
+	child  Iterator
+	bchild BatchIterator
+	pred   expr.Expr
+
+	out    *tuple.Batch
+	rowBuf tuple.Row
+	cur    rowCursor
 }
 
 // NewFilter wraps child with predicate pred (bound to child's schema).
 func NewFilter(child Iterator, pred expr.Expr) *Filter {
-	return &Filter{child: child, pred: pred}
+	return &Filter{child: child, bchild: AsBatch(child), pred: pred}
 }
 
 // Schema implements Iterator.
 func (f *Filter) Schema() *tuple.Schema { return f.child.Schema() }
 
 // Open implements Iterator.
-func (f *Filter) Open() error { return f.child.Open() }
+func (f *Filter) Open() error {
+	f.cur.reset()
+	return f.bchild.Open()
+}
 
-// Next implements Iterator.
-func (f *Filter) Next() (tuple.Row, bool, error) {
+// NextBatch implements BatchIterator.
+func (f *Filter) NextBatch() (*tuple.Batch, bool, error) {
+	if f.out == nil {
+		f.out = tuple.NewBatch(f.child.Schema(), DefaultBatchSize)
+	}
 	for {
-		row, ok, err := f.child.Next()
+		in, ok, err := f.bchild.NextBatch()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		keep, err := expr.EvalBool(f.pred, row)
-		if err != nil {
-			return nil, false, err
+		f.out.Reset()
+		n := in.Len()
+		for i := 0; i < n; i++ {
+			f.rowBuf = in.AppendRowTo(f.rowBuf[:0], i)
+			keep, err := expr.EvalBool(f.pred, f.rowBuf)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				f.out.AppendBatchRow(in, i)
+			}
 		}
-		if keep {
-			return row, true, nil
+		if f.out.Len() > 0 {
+			return f.out, true, nil
 		}
 	}
 }
 
+// Next implements Iterator.
+func (f *Filter) Next() (tuple.Row, bool, error) { return f.cur.next(f) }
+
 // Close implements Iterator.
-func (f *Filter) Close() error { return f.child.Close() }
+func (f *Filter) Close() error { return f.bchild.Close() }
 
 // ProjectCol is one output column of a projection.
 type ProjectCol struct {
@@ -51,11 +75,18 @@ type ProjectCol struct {
 	E    expr.Expr
 }
 
-// Project computes a new row from expressions over the child's rows.
+// Project computes a new row from expressions over the child's rows,
+// batch-at-a-time.
 type Project struct {
 	child  Iterator
+	bchild BatchIterator
 	cols   []ProjectCol
 	schema *tuple.Schema
+
+	out    *tuple.Batch
+	rowBuf tuple.Row
+	outBuf tuple.Row
+	cur    rowCursor
 }
 
 // NewProject builds a projection.
@@ -64,48 +95,69 @@ func NewProject(child Iterator, cols []ProjectCol) *Project {
 	for i, c := range cols {
 		sc[i] = tuple.Column{Name: c.Name, Kind: c.Kind}
 	}
-	return &Project{child: child, cols: cols, schema: tuple.NewSchema(sc...)}
+	return &Project{child: child, bchild: AsBatch(child), cols: cols, schema: tuple.NewSchema(sc...)}
 }
 
 // Schema implements Iterator.
 func (pr *Project) Schema() *tuple.Schema { return pr.schema }
 
 // Open implements Iterator.
-func (pr *Project) Open() error { return pr.child.Open() }
+func (pr *Project) Open() error {
+	pr.cur.reset()
+	return pr.bchild.Open()
+}
 
-// Next implements Iterator.
-func (pr *Project) Next() (tuple.Row, bool, error) {
-	row, ok, err := pr.child.Next()
+// NextBatch implements BatchIterator.
+func (pr *Project) NextBatch() (*tuple.Batch, bool, error) {
+	in, ok, err := pr.bchild.NextBatch()
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	out := make(tuple.Row, len(pr.cols))
-	for i, c := range pr.cols {
-		v, err := c.E.Eval(row)
-		if err != nil {
-			return nil, false, err
-		}
-		if v.K != c.Kind {
-			return nil, false, fmt.Errorf("engine: projection %q produced %v, declared %v", c.Name, v.K, c.Kind)
-		}
-		out[i] = v
+	if pr.out == nil {
+		pr.out = tuple.NewBatch(pr.schema, DefaultBatchSize)
+		pr.outBuf = make(tuple.Row, len(pr.cols))
 	}
-	return out, true, nil
+	pr.out.Reset()
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		pr.rowBuf = in.AppendRowTo(pr.rowBuf[:0], i)
+		for c, pc := range pr.cols {
+			v, err := pc.E.Eval(pr.rowBuf)
+			if err != nil {
+				return nil, false, err
+			}
+			if v.K != pc.Kind {
+				return nil, false, fmt.Errorf("engine: projection %q produced %v, declared %v", pc.Name, v.K, pc.Kind)
+			}
+			pr.outBuf[c] = v
+		}
+		pr.out.AppendRow(pr.outBuf)
+	}
+	return pr.out, true, nil
 }
 
-// Close implements Iterator.
-func (pr *Project) Close() error { return pr.child.Close() }
+// Next implements Iterator.
+func (pr *Project) Next() (tuple.Row, bool, error) { return pr.cur.next(pr) }
 
-// Limit passes through at most N rows.
+// Close implements Iterator.
+func (pr *Project) Close() error { return pr.bchild.Close() }
+
+// Limit passes through at most N rows. Full child batches within the
+// budget pass through unchanged (zero copy); the batch straddling the
+// limit is truncated into a private buffer.
 type Limit struct {
-	child Iterator
-	n     int
-	seen  int
+	child  Iterator
+	bchild BatchIterator
+	n      int
+	seen   int
+
+	out *tuple.Batch
+	cur rowCursor
 }
 
 // NewLimit wraps child with a row cap.
 func NewLimit(child Iterator, n int) *Limit {
-	return &Limit{child: child, n: n}
+	return &Limit{child: child, bchild: AsBatch(child), n: n}
 }
 
 // Schema implements Iterator.
@@ -114,36 +166,57 @@ func (l *Limit) Schema() *tuple.Schema { return l.child.Schema() }
 // Open implements Iterator.
 func (l *Limit) Open() error {
 	l.seen = 0
-	return l.child.Open()
+	l.cur.reset()
+	return l.bchild.Open()
 }
 
-// Next implements Iterator.
-func (l *Limit) Next() (tuple.Row, bool, error) {
+// NextBatch implements BatchIterator.
+func (l *Limit) NextBatch() (*tuple.Batch, bool, error) {
 	if l.seen >= l.n {
 		return nil, false, nil
 	}
-	row, ok, err := l.child.Next()
+	in, ok, err := l.bchild.NextBatch()
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	l.seen++
-	return row, true, nil
+	take := l.n - l.seen
+	if in.Len() <= take {
+		l.seen += in.Len()
+		return in, true, nil
+	}
+	if l.out == nil {
+		l.out = tuple.NewBatch(l.child.Schema(), DefaultBatchSize)
+	}
+	l.out.Reset()
+	for i := 0; i < take; i++ {
+		l.out.AppendBatchRow(in, i)
+	}
+	l.seen += take
+	return l.out, true, nil
 }
 
+// Next implements Iterator.
+func (l *Limit) Next() (tuple.Row, bool, error) { return l.cur.next(l) }
+
 // Close implements Iterator.
-func (l *Limit) Close() error { return l.child.Close() }
+func (l *Limit) Close() error { return l.bchild.Close() }
 
 // Distinct suppresses duplicate rows (SELECT DISTINCT). It is streaming:
 // each row is remembered by its rendered key, so memory grows with the
 // number of distinct rows seen.
 type Distinct struct {
-	child Iterator
-	seen  map[string]struct{}
+	child  Iterator
+	bchild BatchIterator
+	seen   map[string]struct{}
+
+	out    *tuple.Batch
+	rowBuf tuple.Row
+	cur    rowCursor
 }
 
 // NewDistinct wraps child with duplicate elimination.
 func NewDistinct(child Iterator) *Distinct {
-	return &Distinct{child: child}
+	return &Distinct{child: child, bchild: AsBatch(child)}
 }
 
 // Schema implements Iterator.
@@ -152,29 +225,44 @@ func (d *Distinct) Schema() *tuple.Schema { return d.child.Schema() }
 // Open implements Iterator.
 func (d *Distinct) Open() error {
 	d.seen = make(map[string]struct{})
-	return d.child.Open()
+	d.cur.reset()
+	return d.bchild.Open()
 }
 
-// Next implements Iterator.
-func (d *Distinct) Next() (tuple.Row, bool, error) {
+// NextBatch implements BatchIterator.
+func (d *Distinct) NextBatch() (*tuple.Batch, bool, error) {
+	if d.out == nil {
+		d.out = tuple.NewBatch(d.child.Schema(), DefaultBatchSize)
+	}
 	for {
-		row, ok, err := d.child.Next()
+		in, ok, err := d.bchild.NextBatch()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		key := rowKey(row)
-		if _, dup := d.seen[key]; dup {
-			continue
+		d.out.Reset()
+		n := in.Len()
+		for i := 0; i < n; i++ {
+			d.rowBuf = in.AppendRowTo(d.rowBuf[:0], i)
+			key := rowKey(d.rowBuf)
+			if _, dup := d.seen[key]; dup {
+				continue
+			}
+			d.seen[key] = struct{}{}
+			d.out.AppendBatchRow(in, i)
 		}
-		d.seen[key] = struct{}{}
-		return row, true, nil
+		if d.out.Len() > 0 {
+			return d.out, true, nil
+		}
 	}
 }
+
+// Next implements Iterator.
+func (d *Distinct) Next() (tuple.Row, bool, error) { return d.cur.next(d) }
 
 // Close implements Iterator.
 func (d *Distinct) Close() error {
 	d.seen = nil
-	return d.child.Close()
+	return d.bchild.Close()
 }
 
 // rowKey renders a canonical duplicate-detection key.
@@ -189,11 +277,13 @@ func rowKey(row tuple.Row) string {
 }
 
 // Values is a leaf iterator over in-memory rows; used by tests and by the
-// MJoin result bridge.
+// MJoin result bridge. Next and NextBatch share one cursor, so the two
+// protocols can be mixed safely.
 type Values struct {
 	schema *tuple.Schema
 	rows   []tuple.Row
 	idx    int
+	out    *tuple.Batch
 }
 
 // NewValues builds a constant relation.
@@ -215,6 +305,11 @@ func (v *Values) Next() (tuple.Row, bool, error) {
 	r := v.rows[v.idx]
 	v.idx++
 	return r, true, nil
+}
+
+// NextBatch implements BatchIterator.
+func (v *Values) NextBatch() (*tuple.Batch, bool, error) {
+	return serveRowSlice(&v.out, v.schema, v.rows, &v.idx)
 }
 
 // Close implements Iterator.

@@ -13,18 +13,21 @@ type SortKey struct {
 	Desc bool
 }
 
-// Sort is a blocking in-memory sort with a stable order.
+// Sort is a blocking in-memory sort with a stable order. The child is
+// drained batch-at-a-time; sorted rows are served row-wise or in batches.
 type Sort struct {
-	child Iterator
-	keys  []SortKey
+	child  Iterator
+	bchild BatchIterator
+	keys   []SortKey
 
 	out []tuple.Row
 	idx int
+	ob  *tuple.Batch
 }
 
 // NewSort wraps child with an ORDER BY.
 func NewSort(child Iterator, keys []SortKey) *Sort {
-	return &Sort{child: child, keys: keys}
+	return &Sort{child: child, bchild: AsBatch(child), keys: keys}
 }
 
 // Schema implements Iterator.
@@ -32,24 +35,23 @@ func (s *Sort) Schema() *tuple.Schema { return s.child.Schema() }
 
 // Open implements Iterator: drains and sorts the child.
 func (s *Sort) Open() error {
-	if err := s.child.Open(); err != nil {
+	if err := s.bchild.Open(); err != nil {
 		return err
 	}
-	defer s.child.Close()
+	defer s.bchild.Close()
 	s.out = s.out[:0]
 	for {
-		row, ok, err := s.child.Next()
+		b, ok, err := s.bchild.NextBatch()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		s.out = append(s.out, row)
+		s.out = append(s.out, b.Rows()...)
 	}
 	// Precompute key values to avoid re-evaluating during comparisons.
 	keyVals := make([][]tuple.Value, len(s.out))
-	var evalErr error
 	for i, row := range s.out {
 		kv := make([]tuple.Value, len(s.keys))
 		for j, k := range s.keys {
@@ -84,7 +86,7 @@ func (s *Sort) Open() error {
 	}
 	s.out = sorted
 	s.idx = 0
-	return evalErr
+	return nil
 }
 
 // Next implements Iterator.
@@ -95,6 +97,11 @@ func (s *Sort) Next() (tuple.Row, bool, error) {
 	r := s.out[s.idx]
 	s.idx++
 	return r, true, nil
+}
+
+// NextBatch implements BatchIterator, sharing the row cursor with Next.
+func (s *Sort) NextBatch() (*tuple.Batch, bool, error) {
+	return serveRowSlice(&s.ob, s.child.Schema(), s.out, &s.idx)
 }
 
 // Close implements Iterator.

@@ -5,8 +5,10 @@ import (
 )
 
 // PolicyInfo exposes the state manager's bookkeeping to eviction policies.
-// The state manager has full visibility of cache contents and pending
-// subplans, which is exactly what the paper's greedy heuristics exploit.
+// The state manager has full visibility of cache contents (columnar
+// cache entries with per-object hash tables; see cacheEntry in exec.go)
+// and pending subplans, which is exactly what the paper's greedy
+// heuristics exploit.
 type PolicyInfo interface {
 	// PendingCount returns the number of pending (unexecuted, unpruned)
 	// subplans that include the object.

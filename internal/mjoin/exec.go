@@ -12,31 +12,44 @@ import (
 // join column that attaches the object's relation to the chain, and
 // subplan execution probes those tables directly — no per-subplan
 // rebuild. Relation 0 (the probe root) needs no hash table.
+//
+// Execution is batch-at-a-time: cached rows live in columnar batches
+// whose key column is hashed with one vectorized pass at build time, and
+// probe chains advance level by level over slices of partial tuples, so
+// the per-row work in the inner loop is a table lookup plus an equality
+// check — no hashing, no schema lookups.
+
+// probeChunk bounds how many root rows are expanded through the probe
+// chain at once, keeping intermediate buffers cache-sized.
+const probeChunk = 1024
 
 // cacheEntry is the cached state of one arrived object: its filtered
-// rows plus the hash table on the relation's inbound join column.
+// rows in columnar form plus the hash table on the relation's inbound
+// join column.
 type cacheEntry struct {
-	rows []tuple.Row
-	// table maps hash(join-key) -> rows; nil for relation 0.
-	table map[uint64][]tuple.Row
+	batch *tuple.Batch
+	// table maps hash(join-key) -> row indices into batch; nil for
+	// relation 0.
+	table map[uint64][]int32
 	// keyIdx is the column the table is keyed on (RightCol of the
 	// relation's JoinCond), -1 for relation 0.
 	keyIdx int
 }
 
 // buildEntry constructs the cache entry for an arrival of relation rel.
+// The key column index is precomputed per relation (m.keyIdxByRel), and
+// the whole segment is hashed in one vectorized pass.
 func (m *manager) buildEntry(rel int, rows []tuple.Row) *cacheEntry {
-	e := &cacheEntry{rows: rows, keyIdx: -1}
+	schema := m.q.Relations[rel].Table.Schema
+	e := &cacheEntry{batch: tuple.FromRows(schema, rows), keyIdx: -1}
 	if rel == 0 {
 		return e
 	}
-	jc := m.q.Joins[rel-1]
-	schema := m.q.Relations[rel].Table.Schema
-	e.keyIdx = schema.MustColIndex(jc.RightCol)
-	e.table = make(map[uint64][]tuple.Row, len(rows))
-	for _, r := range rows {
-		h := r[e.keyIdx].Hash()
-		e.table[h] = append(e.table[h], r)
+	e.keyIdx = m.keyIdxByRel[rel]
+	m.hashBuf = e.batch.HashColumns([]int{e.keyIdx}, m.hashBuf)
+	e.table = make(map[uint64][]int32, e.batch.Len())
+	for i, h := range m.hashBuf {
+		e.table[h] = append(e.table[h], int32(i))
 	}
 	return e
 }
@@ -69,7 +82,8 @@ func buildProbePlan(q *Query) (*probePlan, error) {
 }
 
 // executeSubplan joins the subplan's cached segments by probing the
-// per-object hash tables left to right and appends result tuples.
+// per-object hash tables left to right, a batch of partial tuples at a
+// time, and appends result tuples.
 func (m *manager) executeSubplan(sp subplan) {
 	entries := make([]*cacheEntry, len(sp))
 	for ri, si := range sp {
@@ -78,38 +92,59 @@ func (m *manager) executeSubplan(sp subplan) {
 		if !ok {
 			panic(fmt.Sprintf("mjoin: executing subplan with uncached object %v", id))
 		}
-		if len(e.rows) == 0 {
+		if e.batch.Len() == 0 {
 			return // an empty leg cannot produce output
 		}
 		entries[ri] = e
 	}
-	// Depth-first probe without materializing intermediate relations.
-	partial := make(tuple.Row, 0, 64)
-	var rec func(depth int)
-	rec = func(depth int) {
-		if depth == len(entries) {
-			out := make(tuple.Row, len(partial))
-			copy(out, partial)
-			m.rows = append(m.rows, out)
-			return
+	root := entries[0].batch
+	for start := 0; start < root.Len(); start += probeChunk {
+		end := start + probeChunk
+		if end > root.Len() {
+			end = root.Len()
 		}
+		m.probeLevels(entries, root, start, end)
+	}
+}
+
+// probeLevels expands root rows [start, end) through every probe level,
+// appending the surviving full-width tuples to the result set. The
+// partial-tuple and hash buffers are reused across calls and subplans.
+func (m *manager) probeLevels(entries []*cacheEntry, root *tuple.Batch, start, end int) {
+	cur := m.curBuf[:0]
+	for i := start; i < end; i++ {
+		cur = append(cur, root.Row(i))
+	}
+	next := m.nextBuf[:0]
+	for depth := 1; depth < len(entries) && len(cur) > 0; depth++ {
 		e := entries[depth]
 		keyIdx := m.probe.leftIdx[depth-1]
-		key := partial[keyIdx]
-		for _, match := range e.table[key.Hash()] {
-			mv := match[e.keyIdx]
-			if mv.K != key.K || !tuple.Equal(key, mv) {
-				continue // hash collision
+		width := m.probe.width[depth]
+		// One vectorized pass hashes every partial's key; the inner loop
+		// below only looks up and verifies.
+		m.hashBuf = tuple.HashRowsKey(cur, keyIdx, m.hashBuf)
+		keyCol := e.batch.Col(e.keyIdx)
+		next = next[:0]
+		for i, p := range cur {
+			key := p[keyIdx]
+			for _, mi := range e.table[m.hashBuf[i]] {
+				mv := keyCol[mi]
+				if mv.K != key.K || !tuple.Equal(key, mv) {
+					continue // hash collision
+				}
+				combined := make(tuple.Row, 0, len(p)+width)
+				combined = append(combined, p...)
+				combined = e.batch.AppendRowTo(combined, int(mi))
+				next = append(next, combined)
 			}
-			partial = append(partial, match...)
-			rec(depth + 1)
-			partial = partial[:len(partial)-len(match)]
 		}
+		cur, next = next, cur
 	}
-	for _, root := range entries[0].rows {
-		partial = append(partial[:0], root...)
-		rec(1)
-	}
+	m.rows = append(m.rows, cur...)
+	// Hand the (possibly grown) buffers back for reuse. After the swaps,
+	// cur's backing array holds the emitted row headers; the rows slice
+	// copied them, so both arrays are safe to recycle.
+	m.curBuf, m.nextBuf = cur[:0], next[:0]
 }
 
 // filterRows applies the relation's local predicate.

@@ -101,6 +101,16 @@ type manager struct {
 	objIndex map[segment.ObjectID]objRef
 	objByRef map[objRef]segment.ObjectID
 
+	// keyIdxByRel[rel] is the inbound join column of relation rel (the
+	// column its cache-entry hash tables are keyed on), precomputed so
+	// arrivals never resolve schema names; -1 for relation 0.
+	keyIdxByRel []int
+	// hashBuf, curBuf and nextBuf are scratch buffers reused by the
+	// vectorized build and probe passes across arrivals and subplans.
+	hashBuf []uint64
+	curBuf  []tuple.Row
+	nextBuf []tuple.Row
+
 	pending      map[string]subplan
 	pendingCount map[segment.ObjectID]int
 
@@ -158,6 +168,11 @@ func Run(q *Query, cfg Config, src Source) (*Result, error) {
 		pendingCount: make(map[segment.ObjectID]int),
 		cache:        make(map[segment.ObjectID]*cacheEntry),
 		arrivalSeq:   make(map[segment.ObjectID]int),
+	}
+	m.keyIdxByRel = make([]int, len(q.Relations))
+	m.keyIdxByRel[0] = -1
+	for i, jc := range q.Joins {
+		m.keyIdxByRel[i+1] = q.Relations[jc.Rel].Table.Schema.MustColIndex(jc.RightCol)
 	}
 	for ri, rel := range q.Relations {
 		for si, id := range rel.Table.Objects {

@@ -138,7 +138,9 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, c *Cli
 }
 
 // runVanilla executes the query on the pull-based engine over synchronous
-// per-segment GETs.
+// per-segment GETs. The plan (scans, joins and the shaping stage) is
+// drained batch-at-a-time through the engine's batched core; the storage
+// access pattern — one GET per segment in plan order — is unchanged.
 func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, spec QuerySpec) ([]tuple.Row, error) {
 	ctx := &engine.Ctx{
 		Clock: clock,
@@ -179,6 +181,9 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 	c.stats.MJoin = addStats(c.stats.MJoin, res.Stats)
 	rows := res.Rows
 	if spec.Shape != nil {
+		// The MJoin result bridges into the shaping stage as batches, so
+		// post-join filters, aggregation and ORDER BY run batch-at-a-time
+		// in skipper mode too (Collect dispatches to the batch protocol).
 		shaped, err := engine.Collect(spec.Shape(engine.NewValues(res.Schema, res.Rows)))
 		if err != nil {
 			return nil, err

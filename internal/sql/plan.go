@@ -18,7 +18,9 @@ import (
 // a tenant's catalog. The produced skipper.QuerySpec drives both engines:
 // the multi-way join core (relations, local filters, join chain) plus a
 // shaping stage for post-join filters, projection, aggregation, ORDER BY
-// and LIMIT.
+// and LIMIT. The shaping stage is assembled from the engine's batch-native
+// operators, so it executes batch-at-a-time under both ModeVanilla and
+// ModeSkipper regardless of which interface the caller drains.
 type Planner struct {
 	Catalog *catalog.Catalog
 }

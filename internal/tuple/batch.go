@@ -1,0 +1,184 @@
+package tuple
+
+// Batch is a column-oriented buffer of rows with a fixed nominal capacity.
+// It is the unit of data flow in the batched execution core: operators fill
+// a batch column by column (or row by row), hand it downstream, and reuse
+// the buffers on the next cycle. A batch handed to a consumer is valid only
+// until the producer's next NextBatch call, so blocking consumers must copy
+// what they keep (Rows and Row return copies).
+type Batch struct {
+	schema *Schema
+	cols   [][]Value
+	n      int
+}
+
+// NewBatch returns an empty batch over schema with room for capacity rows
+// per column.
+func NewBatch(schema *Schema, capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	cols := make([][]Value, schema.Len())
+	for i := range cols {
+		cols[i] = make([]Value, 0, capacity)
+	}
+	return &Batch{schema: schema, cols: cols}
+}
+
+// FromRows builds a batch holding a copy of rows.
+func FromRows(schema *Schema, rows []Row) *Batch {
+	b := NewBatch(schema, len(rows))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}
+
+// Schema describes the batch's columns.
+func (b *Batch) Schema() *Schema { return b.schema }
+
+// Len returns the number of rows currently in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Cap returns the per-column buffer capacity.
+func (b *Batch) Cap() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	return cap(b.cols[0])
+}
+
+// Full reports whether the batch has reached its capacity.
+func (b *Batch) Full() bool { return b.n >= b.Cap() }
+
+// Reset empties the batch, keeping the column buffers for reuse.
+func (b *Batch) Reset() {
+	for i := range b.cols {
+		b.cols[i] = b.cols[i][:0]
+	}
+	b.n = 0
+}
+
+// Col returns column i's values; the slice aliases the batch buffer.
+func (b *Batch) Col(i int) []Value { return b.cols[i][:b.n] }
+
+// AppendRow copies one row into the batch, growing the buffers if needed.
+func (b *Batch) AppendRow(r Row) {
+	for i := range b.cols {
+		b.cols[i] = append(b.cols[i], r[i])
+	}
+	b.n++
+}
+
+// AppendBatchRow copies row i of src (which must share the schema arity)
+// into the batch.
+func (b *Batch) AppendBatchRow(src *Batch, i int) {
+	for c := range b.cols {
+		b.cols[c] = append(b.cols[c], src.cols[c][i])
+	}
+	b.n++
+}
+
+// Row materializes row i as a freshly allocated Row.
+func (b *Batch) Row(i int) Row {
+	out := make(Row, len(b.cols))
+	for c := range b.cols {
+		out[c] = b.cols[c][i]
+	}
+	return out
+}
+
+// AppendRowTo appends row i's values to dst and returns it; pass a reused
+// scratch slice (dst[:0]) to read rows without allocating.
+func (b *Batch) AppendRowTo(dst Row, i int) Row {
+	for c := range b.cols {
+		dst = append(dst, b.cols[c][i])
+	}
+	return dst
+}
+
+// Rows materializes every row of the batch. The rows share one backing
+// arena but do not alias the batch buffers, so they stay valid after the
+// batch is reset or refilled.
+func (b *Batch) Rows() []Row {
+	if b.n == 0 {
+		return nil
+	}
+	arena := make([]Value, b.n*len(b.cols))
+	out := make([]Row, b.n)
+	for i := 0; i < b.n; i++ {
+		row := arena[i*len(b.cols) : (i+1)*len(b.cols) : (i+1)*len(b.cols)]
+		for c := range b.cols {
+			row[c] = b.cols[c][i]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// FNV-1a parameters shared by the scalar and vectorized hash paths.
+const (
+	hashBasis uint64 = 14695981039346656037
+	hashPrime uint64 = 1099511628211
+)
+
+// HashColumns writes, for each row, the combined hash of the key columns
+// into dst (reusing its backing array when large enough) and returns it.
+// The combination matches HashRowKey, so columnar build sides and row
+// probe sides hash identically. The per-kind dispatch is hoisted out of
+// the row loop: each key column is hashed in one tight pass.
+func (b *Batch) HashColumns(keys []int, dst []uint64) []uint64 {
+	if cap(dst) < b.n {
+		dst = make([]uint64, b.n)
+	} else {
+		dst = dst[:b.n]
+	}
+	for i := range dst {
+		dst[i] = hashBasis
+	}
+	for _, k := range keys {
+		col := b.cols[k][:b.n]
+		switch b.schema.Cols[k].Kind {
+		case KindString:
+			for i := range col {
+				dst[i] = dst[i]*hashPrime ^ hashString(col[i].S)
+			}
+		case KindFloat64:
+			for i := range col {
+				dst[i] = dst[i]*hashPrime ^ hashFloat(col[i].F)
+			}
+		default:
+			for i := range col {
+				dst[i] = dst[i]*hashPrime ^ hashInt(col[i].I)
+			}
+		}
+	}
+	return dst
+}
+
+// HashRowKey combines the hashes of a row's key columns — the scalar
+// counterpart of Batch.HashColumns, used by row-at-a-time probes.
+func HashRowKey(r Row, keys []int) uint64 {
+	h := hashBasis
+	for _, k := range keys {
+		h = h*hashPrime ^ r[k].Hash()
+	}
+	return h
+}
+
+// HashRowsKey hashes one key column across a slice of rows, writing into
+// dst (reused when large enough). It vectorizes the probe side of chains
+// whose partial tuples are materialized rows.
+func HashRowsKey(rows []Row, keyIdx int, dst []uint64) []uint64 {
+	if cap(dst) < len(rows) {
+		dst = make([]uint64, len(rows))
+	} else {
+		dst = dst[:len(rows)]
+	}
+	seed := uint64(hashBasis)
+	seed *= hashPrime // wraps; matches HashRowKey's first step
+	for i, r := range rows {
+		dst[i] = seed ^ r[keyIdx].Hash()
+	}
+	return dst
+}

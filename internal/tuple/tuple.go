@@ -5,7 +5,6 @@ package tuple
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strings"
 	"time"
@@ -163,33 +162,51 @@ func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 // Hash returns a 64-bit hash of the value, suitable for hash joins. Values
 // that are Equal hash identically (numeric kinds hash their float64
 // representation only when kinds differ, so int 3 and date 3 are distinct
-// but hash-join keys are always same-kind in practice).
+// but hash-join keys are always same-kind in practice). The hash is an
+// inline FNV-1a over a kind tag plus the payload bytes, producing the same
+// digest as hash/fnv without the per-call allocation.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	var b [8]byte
 	switch v.K {
 	case KindString:
-		b[0] = 's'
-		h.Write(b[:1])
-		h.Write([]byte(v.S))
+		return hashString(v.S)
 	case KindFloat64:
-		b[0] = 'f'
-		h.Write(b[:1])
-		putUint64(&b, math.Float64bits(v.F))
-		h.Write(b[:])
+		return hashFloat(v.F)
 	default:
-		b[0] = 'i'
-		h.Write(b[:1])
-		putUint64(&b, uint64(v.I))
-		h.Write(b[:])
+		return hashInt(v.I)
 	}
-	return h.Sum64()
 }
 
-func putUint64(b *[8]byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
+// hashTag* are the FNV-1a states after absorbing each kind's tag byte.
+var (
+	hashTagS = hashByte(hashBasis, 's')
+	hashTagF = hashByte(hashBasis, 'f')
+	hashTagI = hashByte(hashBasis, 'i')
+)
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * hashPrime }
+
+func hashString(s string) uint64 {
+	h := hashTagS
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * hashPrime
 	}
+	return h
+}
+
+func hashFloat(f float64) uint64 {
+	return hashUint64(hashTagF, math.Float64bits(f))
+}
+
+func hashInt(i int64) uint64 {
+	return hashUint64(hashTagI, uint64(i))
+}
+
+// hashUint64 folds the eight little-endian bytes of v into an FNV-1a state.
+func hashUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v>>(8*i))&0xff) * hashPrime
+	}
+	return h
 }
 
 // Row is an ordered list of values matching a Schema.
