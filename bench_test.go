@@ -9,6 +9,7 @@ package repro_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -492,6 +493,66 @@ func BenchmarkPullPlanRowVsBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPullPlanParallel drives the full Q5 join chain (the same plan
+// as BenchmarkPullPlanRowVsBatch, batch protocol) at DOP=1 versus
+// DOP=NumCPU: the morsel-driven parallel mode versus the serial batch
+// core on identical data, with the result cardinality cross-checked
+// between the two.
+func BenchmarkPullPlanParallel(b *testing.B) {
+	p := params()
+	ds := workload.TPCH(0, workload.TPCHConfig{SF: p.SF, RowsPerObject: p.RowsPerObject, Seed: p.Seed})
+	q5 := workload.Q5(ds.Catalog)
+	spec := skipper.QuerySpec{Join: &mjoin.Query{ID: q5.Join.ID, Joins: q5.Join.Joins}}
+	for _, r := range q5.Join.Relations {
+		spec.Join.Relations = append(spec.Join.Relations, mjoin.Relation{Table: r.Table})
+	}
+	ctx := engine.NewTestCtx(ds.Store)
+	drainAt := func(b *testing.B, dop int) int {
+		it, err := skipper.BuildPullPlan(ctx, spec.Join)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bi := engine.AsBatch(engine.Parallelize(it, dop))
+		if err := bi.Open(); err != nil {
+			b.Fatal(err)
+		}
+		defer bi.Close()
+		n := 0
+		for {
+			batch, ok, err := bi.NextBatch()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				return n
+			}
+			n += batch.Len()
+		}
+	}
+	dops := []int{1, runtime.NumCPU()}
+	if dops[1] == 1 {
+		dops[1] = 4 // single-core machine: still report the overhead case
+	}
+	want := 0
+	for _, dop := range dops {
+		dop := dop
+		b.Run(fmt.Sprintf("dop-%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := drainAt(b, dop)
+				if n == 0 {
+					b.Fatal("no rows")
+				}
+				if want == 0 {
+					want = n
+				} else if n != want {
+					b.Fatalf("dop %d produced %d rows, serial produced %d", dop, n, want)
+				}
+			}
+		})
+	}
 }
 
 // memSource is an immediate in-memory mjoin.Source.

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -27,6 +28,7 @@ func main() {
 	figArg := flag.String("fig", "all", "comma-separated figure ids (table1,2,3,4,5,7,8,9,table3,10,11a,11b,11c,12) or 'all'")
 	quick := flag.Bool("quick", false, "use the reduced-scale configuration")
 	sf := flag.Int("sf", 0, "override TPC-H scale factor")
+	dop := flag.Int("dop", 0, "per-client query-execution parallelism (0 = number of CPUs, 1 = serial)")
 	format := flag.String("format", "table", "output format: table or csv")
 	showTrace := flag.Bool("trace", false, "run a small 3-client scenario and print its event trace instead of figures")
 	flag.Parse()
@@ -42,6 +44,10 @@ func main() {
 	}
 	if *sf > 0 {
 		p.SF = *sf
+	}
+	p.Parallelism = *dop
+	if p.Parallelism <= 0 {
+		p.Parallelism = runtime.NumCPU()
 	}
 
 	type gen func() (*experiments.Figure, error)

@@ -13,13 +13,19 @@ import (
 type AggKind uint8
 
 const (
+	// AggCount counts input rows (COUNT(*) with a nil Arg).
 	AggCount AggKind = iota
+	// AggSum sums the argument as float64.
 	AggSum
+	// AggMin keeps the smallest argument value seen.
 	AggMin
+	// AggMax keeps the largest argument value seen.
 	AggMax
+	// AggAvg reports sum/count of the argument as float64.
 	AggAvg
 )
 
+// String returns the SQL-ish lowercase name of the aggregate.
 func (k AggKind) String() string {
 	return [...]string{"count", "sum", "min", "max", "avg"}[k]
 }
@@ -28,27 +34,39 @@ func (k AggKind) String() string {
 // ArgKind declares the argument's type for MIN/MAX, whose output kind is
 // data-dependent (it defaults to int64, the zero Kind).
 type AggSpec struct {
-	Kind    AggKind
-	Arg     expr.Expr
-	Name    string
+	// Kind selects the aggregate function.
+	Kind AggKind
+	// Arg is the aggregated expression; nil means COUNT(*).
+	Arg expr.Expr
+	// Name labels the output column.
+	Name string
+	// ArgKind declares Arg's value kind (used by MIN/MAX output typing).
 	ArgKind tuple.Kind
 }
 
 // GroupCol is one grouping column of a HashAgg.
 type GroupCol struct {
+	// Name labels the output column.
 	Name string
+	// Kind is the grouping expression's value kind.
 	Kind tuple.Kind
-	E    expr.Expr
+	// E computes the grouping value from an input row.
+	E expr.Expr
 }
 
 // HashAgg is a blocking hash aggregation with deterministic (sorted by
-// group key) output order. The child is drained batch-at-a-time.
+// group key) output order. The child is drained batch-at-a-time. With
+// Parallelize(dop > 1) the drain runs on the morsel pool: every worker
+// folds its morsels into a private accumulator map and the partial
+// states are merged at drain time, so the sorted output is identical at
+// any DOP.
 type HashAgg struct {
 	child  Iterator
 	bchild BatchIterator
 	groups []GroupCol
 	aggs   []AggSpec
 	schema *tuple.Schema
+	dop    int
 
 	out []tuple.Row
 	idx int
@@ -84,6 +102,9 @@ func aggOutputKind(a AggSpec) tuple.Kind {
 // Schema implements Iterator.
 func (a *HashAgg) Schema() *tuple.Schema { return a.schema }
 
+// setParallelism implements parallelizable.
+func (a *HashAgg) setParallelism(dop int) { a.dop = normDOP(dop) }
+
 // accum is one group's accumulator state.
 type accum struct {
 	key    string
@@ -94,60 +115,147 @@ type accum struct {
 	seen   []bool
 }
 
-// Open implements Iterator: drains the child batch-at-a-time and
-// aggregates.
-func (a *HashAgg) Open() error {
-	groups := make(map[string]*accum)
-	err := drainBatches(a.bchild, func(row tuple.Row) error {
-		gv := make(tuple.Row, len(a.groups))
-		var kb strings.Builder
-		for i, g := range a.groups {
-			v, err := g.E.Eval(row)
+// foldRow folds one input row into the accumulator map. It touches only
+// groups and the row, so each parallel worker can fold into a private
+// map without locking.
+func (a *HashAgg) foldRow(groups map[string]*accum, row tuple.Row) error {
+	gv := make(tuple.Row, len(a.groups))
+	var kb strings.Builder
+	for i, g := range a.groups {
+		v, err := g.E.Eval(row)
+		if err != nil {
+			return err
+		}
+		gv[i] = v
+		fmt.Fprintf(&kb, "%d|%s\x00", v.K, v.String())
+	}
+	key := kb.String()
+	acc, ok := groups[key]
+	if !ok {
+		acc = &accum{
+			key:    key,
+			groupV: gv,
+			counts: make([]int64, len(a.aggs)),
+			sums:   make([]float64, len(a.aggs)),
+			minmax: make([]tuple.Value, len(a.aggs)),
+			seen:   make([]bool, len(a.aggs)),
+		}
+		groups[key] = acc
+	}
+	for i, spec := range a.aggs {
+		var v tuple.Value
+		if spec.Arg != nil {
+			var err error
+			v, err = spec.Arg.Eval(row)
 			if err != nil {
 				return err
 			}
-			gv[i] = v
-			fmt.Fprintf(&kb, "%d|%s\x00", v.K, v.String())
 		}
-		key := kb.String()
-		acc, ok := groups[key]
-		if !ok {
-			acc = &accum{
-				key:    key,
-				groupV: gv,
-				counts: make([]int64, len(a.aggs)),
-				sums:   make([]float64, len(a.aggs)),
-				minmax: make([]tuple.Value, len(a.aggs)),
-				seen:   make([]bool, len(a.aggs)),
+		acc.counts[i]++
+		switch spec.Kind {
+		case AggSum, AggAvg:
+			acc.sums[i] += v.AsFloat()
+		case AggMin:
+			if !acc.seen[i] || tuple.Compare(v, acc.minmax[i]) < 0 {
+				acc.minmax[i] = v
 			}
-			groups[key] = acc
+		case AggMax:
+			if !acc.seen[i] || tuple.Compare(v, acc.minmax[i]) > 0 {
+				acc.minmax[i] = v
+			}
 		}
-		for i, spec := range a.aggs {
-			var v tuple.Value
-			if spec.Arg != nil {
-				var err error
-				v, err = spec.Arg.Eval(row)
-				if err != nil {
-					return err
-				}
+		acc.seen[i] = true
+	}
+	return nil
+}
+
+// mergeAccum folds src into dst: counts and sums add, MIN/MAX compare,
+// and the seen flags union — the partial-state merge of the parallel
+// drain. COUNT and AVG need no special casing because both are derived
+// from counts/sums at emit time.
+func (a *HashAgg) mergeAccum(dst, src *accum) {
+	for i, spec := range a.aggs {
+		dst.counts[i] += src.counts[i]
+		dst.sums[i] += src.sums[i]
+		switch spec.Kind {
+		case AggMin:
+			if src.seen[i] && (!dst.seen[i] || tuple.Compare(src.minmax[i], dst.minmax[i]) < 0) {
+				dst.minmax[i] = src.minmax[i]
 			}
-			acc.counts[i]++
-			switch spec.Kind {
-			case AggSum, AggAvg:
-				acc.sums[i] += v.AsFloat()
-			case AggMin:
-				if !acc.seen[i] || tuple.Compare(v, acc.minmax[i]) < 0 {
-					acc.minmax[i] = v
-				}
-			case AggMax:
-				if !acc.seen[i] || tuple.Compare(v, acc.minmax[i]) > 0 {
-					acc.minmax[i] = v
-				}
+		case AggMax:
+			if src.seen[i] && (!dst.seen[i] || tuple.Compare(src.minmax[i], dst.minmax[i]) > 0) {
+				dst.minmax[i] = src.minmax[i]
 			}
-			acc.seen[i] = true
+		}
+		dst.seen[i] = dst.seen[i] || src.seen[i]
+	}
+}
+
+// drainSerial aggregates the child on the calling goroutine (DOP=1).
+func (a *HashAgg) drainSerial() (map[string]*accum, error) {
+	groups := make(map[string]*accum)
+	err := drainBatches(a.bchild, func(row tuple.Row) error {
+		return a.foldRow(groups, row)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return groups, nil
+}
+
+// drainParallel aggregates the child on the morsel pool: the child is
+// still pulled by the calling goroutine (so Fetcher/Clock stay on it),
+// workers fold private maps, and the partials are merged serially at the
+// end.
+func (a *HashAgg) drainParallel() (map[string]*accum, error) {
+	maps := make([]map[string]*accum, a.dop)
+	scratch := make([]tuple.Row, a.dop)
+	for w := range maps {
+		maps[w] = make(map[string]*accum)
+	}
+	if err := a.bchild.Open(); err != nil {
+		a.bchild.Close()
+		return nil, err
+	}
+	err := runMorsels(a.bchild, a.dop, func(w int, b *tuple.Batch) error {
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			scratch[w] = b.AppendRowTo(scratch[w][:0], i)
+			if err := a.foldRow(maps[w], scratch[w]); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
+	if cerr := a.bchild.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	groups := maps[0]
+	for _, m := range maps[1:] {
+		for key, acc := range m {
+			if dst, ok := groups[key]; ok {
+				a.mergeAccum(dst, acc)
+			} else {
+				groups[key] = acc
+			}
+		}
+	}
+	return groups, nil
+}
+
+// Open implements Iterator: drains the child batch-at-a-time and
+// aggregates, then renders the sorted output rows.
+func (a *HashAgg) Open() error {
+	var groups map[string]*accum
+	var err error
+	if a.dop > 1 {
+		groups, err = a.drainParallel()
+	} else {
+		groups, err = a.drainSerial()
+	}
 	if err != nil {
 		return err
 	}

@@ -45,6 +45,7 @@ func AsBatch(it Iterator) BatchIterator {
 // BatchAdapter lifts a row-only Iterator into the batch protocol by
 // accumulating rows into a reused buffer.
 type BatchAdapter struct {
+	// It is the wrapped row-at-a-time iterator.
 	It  Iterator
 	buf *tuple.Batch
 }
@@ -85,6 +86,7 @@ func (a *BatchAdapter) Schema() *tuple.Schema { return a.It.Schema() }
 // top of the batched core. Rows are materialized per batch, so they stay
 // valid after the underlying buffers are reused.
 type RowAdapter struct {
+	// B is the wrapped batch-native iterator.
 	B   BatchIterator
 	cur rowCursor
 }

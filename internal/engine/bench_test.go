@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/catalog"
@@ -238,4 +239,37 @@ func BenchmarkRowVsBatchJoinAgg(b *testing.B) {
 			})
 	}
 	benchmarkRowVsBatch(b, mkPlan, 10)
+}
+
+// BenchmarkParallelJoinAgg runs the same multi-segment join+agg pipeline
+// end-to-end in batches at several degrees of parallelism — the
+// acceptance comparison for the morsel-driven execution mode. The dop-1
+// sub-bench is the serial PR 1 path; results are checked identical at
+// every DOP.
+func BenchmarkParallelJoinAgg(b *testing.B) {
+	ctx, fact, dim := benchJoinAggDataset()
+	mkPlan := func() Iterator {
+		scanF := NewFilter(NewSeqScan(ctx, fact), expr.ColGE(fact.Schema, "f_id", tuple.Int(1000)))
+		join := JoinOn(scanF, NewSeqScan(ctx, dim), [][2]string{{"f_dim", "d_id"}})
+		return NewHashAgg(join,
+			[]GroupCol{{Name: "d_grp", Kind: tuple.KindInt64, E: expr.Bind(join.Schema(), "d_grp")}},
+			[]AggSpec{
+				{Kind: AggSum, Arg: expr.Bind(join.Schema(), "f_val"), Name: "s"},
+				{Kind: AggCount, Name: "n"},
+			})
+	}
+	dops := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		dops = append(dops, n)
+	}
+	for _, dop := range dops {
+		b.Run(fmt.Sprintf("dop-%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if n := drainBatchwise(b, Parallelize(mkPlan(), dop)); n != 10 {
+					b.Fatalf("rows %d, want 10", n)
+				}
+			}
+		})
+	}
 }

@@ -19,6 +19,7 @@ import (
 // Clock abstracts virtual time so operators can charge processing costs.
 // vtime.Proc satisfies it; tests use a fake.
 type Clock interface {
+	// Sleep advances the clock by d (blocking on a simulated clock).
 	Sleep(d time.Duration)
 }
 
@@ -31,6 +32,7 @@ func (NopClock) Sleep(time.Duration) {}
 // Fetcher retrieves one segment by object id. The vanilla path issues a
 // synchronous GET to the CSD; tests fetch from a map.
 type Fetcher interface {
+	// Fetch retrieves one segment, blocking until it is available.
 	Fetch(id segment.ObjectID) (*segment.Segment, error)
 }
 
@@ -50,6 +52,7 @@ func (m MapFetcher) Fetch(id segment.ObjectID) (*segment.Segment, error) {
 // segment query-processing cost; the paper's Table 3 implies ≈7.14 s
 // (407 s of query execution over 57 objects).
 type Costs struct {
+	// ProcessPerObject is charged once per fetched segment.
 	ProcessPerObject time.Duration
 }
 
@@ -60,8 +63,11 @@ func DefaultCosts() Costs {
 
 // Ctx carries the execution environment through the operator tree.
 type Ctx struct {
+	// Clock receives virtual processing-time charges.
 	Clock Clock
+	// Fetch supplies segments to the scans.
 	Fetch Fetcher
+	// Costs calibrates the charges.
 	Costs Costs
 }
 

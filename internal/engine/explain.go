@@ -55,6 +55,15 @@ func (v *Values) explain() (string, []Iterator) {
 	return fmt.Sprintf("Values (%d rows)", len(v.rows)), nil
 }
 
+// dopSuffix annotates parallel operators in plan displays; serial
+// operators stay unmarked so DOP=1 plans render exactly as before.
+func dopSuffix(dop int) string {
+	if dop > 1 {
+		return fmt.Sprintf(" [dop=%d]", dop)
+	}
+	return ""
+}
+
 func (j *HashJoin) explain() (string, []Iterator) {
 	pairs := make([]string, len(j.leftKeys))
 	for i := range j.leftKeys {
@@ -62,7 +71,7 @@ func (j *HashJoin) explain() (string, []Iterator) {
 			j.left.Schema().Cols[j.leftKeys[i]].Name,
 			j.right.Schema().Cols[j.rightKeys[i]].Name)
 	}
-	return "HashJoin on " + strings.Join(pairs, ", "), []Iterator{j.left, j.right}
+	return "HashJoin on " + strings.Join(pairs, ", ") + dopSuffix(j.dop), []Iterator{j.left, j.right}
 }
 
 func (a *HashAgg) explain() (string, []Iterator) {
@@ -77,7 +86,7 @@ func (a *HashAgg) explain() (string, []Iterator) {
 			parts = append(parts, fmt.Sprintf("%s(*)", spec.Kind))
 		}
 	}
-	return "HashAgg " + strings.Join(parts, ", "), []Iterator{a.child}
+	return "HashAgg " + strings.Join(parts, ", ") + dopSuffix(a.dop), []Iterator{a.child}
 }
 
 func (s *Sort) explain() (string, []Iterator) {

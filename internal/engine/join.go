@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/tuple"
 )
@@ -15,23 +16,45 @@ import (
 // Both sides move batch-at-a-time: the build side is hashed with one
 // vectorized pass per batch, and probe batches are hashed up front so the
 // inner match loop does no hashing at all.
+//
+// With Parallelize(dop > 1) both phases use the morsel pool: build
+// batches are scattered by key hash into per-worker partitions that are
+// then merged into per-partition tables concurrently, and each probe
+// batch is split into row ranges joined by dop workers at once. The
+// output multiset is identical to the serial join's; only row order may
+// differ.
 type HashJoin struct {
 	left, right         Iterator
 	bleft, bright       BatchIterator
 	leftKeys, rightKeys []int
 	schema              *tuple.Schema
+	dop                 int
 
-	// table maps key hash -> indices into buildRows.
+	// table maps key hash -> indices into buildRows (serial build).
 	table     map[uint64][]int32
 	buildRows []tuple.Row
 
-	// probe-side cursor state
+	// Parallel build state: partition p holds the build rows whose key
+	// hash satisfies h % len(partRows) == p, with partTables[p] mapping
+	// hash -> indices into partRows[p].
+	partRows   [][]tuple.Row
+	partTables []map[uint64][]int32
+
+	// probe-side cursor state (serial probe)
 	probeBatch  *tuple.Batch
 	probeHashes []uint64
 	probeIdx    int
 	probeRow    tuple.Row
 	matches     []int32
 	matchIdx    int
+
+	// Parallel probe output: per-worker reused columnar buffers plus the
+	// queue of non-empty ones awaiting service for the current probe
+	// batch. A queued buffer is only reset after the whole queue drains
+	// and the next probe batch arrives, honoring the batch-validity
+	// contract.
+	parOut   []*tuple.Batch
+	parQueue []*tuple.Batch
 
 	out    *tuple.Batch
 	outBuf tuple.Row
@@ -66,6 +89,9 @@ func JoinOn(left, right Iterator, on [][2]string) *HashJoin {
 // Schema implements Iterator.
 func (j *HashJoin) Schema() *tuple.Schema { return j.schema }
 
+// setParallelism implements parallelizable.
+func (j *HashJoin) setParallelism(dop int) { j.dop = normDOP(dop) }
+
 func keysEqual(a tuple.Row, ak []int, b tuple.Row, bk []int) bool {
 	for i := range ak {
 		av, bv := a[ak[i]], b[bk[i]]
@@ -82,17 +108,38 @@ func (j *HashJoin) Open() error {
 	if err := j.bleft.Open(); err != nil {
 		return err
 	}
+	var buildErr error
+	if j.dop > 1 {
+		buildErr = j.buildParallel()
+	} else {
+		buildErr = j.buildSerial()
+	}
+	if buildErr != nil {
+		j.bleft.Close()
+		return buildErr
+	}
+	if err := j.bleft.Close(); err != nil {
+		return err
+	}
+	j.probeBatch, j.probeIdx, j.matches, j.matchIdx = nil, 0, nil, 0
+	j.parQueue = nil
+	j.cur.reset()
+	return j.bright.Open()
+}
+
+// buildSerial is the DOP=1 build: one goroutine hashes and inserts every
+// build batch.
+func (j *HashJoin) buildSerial() error {
 	j.table = make(map[uint64][]int32)
 	j.buildRows = j.buildRows[:0]
 	var hashes []uint64
 	for {
 		b, ok, err := j.bleft.NextBatch()
 		if err != nil {
-			j.bleft.Close()
 			return err
 		}
 		if !ok {
-			break
+			return nil
 		}
 		hashes = b.HashColumns(j.leftKeys, hashes)
 		rows := b.Rows()
@@ -101,12 +148,89 @@ func (j *HashJoin) Open() error {
 			j.buildRows = append(j.buildRows, row)
 		}
 	}
-	if err := j.bleft.Close(); err != nil {
+}
+
+// buildPart is one worker's slice of one hash partition: rows and their
+// precomputed key hashes, appended contention-free during the scatter
+// phase.
+type buildPart struct {
+	hashes []uint64
+	rows   []tuple.Row
+}
+
+// buildParallel is the DOP>1 build. Phase 1 scatters: the morsel pool
+// hashes each build batch and spreads its rows over P = 4*dop hash
+// partitions, each worker writing only its own partition slices. Phase 2
+// merges: workers claim whole partitions and fuse the per-worker slices
+// into that partition's table, so no two goroutines ever touch the same
+// map.
+func (j *HashJoin) buildParallel() error {
+	numParts := 4 * j.dop
+	parts := make([][]buildPart, j.dop)
+	for w := range parts {
+		parts[w] = make([]buildPart, numParts)
+	}
+	hashBufs := make([][]uint64, j.dop)
+	err := runMorsels(j.bleft, j.dop, func(w int, b *tuple.Batch) error {
+		hashBufs[w] = b.HashColumns(j.leftKeys, hashBufs[w])
+		rows := b.Rows()
+		mine := parts[w]
+		for i, row := range rows {
+			h := hashBufs[w][i]
+			p := &mine[int(h%uint64(numParts))]
+			p.hashes = append(p.hashes, h)
+			p.rows = append(p.rows, row)
+		}
+		return nil
+	})
+	if err != nil {
 		return err
 	}
-	j.probeBatch, j.probeIdx, j.matches, j.matchIdx = nil, 0, nil, 0
-	j.cur.reset()
-	return j.bright.Open()
+	j.partRows = make([][]tuple.Row, numParts)
+	j.partTables = make([]map[uint64][]int32, numParts)
+	total := 0
+	for w := range parts {
+		for p := range parts[w] {
+			total += len(parts[w][p].rows)
+		}
+	}
+	mergeStripe := func(w, stride int) {
+		for p := w; p < numParts; p += stride {
+			n := 0
+			for ww := range parts {
+				n += len(parts[ww][p].rows)
+			}
+			if n == 0 {
+				continue
+			}
+			rows := make([]tuple.Row, 0, n)
+			table := make(map[uint64][]int32, n)
+			for ww := range parts {
+				bp := &parts[ww][p]
+				for i, row := range bp.rows {
+					table[bp.hashes[i]] = append(table[bp.hashes[i]], int32(len(rows)))
+					rows = append(rows, row)
+				}
+			}
+			j.partRows[p], j.partTables[p] = rows, table
+		}
+	}
+	// A small build side is merged inline: spinning up goroutines to
+	// build a few dozen map entries costs more than the maps.
+	if total < DefaultBatchSize {
+		mergeStripe(0, 1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < j.dop; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mergeStripe(w, j.dop)
+		}(w)
+	}
+	wg.Wait()
+	return nil
 }
 
 // loadProbeRow positions the match cursor on probe row i of the current
@@ -120,6 +244,9 @@ func (j *HashJoin) loadProbeRow(i int) {
 
 // NextBatch implements BatchIterator: emits up to a batch of joined rows.
 func (j *HashJoin) NextBatch() (*tuple.Batch, bool, error) {
+	if j.dop > 1 {
+		return j.nextBatchParallel()
+	}
 	if j.out == nil {
 		j.out = tuple.NewBatch(j.schema, DefaultBatchSize)
 	}
@@ -161,6 +288,100 @@ func (j *HashJoin) NextBatch() (*tuple.Batch, bool, error) {
 	}
 }
 
+// nextBatchParallel serves the DOP>1 probe: each probe batch is hashed
+// once, split into contiguous row ranges joined by dop workers at once,
+// and the non-empty per-worker output batches are served one per call,
+// in range order.
+func (j *HashJoin) nextBatchParallel() (*tuple.Batch, bool, error) {
+	for {
+		if len(j.parQueue) > 0 {
+			b := j.parQueue[0]
+			j.parQueue = j.parQueue[1:]
+			return b, true, nil
+		}
+		b, ok, err := j.bright.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		j.probeHashes = b.HashColumns(j.rightKeys, j.probeHashes)
+		j.probeParallel(b)
+	}
+}
+
+// minParallelProbeRows is the probe-batch size below which forking
+// workers costs more than it saves; smaller batches probe inline on the
+// calling goroutine (against the same partitioned tables, so results are
+// unchanged).
+const minParallelProbeRows = 256
+
+// probeParallel joins one probe batch against the partitioned build
+// tables with dop workers over contiguous row ranges. Workers only read
+// the shared batch and tables; each appends matches to its own reused
+// columnar buffer, so steady-state probing allocates nothing.
+func (j *HashJoin) probeParallel(b *tuple.Batch) {
+	if j.parOut == nil {
+		j.parOut = make([]*tuple.Batch, j.dop)
+		for w := range j.parOut {
+			j.parOut[w] = tuple.NewBatch(j.schema, DefaultBatchSize)
+		}
+	}
+	workers := j.dop
+	if b.Len() < minParallelProbeRows {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	used := 0
+	splitRange(b.Len(), workers, func(part, start, end int) {
+		used++
+		out := j.parOut[part]
+		out.Reset()
+		if workers == 1 {
+			j.probeRange(b, start, end, out)
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j.probeRange(b, start, end, out)
+		}()
+	})
+	wg.Wait()
+	j.parQueue = j.parQueue[:0]
+	for _, out := range j.parOut[:used] {
+		if out.Len() > 0 {
+			j.parQueue = append(j.parQueue, out)
+		}
+	}
+}
+
+// probeRange joins probe rows [start, end) of b into out, reading only
+// the shared batch, hash array and partitioned tables.
+func (j *HashJoin) probeRange(b *tuple.Batch, start, end int, out *tuple.Batch) {
+	numParts := uint64(len(j.partRows))
+	var probeRow, outBuf tuple.Row
+	for i := start; i < end; i++ {
+		h := j.probeHashes[i]
+		p := int(h % numParts)
+		matches := j.partTables[p][h]
+		if len(matches) == 0 {
+			continue
+		}
+		probeRow = b.AppendRowTo(probeRow[:0], i)
+		for _, mi := range matches {
+			build := j.partRows[p][mi]
+			if !keysEqual(build, j.leftKeys, probeRow, j.rightKeys) {
+				continue // hash collision
+			}
+			outBuf = append(outBuf[:0], build...)
+			outBuf = append(outBuf, probeRow...)
+			out.AppendRow(outBuf)
+		}
+	}
+}
+
 // Next implements Iterator.
 func (j *HashJoin) Next() (tuple.Row, bool, error) { return j.cur.next(j) }
 
@@ -168,7 +389,9 @@ func (j *HashJoin) Next() (tuple.Row, bool, error) { return j.cur.next(j) }
 func (j *HashJoin) Close() error {
 	j.table = nil
 	j.buildRows = nil
+	j.partRows, j.partTables = nil, nil
 	j.probeBatch, j.matches = nil, nil
+	j.parOut, j.parQueue = nil, nil
 	return j.bright.Close()
 }
 

@@ -70,9 +70,12 @@ func (f *Filter) Close() error { return f.bchild.Close() }
 
 // ProjectCol is one output column of a projection.
 type ProjectCol struct {
+	// Name labels the output column.
 	Name string
+	// Kind is the declared output kind; Eval results are checked against it.
 	Kind tuple.Kind
-	E    expr.Expr
+	// E computes the output value from an input row.
+	E expr.Expr
 }
 
 // Project computes a new row from expressions over the child's rows,

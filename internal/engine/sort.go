@@ -9,7 +9,9 @@ import (
 
 // SortKey is one ORDER BY term.
 type SortKey struct {
-	E    expr.Expr
+	// E computes the sort value from an input row.
+	E expr.Expr
+	// Desc inverts the order for this key.
 	Desc bool
 }
 

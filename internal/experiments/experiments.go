@@ -39,6 +39,10 @@ type Params struct {
 	CacheObjects int
 	// Seed drives the deterministic data generators.
 	Seed int64
+	// Parallelism is the per-client query-execution worker count (see
+	// skipper.Client.Parallelism). 0 or 1 runs serially. It changes only
+	// real runtime, never the simulated timings the figures report.
+	Parallelism int
 }
 
 // Default returns the paper's configuration.
@@ -184,6 +188,7 @@ func (p Params) run(spec runSpec) (*skipper.RunResult, error) {
 			Catalog:      ds.Catalog,
 			Queries:      qs,
 			CacheObjects: spec.cache,
+			Parallelism:  p.Parallelism,
 		}
 	}
 	cfg := csd.DefaultConfig()

@@ -269,6 +269,7 @@ func (p Params) Figure8Data() (map[string]Figure8Point, error) {
 			clients = append(clients, &skipper.Client{
 				Tenant: t, Mode: mode, Catalog: ds.Catalog,
 				Queries: rep, CacheObjects: p.CacheObjects,
+				Parallelism: p.Parallelism,
 			})
 		}
 		cl := &skipper.Cluster{Clients: clients, Store: store}

@@ -25,6 +25,7 @@ type PolicyInfo interface {
 
 // EvictionPolicy picks which cached object to drop to admit an arrival.
 type EvictionPolicy interface {
+	// Name identifies the policy in stats, traces and benchmarks.
 	Name() string
 	// PickVictim returns one element of cached. cached is non-empty and
 	// ordered by arrival (oldest first).
@@ -39,8 +40,11 @@ type EvictionPolicy interface {
 // favouring star-schema dimension tables.
 type MaxProgress struct{}
 
+// Name implements EvictionPolicy.
 func (MaxProgress) Name() string { return "max-progress" }
 
+// PickVictim implements EvictionPolicy: fewest executable subplans,
+// then fewest pending, then FIFO.
 func (MaxProgress) PickVictim(cached []segment.ObjectID, _ segment.ObjectID, info PolicyInfo) segment.ObjectID {
 	exec := info.ExecutableCounts()
 	victim := cached[0]
@@ -60,8 +64,10 @@ func (MaxProgress) PickVictim(cached []segment.ObjectID, _ segment.ObjectID, inf
 // right now.
 type MaxPending struct{}
 
+// Name implements EvictionPolicy.
 func (MaxPending) Name() string { return "max-pending" }
 
+// PickVictim implements EvictionPolicy: fewest pending subplans wins.
 func (MaxPending) PickVictim(cached []segment.ObjectID, _ segment.ObjectID, info PolicyInfo) segment.ObjectID {
 	victim := cached[0]
 	best := info.PendingCount(victim)
@@ -77,8 +83,10 @@ func (MaxPending) PickVictim(cached []segment.ObjectID, _ segment.ObjectID, info
 // showing that storage-oblivious caching wastes reissues.
 type LRU struct{}
 
+// Name implements EvictionPolicy.
 func (LRU) Name() string { return "lru" }
 
+// PickVictim implements EvictionPolicy: oldest arrival goes first.
 func (LRU) PickVictim(cached []segment.ObjectID, _ segment.ObjectID, info PolicyInfo) segment.ObjectID {
 	victim := cached[0]
 	best := info.ArrivalSeq(victim)

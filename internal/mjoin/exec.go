@@ -2,6 +2,8 @@ package mjoin
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/tuple"
@@ -18,6 +20,13 @@ import (
 // probe chains advance level by level over slices of partial tuples, so
 // the per-row work in the inner loop is a table lookup plus an equality
 // check — no hashing, no schema lookups.
+//
+// With Config.Parallelism > 1 the probeChunk-sized root partitions of a
+// subplan are claimed by a pool of workers, each expanding its chunks
+// through the full probe chain with private scratch buffers against the
+// shared (read-only) cache entries. Per-chunk outputs are stitched back
+// in chunk order, so the result rows are byte-identical to the serial
+// execution's, in the same order, at any DOP.
 
 // probeChunk bounds how many root rows are expanded through the probe
 // chain at once, keeping intermediate buffers cache-sized.
@@ -46,9 +55,10 @@ func (m *manager) buildEntry(rel int, rows []tuple.Row) *cacheEntry {
 		return e
 	}
 	e.keyIdx = m.keyIdxByRel[rel]
-	m.hashBuf = e.batch.HashColumns([]int{e.keyIdx}, m.hashBuf)
+	sc := &m.scratches[0]
+	sc.hashBuf = e.batch.HashColumns([]int{e.keyIdx}, sc.hashBuf)
 	e.table = make(map[uint64][]int32, e.batch.Len())
-	for i, h := range m.hashBuf {
+	for i, h := range sc.hashBuf {
 		e.table[h] = append(e.table[h], int32(i))
 	}
 	return e
@@ -81,9 +91,19 @@ func buildProbePlan(q *Query) (*probePlan, error) {
 	return pp, nil
 }
 
+// probeScratch is one worker's reusable probe-chain state: the hash
+// buffer for the vectorized key pass and the two partial-tuple buffers
+// ping-ponged across chain levels.
+type probeScratch struct {
+	hashBuf []uint64
+	curBuf  []tuple.Row
+	nextBuf []tuple.Row
+}
+
 // executeSubplan joins the subplan's cached segments by probing the
 // per-object hash tables left to right, a batch of partial tuples at a
-// time, and appends result tuples.
+// time, and appends result tuples. With DOP > 1 and more than one chunk
+// of root rows, the chunks run on a worker pool.
 func (m *manager) executeSubplan(sp subplan) {
 	entries := make([]*cacheEntry, len(sp))
 	for ri, si := range sp {
@@ -98,36 +118,66 @@ func (m *manager) executeSubplan(sp subplan) {
 		entries[ri] = e
 	}
 	root := entries[0].batch
-	for start := 0; start < root.Len(); start += probeChunk {
-		end := start + probeChunk
-		if end > root.Len() {
-			end = root.Len()
+	nChunks := (root.Len() + probeChunk - 1) / probeChunk
+	if m.dop <= 1 || nChunks <= 1 {
+		for start := 0; start < root.Len(); start += probeChunk {
+			end := min(start+probeChunk, root.Len())
+			m.probeLevels(entries, root, start, end, &m.scratches[0], &m.rows)
 		}
-		m.probeLevels(entries, root, start, end)
+		return
+	}
+	// Parallel path: workers claim chunk indices off a shared counter and
+	// expand them with private scratch; results land in per-chunk slots
+	// and are appended in chunk order, matching the serial output exactly.
+	results := make([][]tuple.Row, nChunks)
+	var nextChunk atomic.Int32
+	var wg sync.WaitGroup
+	workers := min(m.dop, nChunks)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := &m.scratches[w]
+			for {
+				c := int(nextChunk.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				start := c * probeChunk
+				end := min(start+probeChunk, root.Len())
+				m.probeLevels(entries, root, start, end, sc, &results[c])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, rs := range results {
+		m.rows = append(m.rows, rs...)
 	}
 }
 
 // probeLevels expands root rows [start, end) through every probe level,
-// appending the surviving full-width tuples to the result set. The
-// partial-tuple and hash buffers are reused across calls and subplans.
-func (m *manager) probeLevels(entries []*cacheEntry, root *tuple.Batch, start, end int) {
-	cur := m.curBuf[:0]
+// appending the surviving full-width tuples to *sink. All mutable state
+// lives in sc and sink, so concurrent calls over disjoint chunks with
+// distinct scratches are race-free; entries and the probe plan are only
+// read.
+func (m *manager) probeLevels(entries []*cacheEntry, root *tuple.Batch, start, end int, sc *probeScratch, sink *[]tuple.Row) {
+	cur := sc.curBuf[:0]
 	for i := start; i < end; i++ {
 		cur = append(cur, root.Row(i))
 	}
-	next := m.nextBuf[:0]
+	next := sc.nextBuf[:0]
 	for depth := 1; depth < len(entries) && len(cur) > 0; depth++ {
 		e := entries[depth]
 		keyIdx := m.probe.leftIdx[depth-1]
 		width := m.probe.width[depth]
 		// One vectorized pass hashes every partial's key; the inner loop
 		// below only looks up and verifies.
-		m.hashBuf = tuple.HashRowsKey(cur, keyIdx, m.hashBuf)
+		sc.hashBuf = tuple.HashRowsKey(cur, keyIdx, sc.hashBuf)
 		keyCol := e.batch.Col(e.keyIdx)
 		next = next[:0]
 		for i, p := range cur {
 			key := p[keyIdx]
-			for _, mi := range e.table[m.hashBuf[i]] {
+			for _, mi := range e.table[sc.hashBuf[i]] {
 				mv := keyCol[mi]
 				if mv.K != key.K || !tuple.Equal(key, mv) {
 					continue // hash collision
@@ -140,11 +190,11 @@ func (m *manager) probeLevels(entries []*cacheEntry, root *tuple.Batch, start, e
 		}
 		cur, next = next, cur
 	}
-	m.rows = append(m.rows, cur...)
+	*sink = append(*sink, cur...)
 	// Hand the (possibly grown) buffers back for reuse. After the swaps,
-	// cur's backing array holds the emitted row headers; the rows slice
+	// cur's backing array holds the emitted row headers; the sink slice
 	// copied them, so both arrays are safe to recycle.
-	m.curBuf, m.nextBuf = cur[:0], next[:0]
+	sc.curBuf, sc.nextBuf = cur[:0], next[:0]
 }
 
 // filterRows applies the relation's local predicate.

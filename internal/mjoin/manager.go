@@ -2,6 +2,7 @@ package mjoin
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/engine"
@@ -48,6 +49,11 @@ type Config struct {
 	Costs Costs
 	// MaxCycles bounds request-reissue cycles as a livelock guard.
 	MaxCycles int
+	// Parallelism is the worker count for subplan probe chains: chunks of
+	// probe-root rows are expanded concurrently against the shared cache
+	// entries. 0 or 1 selects the serial path; results are identical (and
+	// identically ordered) at every setting.
+	Parallelism int
 }
 
 // DefaultConfig returns a Config with the paper's defaults for the given
@@ -67,11 +73,11 @@ type Stats struct {
 	Requests         int // GETs issued, including reissues (Fig 11b/c)
 	Cycles           int // request/arrival cycles
 	Arrivals         int // objects received
-	Evictions        int
-	SubplansTotal    int
-	SubplansExecuted int
-	SubplansPruned   int
-	ResultRows       int
+	Evictions        int // cache victims dropped under pressure
+	SubplansTotal    int // subplans enumerated for the query
+	SubplansExecuted int // subplans actually probed
+	SubplansPruned   int // subplans skipped via result-free objects
+	ResultRows       int // join output cardinality
 	// PinnedCycles counts cycles that ran with a designated subplan
 	// pinned — i.e. how often the livelock escape hatch was needed.
 	// Zero on the paper's workloads and delivery orders.
@@ -80,9 +86,12 @@ type Stats struct {
 
 // Result bundles the join output with execution statistics.
 type Result struct {
+	// Schema describes the output rows (all relations concatenated).
 	Schema *tuple.Schema
-	Rows   []tuple.Row
-	Stats  Stats
+	// Rows is the join output, deterministic given the arrival order.
+	Rows []tuple.Row
+	// Stats reports what the execution did.
+	Stats Stats
 }
 
 // objRef locates an object inside the query: relation and segment index.
@@ -105,11 +114,12 @@ type manager struct {
 	// column its cache-entry hash tables are keyed on), precomputed so
 	// arrivals never resolve schema names; -1 for relation 0.
 	keyIdxByRel []int
-	// hashBuf, curBuf and nextBuf are scratch buffers reused by the
-	// vectorized build and probe passes across arrivals and subplans.
-	hashBuf []uint64
-	curBuf  []tuple.Row
-	nextBuf []tuple.Row
+	// dop is the normalized Config.Parallelism (>= 1).
+	dop int
+	// scratches holds one probe-chain scratch per worker, reused across
+	// arrivals and subplans; scratches[0] doubles as the serial path's
+	// buffer set, and its hashBuf serves the vectorized cache-entry build.
+	scratches []probeScratch
 
 	pending      map[string]subplan
 	pendingCount map[segment.ObjectID]int
@@ -169,6 +179,8 @@ func Run(q *Query, cfg Config, src Source) (*Result, error) {
 		cache:        make(map[segment.ObjectID]*cacheEntry),
 		arrivalSeq:   make(map[segment.ObjectID]int),
 	}
+	m.dop = max(cfg.Parallelism, 1)
+	m.scratches = make([]probeScratch, m.dop)
 	m.keyIdxByRel = make([]int, len(q.Relations))
 	m.keyIdxByRel[0] = -1
 	for i, jc := range q.Joins {
@@ -382,7 +394,13 @@ func (m *manager) executeAllRunnable() {
 	m.executeKeys(runnable)
 }
 
+// executeKeys runs the named subplans in lexicographic key order. The
+// callers collect runnable keys by iterating the pending map, whose
+// order is randomized per run; sorting here pins the execution order so
+// a whole MJoin run — rows and row order included — is a deterministic
+// function of the query and the arrival order, at any Parallelism.
 func (m *manager) executeKeys(keys []string) {
+	sort.Strings(keys)
 	for _, key := range keys {
 		sp, ok := m.pending[key]
 		if !ok {

@@ -31,7 +31,11 @@ type Relation struct {
 // accumulated prefix of relations before it: LeftCol must resolve in the
 // concatenated schema of relations[0..Rel-1], RightCol in relation Rel.
 type JoinCond struct {
-	Rel               int
+	// Rel indexes the relation this condition attaches (must be its
+	// position in Query.Relations).
+	Rel int
+	// LeftCol names the key in the accumulated prefix schema; RightCol
+	// names the key in relation Rel.
 	LeftCol, RightCol string
 }
 
@@ -39,9 +43,12 @@ type JoinCond struct {
 // conditions (a join chain/tree flattened left-deep). Column names must be
 // unique across relations (TPC-H style l_/o_ prefixes).
 type Query struct {
-	ID        string
+	// ID tags the query in requests, traces and errors.
+	ID string
+	// Relations lists the join inputs; Relations[0] is the probe root.
 	Relations []Relation
-	Joins     []JoinCond
+	// Joins holds the R-1 conditions, one per relation after the first.
+	Joins []JoinCond
 }
 
 // Validate checks structural soundness and returns the output schema.

@@ -114,7 +114,7 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, c *Cli
 		var err error
 		switch c.Mode {
 		case ModeVanilla:
-			rows, err = cl.runVanilla(clock, px, spec)
+			rows, err = cl.runVanilla(clock, px, c, spec)
 		case ModeSkipper:
 			rows, err = cl.runSkipper(clock, px, c, spec)
 		default:
@@ -140,8 +140,11 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, c *Cli
 // runVanilla executes the query on the pull-based engine over synchronous
 // per-segment GETs. The plan (scans, joins and the shaping stage) is
 // drained batch-at-a-time through the engine's batched core; the storage
-// access pattern — one GET per segment in plan order — is unchanged.
-func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, spec QuerySpec) ([]tuple.Row, error) {
+// access pattern — one GET per segment in plan order — is unchanged. With
+// c.Parallelism > 1 the joins and aggregations run on the morsel worker
+// pool; scans (and thus GETs and virtual-time charges) stay on the client
+// goroutine, as the vtime simulation requires.
+func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, c *Client, spec QuerySpec) ([]tuple.Row, error) {
 	ctx := &engine.Ctx{
 		Clock: clock,
 		Fetch: &vanillaFetcher{px: px, fuse: cl.Costs.FusePerObject},
@@ -154,7 +157,7 @@ func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, spec QuerySpec) ([]
 	if spec.Shape != nil {
 		it = spec.Shape(it)
 	}
-	return engine.Collect(it)
+	return engine.Collect(engine.Parallelize(it, c.Parallelism))
 }
 
 // runSkipper executes the query with the cache-aware MJoin over the
@@ -165,11 +168,12 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 		cacheSize = len(spec.Join.Objects())
 	}
 	cfg := mjoin.Config{
-		CacheSize: cacheSize,
-		Policy:    c.Policy,
-		Pruning:   true,
-		Clock:     clock,
-		Costs:     mjoin.Costs{ProcessPerObject: cl.Costs.MJoinPerObject},
+		CacheSize:   cacheSize,
+		Policy:      c.Policy,
+		Pruning:     true,
+		Clock:       clock,
+		Costs:       mjoin.Costs{ProcessPerObject: cl.Costs.MJoinPerObject},
+		Parallelism: c.Parallelism,
 	}
 	if c.Pruning != nil {
 		cfg.Pruning = *c.Pruning
@@ -183,8 +187,10 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 	if spec.Shape != nil {
 		// The MJoin result bridges into the shaping stage as batches, so
 		// post-join filters, aggregation and ORDER BY run batch-at-a-time
-		// in skipper mode too (Collect dispatches to the batch protocol).
-		shaped, err := engine.Collect(spec.Shape(engine.NewValues(res.Schema, res.Rows)))
+		// in skipper mode too (Collect dispatches to the batch protocol),
+		// on the morsel pool when the client sets Parallelism.
+		shaped, err := engine.Collect(engine.Parallelize(
+			spec.Shape(engine.NewValues(res.Schema, res.Rows)), c.Parallelism))
 		if err != nil {
 			return nil, err
 		}

@@ -128,6 +128,17 @@ type Client struct {
 	Policy mjoin.EvictionPolicy
 	// Pruning toggles subplan pruning (default true).
 	Pruning *bool
+	// Parallelism is the worker count for query execution: hash-join
+	// build/probe and aggregation in ModeVanilla, the MJoin probe chains
+	// and the shaping stage in ModeSkipper. 0 or 1 runs serially; query
+	// results are identical at every setting, except that operators
+	// without a Sort above them may emit rows in a different order, and
+	// SUM/AVG over floats with non-representable values may differ in
+	// the last ulps (parallel float addition reassociates; see
+	// docs/tuning.md). Storage traffic and virtual time are unaffected —
+	// the knob spends real CPU cores to cut the real (wall-clock)
+	// compute between I/O stalls.
+	Parallelism int
 	// Think, if set, inserts a pause between successive queries.
 	Think time.Duration
 

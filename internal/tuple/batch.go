@@ -79,6 +79,17 @@ func (b *Batch) AppendBatchRow(src *Batch, i int) {
 	b.n++
 }
 
+// AppendBatch copies every row of src (which must share the schema arity)
+// into the batch, column by column — one bulk copy per column instead of a
+// per-row loop. It is how morsels are cloned out of a producer's reused
+// buffer before being handed to a parallel worker.
+func (b *Batch) AppendBatch(src *Batch) {
+	for c := range b.cols {
+		b.cols[c] = append(b.cols[c], src.cols[c][:src.n]...)
+	}
+	b.n += src.n
+}
+
 // Row materializes row i as a freshly allocated Row.
 func (b *Batch) Row(i int) Row {
 	out := make(Row, len(b.cols))

@@ -14,13 +14,19 @@ import (
 type Kind uint8
 
 const (
+	// KindInt64 is a signed 64-bit integer (the zero Kind).
 	KindInt64 Kind = iota
+	// KindFloat64 is a 64-bit float.
 	KindFloat64
+	// KindString is an immutable string.
 	KindString
-	KindDate // days since 1970-01-01, stored as int64
+	// KindDate counts days since 1970-01-01, stored as int64.
+	KindDate
+	// KindBool stores false/true as int64 0/1.
 	KindBool
 )
 
+// String returns the lowercase type name.
 func (k Kind) String() string {
 	switch k {
 	case KindInt64:
@@ -40,6 +46,7 @@ func (k Kind) String() string {
 
 // Value is a dynamically typed datum. The zero Value is the int64 0.
 type Value struct {
+	// K discriminates which payload field below is meaningful.
 	K Kind
 	I int64   // int64, date (days), bool (0/1)
 	F float64 // float64
@@ -92,6 +99,8 @@ func (v Value) AsBool() bool { return v.I != 0 }
 // IsTrue reports whether the value is a true boolean.
 func (v Value) IsTrue() bool { return v.K == KindBool && v.I != 0 }
 
+// String renders the value for display and hashing-independent keys
+// (dates as YYYY-MM-DD, floats with %g).
 func (v Value) String() string {
 	switch v.K {
 	case KindInt64:
@@ -227,6 +236,7 @@ func (r Row) Concat(s Row) Row {
 	return out
 }
 
+// String renders the row as "(v1, v2, ...)".
 func (r Row) String() string {
 	parts := make([]string, len(r))
 	for i, v := range r {
@@ -237,12 +247,15 @@ func (r Row) String() string {
 
 // Column describes one schema column.
 type Column struct {
+	// Name is the column's unique name within its schema.
 	Name string
+	// Kind is the column's value type.
 	Kind Kind
 }
 
 // Schema is an ordered list of named, typed columns.
 type Schema struct {
+	// Cols lists the columns in output order.
 	Cols   []Column
 	byName map[string]int
 }
@@ -323,6 +336,7 @@ func (s *Schema) Validate(r Row) error {
 	return nil
 }
 
+// String renders the schema as "name kind, ...".
 func (s *Schema) String() string {
 	parts := make([]string, len(s.Cols))
 	for i, c := range s.Cols {
