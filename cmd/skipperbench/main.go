@@ -6,8 +6,15 @@
 //	skipperbench -fig all            # everything (slow)
 //	skipperbench -fig 7              # Figure 7 only
 //	skipperbench -fig table3 -quick  # reduced-scale smoke run
+//	skipperbench -prune -quick       # data-skipping report (fails on divergence)
 //
-// Figures: table1, 2, 3, 4, 5, 7, 8, 9, table3, 10, 11a, 11b, 11c, 12.
+// Figures: table1, 2, 3, 4, 5, 7, 8, 9, table3, 10, 11a, 11b, 11c, 12,
+// selectivity (the data-skipping sweep — ours, not the paper's).
+//
+// -prune runs the join+agg and Q5-style selective workloads on both
+// engines with data skipping on and off, reports segments fetched vs
+// skipped, and exits non-zero if any pair of runs diverges in its query
+// results — the CI gate for the statistics subsystem.
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 	dop := flag.Int("dop", 0, "per-client query-execution parallelism (0 = number of CPUs, 1 = serial)")
 	format := flag.String("format", "table", "output format: table or csv")
 	showTrace := flag.Bool("trace", false, "run a small 3-client scenario and print its event trace instead of figures")
+	prune := flag.Bool("prune", false, "run the data-skipping report (segments fetched vs skipped, on/off, both engines) and exit non-zero on result divergence")
 	flag.Parse()
 
 	if *showTrace {
@@ -48,6 +56,20 @@ func main() {
 	p.Parallelism = *dop
 	if p.Parallelism <= 0 {
 		p.Parallelism = runtime.NumCPU()
+	}
+
+	if *prune {
+		f, err := p.PruneReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipperbench: prune report: %v\n", err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f)
+		}
+		return
 	}
 
 	type gen func() (*experiments.Figure, error)
@@ -72,6 +94,7 @@ func main() {
 		{"11b", p.Figure11b},
 		{"11c", p.Figure11c},
 		{"12", p.Figure12},
+		{"selectivity", p.FigureSelectivity},
 	}
 
 	want := map[string]bool{}

@@ -6,12 +6,16 @@
 //
 // Usage:
 //
-//	skipperql [-workload tpch|ssb|mrbench|nref] [-sf N] [-engine skipper|vanilla|local] [-cache N]
+//	skipperql [-workload tpch|ssb|mrbench|nref] [-sf N] [-engine skipper|vanilla|local] [-cache N] [-prune=false]
 //
 // Example session:
 //
 //	> SELECT n_name, COUNT(*) AS n FROM nation, region
 //	  WHERE n_regionkey = r_regionkey GROUP BY n_name LIMIT 3;
+//
+// Prefixing a statement with EXPLAIN prints the pull-engine plan instead
+// of executing it, including, per scan, the predicate pushed down for
+// data skipping and how many segments the catalog statistics prune.
 package main
 
 import (
@@ -21,9 +25,11 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/segment"
 	"repro/internal/skipper"
 	"repro/internal/sql"
+	"repro/internal/stats"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -34,13 +40,15 @@ func main() {
 	rows := flag.Int("rows", 20, "tuples per 1 GB object")
 	engineName := flag.String("engine", "skipper", "execution engine: skipper, vanilla, local")
 	cache := flag.Int("cache", 10, "MJoin cache size in objects (skipper engine)")
+	prune := flag.Bool("prune", true, "enable zone-map/Bloom data skipping of segment requests")
+	clustered := flag.Bool("clustered", false, "sort the TPC-H date columns before segmenting (makes date predicates prunable)")
 	command := flag.String("c", "", "run one statement and exit")
 	flag.Parse()
 
 	var ds *workload.Dataset
 	switch *wl {
 	case "tpch":
-		ds = workload.TPCH(0, workload.TPCHConfig{SF: *sf, RowsPerObject: *rows, Seed: 1})
+		ds = workload.TPCH(0, workload.TPCHConfig{SF: *sf, RowsPerObject: *rows, Seed: 1, ClusteredDates: *clustered})
 	case "ssb":
 		ds = workload.SSB(0, workload.SSBConfig{SF: *sf, RowsPerObject: *rows, Seed: 1})
 	case "mrbench":
@@ -54,13 +62,13 @@ func main() {
 
 	planner := &sql.Planner{Catalog: ds.Catalog}
 	if *command != "" {
-		execute(planner, ds, *engineName, *cache, *command)
+		execute(planner, ds, *engineName, *cache, *prune, *command)
 		return
 	}
 
 	fmt.Printf("skipperql — %s dataset, %d objects, engine=%s\n", *wl, len(ds.Catalog.AllObjects()), *engineName)
 	fmt.Printf("tables: %s\n", strings.Join(ds.Catalog.TableNames(), ", "))
-	fmt.Println(`end statements with ';', '\q' quits, '\d table' describes a table`)
+	fmt.Println(`end statements with ';', '\q' quits, '\d table' describes a table, EXPLAIN SELECT ... shows the plan`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -85,7 +93,7 @@ func main() {
 		}
 		stmtText := buf.String()
 		buf.Reset()
-		execute(planner, ds, *engineName, *cache, stmtText)
+		execute(planner, ds, *engineName, *cache, *prune, stmtText)
 		fmt.Print("> ")
 	}
 }
@@ -108,14 +116,18 @@ func describe(ds *workload.Dataset, table string) {
 	}
 }
 
-func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, stmtText string) {
+func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, stmtText string) {
+	if rest, ok := stripExplain(stmtText); ok {
+		explainStmt(planner, ds, prune, rest)
+		return
+	}
 	spec, err := planner.Plan(stmtText)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
 	if engineName == "local" {
-		rows, err := workload.Evaluate(ds, spec)
+		rows, err := evalPulled(ds, spec, prune)
 		if err != nil {
 			fmt.Println(err)
 			return
@@ -132,22 +144,77 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 	client := &skipper.Client{
 		Tenant: 0, Mode: mode, Catalog: ds.Catalog,
 		Queries: []skipper.QuerySpec{spec}, CacheObjects: cache,
+		StatsPruning: &prune,
 	}
 	res, err := (&skipper.Cluster{Clients: []*skipper.Client{client}, Store: store}).Run()
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	rows, err := workload.Evaluate(ds, spec)
+	rows, err := evalPulled(ds, spec, prune)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
 	printRows(rows)
 	cs := res.Clients[0]
-	fmt.Printf("-- %s: %.1fs virtual (processing %.1fs, stalled %.1fs), %d GETs, %d switches\n",
+	fmt.Printf("-- %s: %.1fs virtual (processing %.1fs, stalled %.1fs), %d GETs (%d pruned), %d switches\n",
 		mode, cs.Elapsed().Seconds(), cs.Processing.Seconds(), cs.Stalled().Seconds(),
-		cs.GetsIssued, res.CSD.GroupSwitches)
+		cs.GetsIssued, cs.SegmentsSkipped, res.CSD.GroupSwitches)
+}
+
+// stripExplain recognizes a leading EXPLAIN keyword and returns the
+// statement behind it.
+func stripExplain(stmtText string) (string, bool) {
+	trimmed := strings.TrimSpace(stmtText)
+	if len(trimmed) < 8 || !strings.EqualFold(trimmed[:7], "EXPLAIN") {
+		return "", false
+	}
+	if c := trimmed[7]; c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+		return "", false
+	}
+	return trimmed[8:], true
+}
+
+// explainStmt plans the statement and prints the pull-engine operator
+// tree, with per-scan data-skipping detail (pushed-down predicate,
+// segments pruned) and a whole-query pruning summary.
+func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, stmtText string) {
+	spec, err := planner.Plan(stmtText)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	it, err := skipper.BuildPullPlanPruned(engine.NewTestCtx(ds.Store), spec.Join, prune)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if spec.Shape != nil {
+		it = spec.Shape(it)
+	}
+	fmt.Print(engine.Explain(it))
+	total, skipped := 0, 0
+	for _, rel := range spec.Join.Relations {
+		total += len(rel.Table.Objects)
+		if prune {
+			skipped += stats.CountSkipped(rel.Pruner, len(rel.Table.Objects))
+		}
+	}
+	fmt.Printf("-- data skipping: %d of %d segment fetches pruned\n", skipped, total)
+}
+
+// evalPulled runs the spec locally on the pull engine (no simulation),
+// honouring the data-skipping toggle.
+func evalPulled(ds *workload.Dataset, spec skipper.QuerySpec, prune bool) ([]tuple.Row, error) {
+	it, err := skipper.BuildPullPlanPruned(engine.NewTestCtx(ds.Store), spec.Join, prune)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Shape != nil {
+		it = spec.Shape(it)
+	}
+	return engine.Collect(it)
 }
 
 func printRows(rows []tuple.Row) {

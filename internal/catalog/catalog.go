@@ -10,15 +10,26 @@ import (
 	"sort"
 
 	"repro/internal/segment"
+	"repro/internal/stats"
 	"repro/internal/tuple"
 )
 
 // TableMeta describes one relation of one tenant.
 type TableMeta struct {
-	Name     string
-	Schema   *tuple.Schema
-	Objects  []segment.ObjectID // in segment order
+	// Name is the relation name, unique within the tenant.
+	Name string
+	// Schema describes the relation's columns.
+	Schema *tuple.Schema
+	// Objects lists the backing CSD objects in segment order.
+	Objects []segment.ObjectID
+	// RowCount is the total tuple count across segments.
 	RowCount int64
+	// Stats holds the per-segment zone maps and Bloom filters, aligned
+	// with Objects (Stats.Segments[i] describes Objects[i]). They are
+	// computed at registration time and, like the rest of the catalog,
+	// live with the database VM — never on the CSD — so predicates can
+	// prune segment requests before any GET is issued.
+	Stats *stats.Table
 }
 
 // Catalog maps table names to metadata for a single tenant.
@@ -33,14 +44,18 @@ func New(tenant int) *Catalog {
 	return &Catalog{Tenant: tenant, tables: make(map[string]*TableMeta)}
 }
 
-// AddTable registers a relation from its segments. The segments must all
-// belong to this catalog's tenant and share the table name.
+// AddTable registers a relation from its segments, computing its
+// per-segment statistics (zone maps + Bloom filters) as part of the
+// catalog metadata. The segments must all belong to this catalog's
+// tenant and share the table name.
 func (c *Catalog) AddTable(name string, schema *tuple.Schema, segs []*segment.Segment) (*TableMeta, error) {
 	if _, dup := c.tables[name]; dup {
 		return nil, fmt.Errorf("catalog: table %q already registered", name)
 	}
 	tm := &TableMeta{Name: name, Schema: schema}
-	for _, sg := range segs {
+	ordered := append([]*segment.Segment(nil), segs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID.Index < ordered[j].ID.Index })
+	for _, sg := range ordered {
 		if sg.ID.Tenant != c.Tenant {
 			return nil, fmt.Errorf("catalog: segment %v belongs to tenant %d, catalog is tenant %d", sg.ID, sg.ID.Tenant, c.Tenant)
 		}
@@ -50,7 +65,7 @@ func (c *Catalog) AddTable(name string, schema *tuple.Schema, segs []*segment.Se
 		tm.Objects = append(tm.Objects, sg.ID)
 		tm.RowCount += int64(len(sg.Rows))
 	}
-	sort.Slice(tm.Objects, func(i, j int) bool { return tm.Objects[i].Index < tm.Objects[j].Index })
+	tm.Stats = stats.Collect(name, schema, ordered, stats.DefaultOptions())
 	c.tables[name] = tm
 	c.order = append(c.order, name)
 	return tm, nil

@@ -49,6 +49,12 @@ type Stats struct {
 	GetsByTenant    map[int]int
 	ServedByQuery   map[string]int
 	SwitchIntervals []Interval // when the device was mid-switch
+	// GetsAvoided counts segment requests that were never issued because
+	// the clients' statistics subsystem (zone maps + Bloom filters)
+	// skipped them. The device cannot observe these itself; the cluster
+	// harness fills the field in after a run so device traffic and
+	// avoided traffic can be reported together.
+	GetsAvoided int
 }
 
 // Config parametrizes the device.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/segment"
+	"repro/internal/stats"
 	"repro/internal/tuple"
 )
 
@@ -122,10 +123,19 @@ type SeqScan struct {
 	ctx   *Ctx
 	table *catalog.TableMeta
 
-	segIdx int
-	rows   []tuple.Row
-	rowIdx int
-	out    *tuple.Batch
+	// Pruner, when non-nil, is consulted before each segment fetch: a
+	// segment it proves result-free (from the catalog's zone maps and
+	// Bloom filters) is skipped without issuing a GET or charging any
+	// processing cost. Because pruning is conservative, the surviving
+	// row stream is identical to the unpruned one after the predicate's
+	// Filter.
+	Pruner stats.Pruner
+
+	segIdx  int
+	rows    []tuple.Row
+	rowIdx  int
+	skipped int
+	out     *tuple.Batch
 }
 
 // NewSeqScan builds a sequential scan over the table.
@@ -138,14 +148,23 @@ func (s *SeqScan) Schema() *tuple.Schema { return s.table.Schema }
 
 // Open implements Iterator.
 func (s *SeqScan) Open() error {
-	s.segIdx, s.rowIdx, s.rows = 0, 0, nil
+	s.segIdx, s.rowIdx, s.rows, s.skipped = 0, 0, nil, 0
 	return nil
 }
 
+// SegmentsSkipped reports how many segment fetches the Pruner avoided so
+// far in this iteration.
+func (s *SeqScan) SegmentsSkipped() int { return s.skipped }
+
 // loadSegment advances to the next segment holding unread rows, charging
-// the per-segment processing cost per fetch. ok=false signals exhaustion.
+// the per-segment processing cost per fetch; prunable segments are
+// passed over without a fetch. ok=false signals exhaustion.
 func (s *SeqScan) loadSegment() (ok bool, err error) {
 	for s.rowIdx >= len(s.rows) {
+		for s.Pruner != nil && s.segIdx < len(s.table.Objects) && s.Pruner.CanSkip(s.segIdx) {
+			s.segIdx++
+			s.skipped++
+		}
 		if s.segIdx >= len(s.table.Objects) {
 			return false, nil
 		}

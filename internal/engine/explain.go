@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // explainable lets operators describe themselves for plan display.
@@ -32,7 +34,13 @@ func Explain(it Iterator) string {
 }
 
 func (s *SeqScan) explain() (string, []Iterator) {
-	return fmt.Sprintf("SeqScan %s (%d segments, %d rows)", s.table.Name, len(s.table.Objects), s.table.RowCount), nil
+	label := fmt.Sprintf("SeqScan %s (%d segments, %d rows)", s.table.Name, len(s.table.Objects), s.table.RowCount)
+	if s.Pruner != nil {
+		total := len(s.table.Objects)
+		label += fmt.Sprintf(" [prune %d/%d segments on %s]",
+			stats.CountSkipped(s.Pruner, total), total, s.Pruner.Predicate())
+	}
+	return label, nil
 }
 
 func (f *Filter) explain() (string, []Iterator) {

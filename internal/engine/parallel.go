@@ -55,6 +55,36 @@ func Parallelize(it Iterator, dop int) Iterator {
 	return it
 }
 
+// SeqScans returns every SeqScan leaf of the plan rooted at it, walking
+// through the adapter wrappers and every operator's children (the same
+// traversal as Parallelize). Callers use it to read per-scan counters —
+// e.g. SegmentsSkipped — after a plan has been drained.
+func SeqScans(it Iterator) []*SeqScan {
+	var out []*SeqScan
+	var walk func(n any)
+	walk = func(n any) {
+		switch v := n.(type) {
+		case *RowAdapter:
+			walk(v.B)
+			return
+		case *BatchAdapter:
+			walk(v.It)
+			return
+		case *SeqScan:
+			out = append(out, v)
+			return
+		}
+		if e, ok := n.(explainable); ok {
+			_, children := e.explain()
+			for _, c := range children {
+				walk(c)
+			}
+		}
+	}
+	walk(it)
+	return out
+}
+
 // normDOP clamps a configured parallelism to a usable worker count.
 func normDOP(dop int) int {
 	if dop < 1 {

@@ -122,6 +122,17 @@ func Compute(total, processing, fuse time.Duration, stalls, switches []csd.Inter
 	}
 }
 
+// PruneRatio returns the fraction of candidate segment fetches that data
+// skipping avoided: skipped / (issued + skipped), or 0 when there were no
+// candidates. Issued should count the requests actually sent (including
+// reissues); skipped the requests the statistics subsystem suppressed.
+func PruneRatio(issued, skipped int) float64 {
+	if issued+skipped <= 0 {
+		return 0
+	}
+	return float64(skipped) / float64(issued+skipped)
+}
+
 // Percent returns 100·part/total, or 0 when total is zero.
 func Percent(part, total time.Duration) float64 {
 	if total <= 0 {

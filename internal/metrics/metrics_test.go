@@ -138,3 +138,15 @@ func TestPercentZeroTotal(t *testing.T) {
 		t.Fatalf("percent %v", got)
 	}
 }
+
+func TestPruneRatio(t *testing.T) {
+	if got := PruneRatio(0, 0); got != 0 {
+		t.Fatalf("no candidates: %v", got)
+	}
+	if got := PruneRatio(12, 45); got <= 0.78 || got >= 0.80 {
+		t.Fatalf("12 issued / 45 skipped: %v", got)
+	}
+	if got := PruneRatio(0, 5); got != 1 {
+		t.Fatalf("all skipped: %v", got)
+	}
+}

@@ -43,6 +43,12 @@ type Config struct {
 	// Pruning marks subplans containing a result-free object as executed
 	// and never refetches the object (§5.2.4). Default on.
 	Pruning bool
+	// StatsPruning enables data skipping from catalog statistics: before
+	// the first request cycle, every segment a relation's Pruner proves
+	// result-free is retired together with its subplans, so the object
+	// is never requested at all — the static counterpart of the runtime
+	// pruning above. Results are byte-identical either way.
+	StatsPruning bool
 	// Clock charges virtual processing time (default: no charging).
 	Clock engine.Clock
 	// Costs are the virtual charges.
@@ -60,11 +66,12 @@ type Config struct {
 // cache size.
 func DefaultConfig(cacheSize int) Config {
 	return Config{
-		CacheSize: cacheSize,
-		Policy:    MaxProgress{},
-		Pruning:   true,
-		Clock:     engine.NopClock{},
-		MaxCycles: 1 << 20,
+		CacheSize:    cacheSize,
+		Policy:       MaxProgress{},
+		Pruning:      true,
+		StatsPruning: true,
+		Clock:        engine.NopClock{},
+		MaxCycles:    1 << 20,
 	}
 }
 
@@ -77,6 +84,8 @@ type Stats struct {
 	SubplansTotal    int // subplans enumerated for the query
 	SubplansExecuted int // subplans actually probed
 	SubplansPruned   int // subplans skipped via result-free objects
+	ObjectsSkipped   int // objects never requested: zone-map/Bloom data skipping
+	SubplansSkipped  int // subplans retired by data skipping before any request
 	ResultRows       int // join output cardinality
 	// PinnedCycles counts cycles that ran with a designated subplan
 	// pinned — i.e. how often the livelock escape hatch was needed.
@@ -200,11 +209,53 @@ func Run(q *Query, cfg Config, src Source) (*Result, error) {
 		}
 	}
 	m.stats.SubplansTotal = len(m.pending)
+	if cfg.StatsPruning {
+		m.skipByStats()
+	}
 	if err := m.loop(); err != nil {
 		return nil, err
 	}
 	m.stats.ResultRows = len(m.rows)
 	return &Result{Schema: schema, Rows: m.rows, Stats: m.stats}, nil
+}
+
+// skipByStats retires, before the first request cycle, every subplan
+// containing a segment its relation's Pruner proves result-free — the
+// data-skipping counterpart of runtime subplan pruning (§5.2.4), with
+// zone maps and Bloom filters standing in for fetching the object. The
+// skipped objects never enter neededObjects, so no GET for them is ever
+// enqueued at the CSD.
+func (m *manager) skipByStats() {
+	// Materialize per-relation skip sets once, then retire subplans in a
+	// single pass over the pending map (the lattice can be large).
+	skip := make([][]bool, len(m.q.Relations))
+	any := false
+	for ri, rel := range m.q.Relations {
+		if rel.Pruner == nil {
+			continue
+		}
+		set := make([]bool, len(rel.Table.Objects))
+		for si := range set {
+			if rel.Pruner.CanSkip(si) {
+				set[si] = true
+				m.stats.ObjectsSkipped++
+				any = true
+			}
+		}
+		skip[ri] = set
+	}
+	if !any {
+		return
+	}
+	for key, sp := range m.pending {
+		for ri, si := range sp {
+			if skip[ri] != nil && skip[ri][si] {
+				m.removePending(key, sp)
+				m.stats.SubplansSkipped++
+				break
+			}
+		}
+	}
 }
 
 // loop is the outer request/receive cycle.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/expr"
 	"repro/internal/segment"
+	"repro/internal/stats"
 	"repro/internal/tuple"
 )
 
@@ -25,6 +26,11 @@ type Relation struct {
 	// every row). Filtering at arrival both shrinks the cached state and
 	// enables subplan pruning for clustered selectivity (§5.2.4).
 	Filter expr.Expr
+	// Pruner, when non-nil (and Config.StatsPruning on), lets the state
+	// manager drop segments the catalog statistics prove result-free
+	// under Filter before any CSD request is issued: their subplans are
+	// retired upfront, so the objects never appear in a request cycle.
+	Pruner stats.Pruner
 }
 
 // JoinCond joins relation Rel (by index into Query.Relations) to the

@@ -20,9 +20,12 @@ import (
 
 // Meta describes one stored object.
 type Meta struct {
-	Key  string
+	// Key is the object's name within its container.
+	Key string
+	// Size is the stored byte count.
 	Size int64
-	ETag uint64 // FNV-64a of the contents
+	// ETag is the FNV-64a checksum of the contents, verified on Get.
+	ETag uint64
 }
 
 // container holds one relation's objects.

@@ -6,10 +6,22 @@ package segment
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/tuple"
 )
+
+// ErrCorrupt tags every Decode failure on malformed input; callers
+// distinguish corruption from other failures with
+// errors.Is(err, segment.ErrCorrupt).
+var ErrCorrupt = errors.New("corrupt segment")
+
+// MaxTableName bounds the header's table-name length. Relation names are
+// short identifiers; a longer length in the header means the buffer is
+// corrupt, and validating it keeps Decode from treating arbitrary bytes
+// as a name.
+const MaxTableName = 255
 
 // ObjectID names one stored object: a tenant (database client), a relation
 // (container) and a segment index within the relation.
@@ -19,6 +31,8 @@ type ObjectID struct {
 	Index  int
 }
 
+// String renders the id as "t<tenant>/<table>/<index>", the form used in
+// traces and error messages.
 func (id ObjectID) String() string {
 	return fmt.Sprintf("t%d/%s/%04d", id.Tenant, id.Table, id.Index)
 }
@@ -38,6 +52,9 @@ type Segment struct {
 // catalog metadata, as in the paper's setup where only catalog files live
 // in the VM image.
 func (g *Segment) Encode(schema *tuple.Schema) ([]byte, error) {
+	if len(g.ID.Table) > MaxTableName {
+		return nil, fmt.Errorf("segment %v: table name %d bytes long, limit %d", g.ID, len(g.ID.Table), MaxTableName)
+	}
 	out := binary.AppendVarint(nil, int64(g.ID.Tenant))
 	out = binary.AppendVarint(out, int64(g.ID.Index))
 	out = binary.AppendVarint(out, g.NominalBytes)
@@ -50,36 +67,45 @@ func (g *Segment) Encode(schema *tuple.Schema) ([]byte, error) {
 	return append(out, body...), nil
 }
 
-// Decode parses a segment previously produced by Encode.
+// Decode parses a segment previously produced by Encode. Malformed
+// input — truncated headers or rows, or a table-name length beyond
+// MaxTableName — yields an error wrapping ErrCorrupt; Decode never
+// panics on short buffers.
 func Decode(schema *tuple.Schema, data []byte) (*Segment, error) {
 	g := &Segment{}
 	var n int
 	v, n := binary.Varint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("segment: bad tenant header")
+		return nil, fmt.Errorf("segment: bad tenant header: %w", ErrCorrupt)
 	}
 	g.ID.Tenant = int(v)
 	data = data[n:]
 	v, n = binary.Varint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("segment: bad index header")
+		return nil, fmt.Errorf("segment: bad index header: %w", ErrCorrupt)
 	}
 	g.ID.Index = int(v)
 	data = data[n:]
 	g.NominalBytes, n = binary.Varint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("segment: bad size header")
+		return nil, fmt.Errorf("segment: bad size header: %w", ErrCorrupt)
 	}
 	data = data[n:]
 	ln, n := binary.Uvarint(data)
-	if n <= 0 || uint64(len(data)-n) < ln {
-		return nil, fmt.Errorf("segment: bad table-name header")
+	if n <= 0 {
+		return nil, fmt.Errorf("segment: bad table-name header: %w", ErrCorrupt)
+	}
+	if ln > MaxTableName {
+		return nil, fmt.Errorf("segment: table-name length %d exceeds limit %d: %w", ln, MaxTableName, ErrCorrupt)
+	}
+	if uint64(len(data)-n) < ln {
+		return nil, fmt.Errorf("segment: truncated table name: %w", ErrCorrupt)
 	}
 	g.ID.Table = string(data[n : n+int(ln)])
 	data = data[n+int(ln):]
 	rows, err := tuple.DecodeRows(schema, data)
 	if err != nil {
-		return nil, fmt.Errorf("segment %v: %w", g.ID, err)
+		return nil, fmt.Errorf("segment %v: %v: %w", g.ID, err, ErrCorrupt)
 	}
 	g.Rows = rows
 	return g, nil

@@ -1,8 +1,11 @@
 package segment
 
 import (
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -130,5 +133,77 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorruptTyped(t *testing.T) {
+	orig := &Segment{ID: ObjectID{Table: "t"}, Rows: rows(3), NominalBytes: 9}
+	data, err := orig.Encode(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every prefix truncation must fail with ErrCorrupt — and never panic.
+	for cut := 0; cut < len(data); cut++ {
+		_, err := Decode(sch, data[:cut])
+		if err == nil {
+			t.Fatalf("truncated at %d accepted", cut)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated at %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+	// Trailing garbage is corruption too.
+	if _, err := Decode(sch, append(append([]byte(nil), data...), 0xAB)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+}
+
+func TestDecodeRejectsAbsurdTableName(t *testing.T) {
+	// Headers: tenant 0, index 0, size 0, then a table-name length far
+	// beyond MaxTableName followed by too few bytes.
+	data := binary.AppendVarint(nil, 0)
+	data = binary.AppendVarint(data, 0)
+	data = binary.AppendVarint(data, 0)
+	data = binary.AppendUvarint(data, uint64(MaxTableName+1))
+	data = append(data, make([]byte, MaxTableName+1)...)
+	_, err := Decode(sch, data)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized table name accepted: %v", err)
+	}
+}
+
+func TestEncodeRejectsLongTableName(t *testing.T) {
+	g := &Segment{ID: ObjectID{Table: strings.Repeat("x", MaxTableName+1)}}
+	if _, err := g.Encode(sch); err == nil {
+		t.Fatal("overlong table name encoded")
+	}
+	g.ID.Table = strings.Repeat("x", MaxTableName)
+	data, err := g.Encode(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(sch, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID.Table != g.ID.Table {
+		t.Fatal("max-length table name round trip failed")
+	}
+}
+
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	// Random byte soup must yield errors, not panics.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		if sg, err := Decode(sch, buf); err == nil {
+			// A decode that succeeds must at least be self-consistent.
+			if sg == nil {
+				t.Fatal("nil segment without error")
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("input %x: error %v does not wrap ErrCorrupt", buf, err)
+		}
 	}
 }

@@ -95,6 +95,10 @@ func (cl *Cluster) Run() (*RunResult, error) {
 	res := &RunResult{CSD: dev.Stats(), Makespan: sim.Now()}
 	for _, c := range cl.Clients {
 		res.Clients = append(res.Clients, &c.stats)
+		// The device cannot observe requests that data skipping never
+		// issued; fold the clients' accounting into the device stats so
+		// served and avoided traffic read side by side.
+		res.CSD.GetsAvoided += c.stats.SegmentsSkipped
 	}
 	return res, nil
 }
@@ -150,14 +154,25 @@ func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, c *Client, spec Que
 		Fetch: &vanillaFetcher{px: px, fuse: cl.Costs.FusePerObject},
 		Costs: engine.Costs{ProcessPerObject: cl.Costs.VanillaPerObject},
 	}
-	it, err := BuildPullPlan(ctx, spec.Join)
+	it, err := BuildPullPlanPruned(ctx, spec.Join, c.statsPruningOn())
 	if err != nil {
 		return nil, err
 	}
+	scans := engine.SeqScans(it)
 	if spec.Shape != nil {
 		it = spec.Shape(it)
 	}
-	return engine.Collect(engine.Parallelize(it, c.Parallelism))
+	rows, err := engine.Collect(engine.Parallelize(it, c.Parallelism))
+	if err != nil {
+		return nil, err
+	}
+	// Each scan counts the fetches its Pruner actually avoided during
+	// the drain — exact even when a LIMIT stops the pipeline before a
+	// scan reaches its tail segments.
+	for _, s := range scans {
+		c.stats.SegmentsSkipped += s.SegmentsSkipped()
+	}
+	return rows, nil
 }
 
 // runSkipper executes the query with the cache-aware MJoin over the
@@ -168,12 +183,13 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 		cacheSize = len(spec.Join.Objects())
 	}
 	cfg := mjoin.Config{
-		CacheSize:   cacheSize,
-		Policy:      c.Policy,
-		Pruning:     true,
-		Clock:       clock,
-		Costs:       mjoin.Costs{ProcessPerObject: cl.Costs.MJoinPerObject},
-		Parallelism: c.Parallelism,
+		CacheSize:    cacheSize,
+		Policy:       c.Policy,
+		Pruning:      true,
+		StatsPruning: c.statsPruningOn(),
+		Clock:        clock,
+		Costs:        mjoin.Costs{ProcessPerObject: cl.Costs.MJoinPerObject},
+		Parallelism:  c.Parallelism,
 	}
 	if c.Pruning != nil {
 		cfg.Pruning = *c.Pruning
@@ -183,6 +199,7 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 		return nil, err
 	}
 	c.stats.MJoin = addStats(c.stats.MJoin, res.Stats)
+	c.stats.SegmentsSkipped += res.Stats.ObjectsSkipped
 	rows := res.Rows
 	if spec.Shape != nil {
 		// The MJoin result bridges into the shaping stage as batches, so
@@ -208,20 +225,34 @@ func addStats(a, b mjoin.Stats) mjoin.Stats {
 		SubplansTotal:    a.SubplansTotal + b.SubplansTotal,
 		SubplansExecuted: a.SubplansExecuted + b.SubplansExecuted,
 		SubplansPruned:   a.SubplansPruned + b.SubplansPruned,
+		ObjectsSkipped:   a.ObjectsSkipped + b.ObjectsSkipped,
+		SubplansSkipped:  a.SubplansSkipped + b.SubplansSkipped,
 		ResultRows:       a.ResultRows + b.ResultRows,
 	}
 }
 
 // BuildPullPlan translates an mjoin.Query into the classical engine's
-// left-deep plan: filtered sequential scans joined by blocking binary hash
-// joins, pulled in plan order.
+// left-deep plan: filtered sequential scans joined by blocking binary
+// hash joins, pulled in plan order. Relation Pruners are attached to the
+// scans (data skipping on).
 func BuildPullPlan(ctx *engine.Ctx, q *mjoin.Query) (engine.Iterator, error) {
+	return BuildPullPlanPruned(ctx, q, true)
+}
+
+// BuildPullPlanPruned is BuildPullPlan with data skipping made explicit:
+// prune=false leaves the relation Pruners off the scans, so every
+// segment is fetched — the pre-statistics behaviour.
+func BuildPullPlanPruned(ctx *engine.Ctx, q *mjoin.Query, prune bool) (engine.Iterator, error) {
 	if _, err := q.Validate(); err != nil {
 		return nil, err
 	}
 	its := make([]engine.Iterator, len(q.Relations))
 	for i, rel := range q.Relations {
-		var it engine.Iterator = engine.NewSeqScan(ctx, rel.Table)
+		scan := engine.NewSeqScan(ctx, rel.Table)
+		if prune {
+			scan.Pruner = rel.Pruner
+		}
+		var it engine.Iterator = scan
 		if rel.Filter != nil {
 			it = engine.NewFilter(it, rel.Filter)
 		}

@@ -88,6 +88,10 @@ type ClientStats struct {
 	StallIntervals []csd.Interval
 	// GetsIssued counts GET requests (including MJoin reissues).
 	GetsIssued int
+	// SegmentsSkipped counts segment requests the statistics subsystem
+	// (zone maps + Bloom filters) avoided across the workload — fetches
+	// that would have been issued without data skipping.
+	SegmentsSkipped int
 	// Rows is the total result row count across queries.
 	Rows int64
 	// MJoin aggregates state-manager statistics (skipper mode).
@@ -128,6 +132,11 @@ type Client struct {
 	Policy mjoin.EvictionPolicy
 	// Pruning toggles subplan pruning (default true).
 	Pruning *bool
+	// StatsPruning toggles zone-map/Bloom data skipping (default true):
+	// scan specs carrying a stats.Pruner skip proven result-free
+	// segments before any GET is issued, in both modes. Query results
+	// are identical either way; only storage traffic changes.
+	StatsPruning *bool
 	// Parallelism is the worker count for query execution: hash-join
 	// build/probe and aggregation in ModeVanilla, the MJoin probe chains
 	// and the shaping stage in ModeSkipper. 0 or 1 runs serially; query
@@ -147,6 +156,9 @@ type Client struct {
 
 // Stats returns the client's record after the run.
 func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// statsPruningOn resolves the StatsPruning default.
+func (c *Client) statsPruningOn() bool { return c.StatsPruning == nil || *c.StatsPruning }
 
 // proxy is the client proxy daemon (§4.3): it owns the reply channel,
 // tags requests with the query id, counts GETs, and records stalls.

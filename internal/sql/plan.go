@@ -11,6 +11,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/mjoin"
 	"repro/internal/skipper"
+	"repro/internal/stats"
 	"repro/internal/tuple"
 )
 
@@ -123,6 +124,14 @@ func (pl *Planner) PlanStmt(stmt *SelectStmt) (skipper.QuerySpec, error) {
 				return skipper.QuerySpec{}, err
 			}
 			rel.Filter = pred
+			// Classify the pushed-down predicate for data skipping: when
+			// any prunable structure survives analysis, the scan spec
+			// carries a Pruner over the table's catalog statistics, and
+			// both engines skip proven result-free segments before
+			// issuing their CSD requests.
+			if pr, ok := stats.ForPredicate(pred, tables[ti].meta.Schema, tables[ti].meta.Stats); ok {
+				rel.Pruner = pr
+			}
 		}
 		q.Relations = append(q.Relations, rel)
 		if pos > 0 {

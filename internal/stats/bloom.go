@@ -1,0 +1,67 @@
+package stats
+
+// Bloom is a Bloom filter over 64-bit value hashes (tuple.Value.Hash),
+// probed with double hashing. It answers "might this exact value occur
+// in the segment?" — a false positive only costs a fetch that the zone
+// map could not rule out anyway; a false negative is impossible, so
+// skipping on a negative answer is always result-safe.
+type Bloom struct {
+	bits []uint64
+	m    uint64 // bit count, a multiple of 64
+	k    int    // probes per key
+}
+
+// bloomMix derives the second hash for double hashing (the golden-ratio
+// multiplier decorrelates it from the first).
+const bloomMix = 0x9E3779B97F4A7C15
+
+// NewBloom sizes a filter for n keys at bitsPerKey bits each. The probe
+// count follows the standard k ≈ 0.69·bits/key optimum, clamped to
+// [1, 8].
+func NewBloom(n, bitsPerKey int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	m := (uint64(n)*uint64(bitsPerKey) + 63) &^ 63
+	if m < 64 {
+		m = 64
+	}
+	k := int(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &Bloom{bits: make([]uint64, m/64), m: m, k: k}
+}
+
+// Add inserts a value hash.
+func (b *Bloom) Add(h uint64) {
+	h2 := h*bloomMix | 1
+	for i := 0; i < b.k; i++ {
+		bit := h % b.m
+		b.bits[bit/64] |= 1 << (bit % 64)
+		h += h2
+	}
+}
+
+// MayContain reports whether the hash might have been added. False
+// means definitely absent.
+func (b *Bloom) MayContain(h uint64) bool {
+	h2 := h*bloomMix | 1
+	for i := 0; i < b.k; i++ {
+		bit := h % b.m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+		h += h2
+	}
+	return true
+}
+
+// Bits returns the filter's size in bits.
+func (b *Bloom) Bits() int { return int(b.m) }

@@ -1,0 +1,370 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+// Pruner decides, from catalog-side statistics alone, that a segment of
+// one relation cannot contain any row satisfying a predicate — so the
+// segment's CSD request can be skipped entirely. Pruning is strictly
+// conservative: CanSkip answers true only when the statistics prove the
+// predicate false for every possible row of the segment, which is what
+// keeps query results byte-identical with pruning on or off.
+type Pruner interface {
+	// CanSkip reports whether segment seg (an index into the relation's
+	// object list) provably holds no row satisfying the predicate.
+	CanSkip(seg int) bool
+	// Predicate describes the pushed-down predicate for EXPLAIN output.
+	Predicate() string
+}
+
+// CountSkipped counts the prunable segments among the first n.
+func CountSkipped(p Pruner, n int) int {
+	if p == nil {
+		return 0
+	}
+	skipped := 0
+	for i := 0; i < n; i++ {
+		if p.CanSkip(i) {
+			skipped++
+		}
+	}
+	return skipped
+}
+
+// ForPredicate compiles a schema-bound predicate into a Pruner over the
+// relation's statistics. ok is false when the predicate has no prunable
+// structure (then every segment must be fetched, exactly as before this
+// subsystem existed). Unsupported sub-expressions degrade gracefully:
+// inside a conjunction they are ignored (the remaining terms still
+// prune); anywhere the semantics would be unsound, compilation fails.
+func ForPredicate(pred expr.Expr, schema *tuple.Schema, t *Table) (Pruner, bool) {
+	if t == nil {
+		return nil, false
+	}
+	c, ok := compile(pred, schema)
+	if !ok {
+		return nil, false
+	}
+	return &predPruner{table: t, cond: c, desc: pred.String()}, true
+}
+
+// predPruner evaluates a compiled condition against per-segment stats.
+type predPruner struct {
+	table *Table
+	cond  cond
+	desc  string
+}
+
+// CanSkip implements Pruner. A segment with zero rows is always
+// skippable — it cannot contribute to any result.
+func (p *predPruner) CanSkip(seg int) bool {
+	if seg < 0 || seg >= len(p.table.Segments) {
+		return false
+	}
+	s := &p.table.Segments[seg]
+	if s.Rows == 0 {
+		return true
+	}
+	return p.cond.skip(s)
+}
+
+// Predicate implements Pruner.
+func (p *predPruner) Predicate() string { return p.desc }
+
+func (p *predPruner) String() string {
+	return fmt.Sprintf("prune[%s: %s]", p.table.Name, p.desc)
+}
+
+// cond is a compiled prunability test: skip reports that no row of the
+// segment can satisfy the originating predicate.
+type cond interface {
+	skip(s *SegmentStats) bool
+}
+
+// compile lowers an expression into a cond; ok=false means the
+// expression (or a disjunct of it) cannot be analyzed.
+func compile(e expr.Expr, schema *tuple.Schema) (cond, bool) {
+	switch v := e.(type) {
+	case expr.And:
+		// A conjunction skips when ANY analyzable term skips; terms we
+		// cannot analyze only lose pruning power, never soundness.
+		var terms []cond
+		for _, t := range v.Terms {
+			if c, ok := compile(t, schema); ok {
+				terms = append(terms, c)
+			}
+		}
+		if len(terms) == 0 {
+			return nil, false
+		}
+		return anyCond(terms), true
+	case expr.Or:
+		// A disjunction skips only when EVERY branch skips, so every
+		// branch must be analyzable.
+		terms := make([]cond, len(v.Terms))
+		for i, t := range v.Terms {
+			c, ok := compile(t, schema)
+			if !ok {
+				return nil, false
+			}
+			terms[i] = c
+		}
+		return allCond(terms), true
+	case expr.Cmp:
+		return compileCmp(v, schema)
+	case expr.Between:
+		col, ok := asCol(v.E, schema)
+		if !ok || !kindsComparable(schema.Cols[col.Idx].Kind, v.Lo.K) || !kindsComparable(schema.Cols[col.Idx].Kind, v.Hi.K) {
+			return nil, false
+		}
+		return betweenCond{col: col.Idx, lo: v.Lo, hi: v.Hi}, true
+	case expr.In:
+		col, ok := asCol(v.Needle, schema)
+		if !ok {
+			return nil, false
+		}
+		kind := schema.Cols[col.Idx].Kind
+		for _, m := range v.Set {
+			if !kindsComparable(kind, m.K) {
+				return nil, false
+			}
+		}
+		return inCond{col: col.Idx, kind: kind, set: v.Set}, true
+	case expr.Prefix:
+		col, ok := asCol(v.E, schema)
+		if !ok || schema.Cols[col.Idx].Kind != tuple.KindString || v.Prefix == "" {
+			return nil, false
+		}
+		return prefixCond{col: col.Idx, prefix: v.Prefix}, true
+	case expr.Const:
+		// A constant-false predicate empties every segment.
+		if v.V.K == tuple.KindBool && !v.V.AsBool() {
+			return falseCond{}, true
+		}
+		return nil, false
+	default:
+		// NOT, CASE, arithmetic over columns, …: conservatively give up.
+		return nil, false
+	}
+}
+
+// compileCmp handles col⟂const comparisons on either side.
+func compileCmp(c expr.Cmp, schema *tuple.Schema) (cond, bool) {
+	if col, ok := asCol(c.L, schema); ok {
+		if v, ok := asConst(c.R); ok && kindsComparable(schema.Cols[col.Idx].Kind, v.K) {
+			return rangeCond{col: col.Idx, kind: schema.Cols[col.Idx].Kind, op: c.Op, v: v}, true
+		}
+	}
+	if col, ok := asCol(c.R, schema); ok {
+		if v, ok := asConst(c.L); ok && kindsComparable(schema.Cols[col.Idx].Kind, v.K) {
+			return rangeCond{col: col.Idx, kind: schema.Cols[col.Idx].Kind, op: flipCmp(c.Op), v: v}, true
+		}
+	}
+	return nil, false
+}
+
+// flipCmp mirrors an operator across its operands: (v op col) becomes
+// (col flip(op) v).
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default: // EQ, NE are symmetric
+		return op
+	}
+}
+
+// asCol recognizes a plain column reference within schema bounds.
+func asCol(e expr.Expr, schema *tuple.Schema) (expr.Col, bool) {
+	c, ok := e.(expr.Col)
+	if !ok || c.Idx < 0 || c.Idx >= schema.Len() {
+		return expr.Col{}, false
+	}
+	return c, true
+}
+
+// asConst recognizes a literal operand.
+func asConst(e expr.Expr) (tuple.Value, bool) {
+	c, ok := e.(expr.Const)
+	if !ok {
+		return tuple.Value{}, false
+	}
+	return c.V, true
+}
+
+// kindsComparable reports whether tuple.Compare is defined for a column of
+// kind a against a literal of kind b: strings only compare to strings,
+// numeric kinds (int, float, date, bool) compare among themselves.
+func kindsComparable(a, b tuple.Kind) bool {
+	return (a == tuple.KindString) == (b == tuple.KindString)
+}
+
+// hashCompatible reports whether a literal's Hash matches how values of
+// the column kind hash, which is what Bloom probes require: string and
+// float hash their own payloads; int, date and bool share one integer
+// hash.
+func hashCompatible(col tuple.Kind, v tuple.Value) bool {
+	if col == tuple.KindString || v.K == tuple.KindString {
+		return col == tuple.KindString && v.K == tuple.KindString
+	}
+	if col == tuple.KindFloat64 || v.K == tuple.KindFloat64 {
+		return col == tuple.KindFloat64 && v.K == tuple.KindFloat64
+	}
+	return true
+}
+
+// anyCond skips when any member skips (conjunction).
+type anyCond []cond
+
+func (a anyCond) skip(s *SegmentStats) bool {
+	for _, c := range a {
+		if c.skip(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// allCond skips when every member skips (disjunction).
+type allCond []cond
+
+func (a allCond) skip(s *SegmentStats) bool {
+	for _, c := range a {
+		if !c.skip(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// falseCond skips unconditionally.
+type falseCond struct{}
+
+func (falseCond) skip(*SegmentStats) bool { return true }
+
+// colStats fetches the zone map of col, nil when out of range.
+func colStats(s *SegmentStats, col int) *ColumnStats {
+	if col < 0 || col >= len(s.Cols) {
+		return nil
+	}
+	return &s.Cols[col]
+}
+
+// rangeCond prunes a single comparison against a literal.
+type rangeCond struct {
+	col  int
+	kind tuple.Kind
+	op   expr.CmpOp
+	v    tuple.Value
+}
+
+func (r rangeCond) skip(s *SegmentStats) bool {
+	cs := colStats(s, r.col)
+	if cs == nil || !cs.HasRange {
+		return false
+	}
+	switch r.op {
+	case expr.EQ:
+		return skipEqual(cs, r.kind, r.v)
+	case expr.NE:
+		// Only prunable when the whole segment equals v.
+		return tuple.Compare(cs.Min, r.v) == 0 && tuple.Compare(cs.Max, r.v) == 0
+	case expr.LT:
+		return tuple.Compare(cs.Min, r.v) >= 0
+	case expr.LE:
+		return tuple.Compare(cs.Min, r.v) > 0
+	case expr.GT:
+		return tuple.Compare(cs.Max, r.v) <= 0
+	case expr.GE:
+		return tuple.Compare(cs.Max, r.v) < 0
+	}
+	return false
+}
+
+// skipEqual is the shared equality test: outside the zone-map range, or
+// rejected by the Bloom filter.
+func skipEqual(cs *ColumnStats, kind tuple.Kind, v tuple.Value) bool {
+	if tuple.Compare(v, cs.Min) < 0 || tuple.Compare(v, cs.Max) > 0 {
+		return true
+	}
+	return cs.Bloom != nil && hashCompatible(kind, v) && !cs.Bloom.MayContain(v.Hash())
+}
+
+// betweenCond prunes lo ≤ col ≤ hi.
+type betweenCond struct {
+	col    int
+	lo, hi tuple.Value
+}
+
+func (b betweenCond) skip(s *SegmentStats) bool {
+	cs := colStats(s, b.col)
+	if cs == nil || !cs.HasRange {
+		return false
+	}
+	return tuple.Compare(cs.Max, b.lo) < 0 || tuple.Compare(cs.Min, b.hi) > 0
+}
+
+// inCond prunes membership in a literal set: skippable only when every
+// member is individually impossible. An empty IN list matches nothing.
+type inCond struct {
+	col  int
+	kind tuple.Kind
+	set  []tuple.Value
+}
+
+func (in inCond) skip(s *SegmentStats) bool {
+	cs := colStats(s, in.col)
+	if cs == nil || !cs.HasRange {
+		return false
+	}
+	for _, v := range in.set {
+		if !skipEqual(cs, in.kind, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixCond prunes LIKE 'p%': matching strings lie in [p, succ(p)).
+type prefixCond struct {
+	col    int
+	prefix string
+}
+
+func (p prefixCond) skip(s *SegmentStats) bool {
+	cs := colStats(s, p.col)
+	if cs == nil || !cs.HasRange || cs.Min.K != tuple.KindString {
+		return false
+	}
+	if tuple.Compare(cs.Max, tuple.Str(p.prefix)) < 0 {
+		return true
+	}
+	if up, ok := prefixSucc(p.prefix); ok && tuple.Compare(cs.Min, tuple.Str(up)) >= 0 {
+		return true
+	}
+	return false
+}
+
+// prefixSucc returns the smallest string greater than every string with
+// the given prefix (increment the last non-0xff byte, dropping what
+// follows). ok is false when no such bound exists (all-0xff prefixes).
+func prefixSucc(p string) (string, bool) {
+	b := []byte(p)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1]), true
+		}
+	}
+	return "", false
+}

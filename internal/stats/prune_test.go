@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/segment"
+	"repro/internal/tuple"
+)
+
+// prunerFor compiles a predicate over the test schema/table or fails.
+func prunerFor(t *testing.T, tab *Table, pred expr.Expr) Pruner {
+	t.Helper()
+	p, ok := ForPredicate(pred, testSchema, tab)
+	if !ok {
+		t.Fatalf("predicate %s not prunable", pred)
+	}
+	return p
+}
+
+// TestPruneSoundness is the core guarantee: whenever CanSkip says true,
+// no row of that segment satisfies the predicate. It drives a grammar of
+// randomized predicates over randomized segments and cross-checks every
+// skip decision against brute-force evaluation.
+func TestPruneSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 50; round++ {
+		segs := testSegments(rng, 4, 12)
+		tab := Collect("t", testSchema, segs, DefaultOptions())
+		for trial := 0; trial < 40; trial++ {
+			pred := randPredicate(rng, 2)
+			p, ok := ForPredicate(pred, testSchema, tab)
+			if !ok {
+				continue
+			}
+			for si, sg := range segs {
+				if !p.CanSkip(si) {
+					continue
+				}
+				for _, row := range sg.Rows {
+					match, err := expr.EvalBool(pred, row)
+					if err != nil {
+						t.Fatalf("round %d trial %d: eval %s: %v", round, trial, pred, err)
+					}
+					if match {
+						t.Fatalf("round %d trial %d: segment %d skipped but %s matches row %s",
+							round, trial, si, pred, row)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randPredicate generates a predicate from the prunable grammar plus a
+// few non-prunable constructs (which must compile to ok=false or stay
+// conservative inside conjunctions).
+func randPredicate(rng *rand.Rand, depth int) expr.Expr {
+	if depth > 0 && rng.Intn(3) == 0 {
+		terms := []expr.Expr{randPredicate(rng, depth-1), randPredicate(rng, depth-1)}
+		if rng.Intn(2) == 0 {
+			return expr.NewAnd(terms...)
+		}
+		return expr.NewOr(terms...)
+	}
+	col := rng.Intn(4)
+	switch col {
+	case 0: // int column
+		v := tuple.Int(int64(rng.Intn(400)))
+		return randCmp(rng, expr.NewCol(0, "k"), v)
+	case 1: // date column
+		v := tuple.DateFromDays(int64(8000 + rng.Intn(150)))
+		return randCmp(rng, expr.NewCol(1, "d"), v)
+	case 2: // string column
+		if rng.Intn(3) == 0 {
+			return expr.Prefix{E: expr.NewCol(2, "s"), Prefix: string(rune('a' + rng.Intn(6)))}
+		}
+		if rng.Intn(3) == 0 {
+			set := make([]tuple.Value, 1+rng.Intn(3))
+			for i := range set {
+				set[i] = tuple.Str(string(rune('a'+rng.Intn(6))) + string(rune('a'+rng.Intn(6))))
+			}
+			return expr.In{Needle: expr.NewCol(2, "s"), Set: set}
+		}
+		v := tuple.Str(string(rune('a'+rng.Intn(6))) + string(rune('a'+rng.Intn(6))))
+		return randCmp(rng, expr.NewCol(2, "s"), v)
+	default: // float column
+		v := tuple.Float(rng.Float64() * 5)
+		if rng.Intn(2) == 0 {
+			return expr.Between{E: expr.NewCol(3, "f"), Lo: tuple.Float(0.5), Hi: v}
+		}
+		return randCmp(rng, expr.NewCol(3, "f"), v)
+	}
+}
+
+func randCmp(rng *rand.Rand, col expr.Col, v tuple.Value) expr.Expr {
+	op := []expr.CmpOp{expr.EQ, expr.NE, expr.LT, expr.LE, expr.GT, expr.GE}[rng.Intn(6)]
+	if rng.Intn(2) == 0 {
+		// Literal on the left exercises operand flipping.
+		return expr.Cmp{Op: op, L: expr.Lit(v), R: col}
+	}
+	return expr.Cmp{Op: op, L: col, R: expr.Lit(v)}
+}
+
+// TestPruneBoundaries pins the inclusive/exclusive edges: predicates at
+// exactly a segment's min or max must keep the segment, one past them
+// must skip it.
+func TestPruneBoundaries(t *testing.T) {
+	rows := make([]tuple.Row, 5)
+	for i := range rows {
+		rows[i] = tuple.Row{
+			tuple.Int(int64(10 + i)), // k ∈ [10, 14]
+			tuple.DateFromDays(int64(100 + i)),
+			tuple.Str("mm"),
+			tuple.Float(1),
+		}
+	}
+	tab := Collect("t", testSchema, segsOf(rows), DefaultOptions())
+	k := expr.NewCol(0, "k")
+	cases := []struct {
+		pred expr.Expr
+		skip bool
+	}{
+		{expr.Cmp{Op: expr.EQ, L: k, R: expr.Lit(tuple.Int(10))}, false}, // min itself
+		{expr.Cmp{Op: expr.EQ, L: k, R: expr.Lit(tuple.Int(14))}, false}, // max itself
+		{expr.Cmp{Op: expr.EQ, L: k, R: expr.Lit(tuple.Int(9))}, true},
+		{expr.Cmp{Op: expr.EQ, L: k, R: expr.Lit(tuple.Int(15))}, true},
+		{expr.Cmp{Op: expr.LT, L: k, R: expr.Lit(tuple.Int(10))}, true},
+		{expr.Cmp{Op: expr.LE, L: k, R: expr.Lit(tuple.Int(10))}, false},
+		{expr.Cmp{Op: expr.GT, L: k, R: expr.Lit(tuple.Int(14))}, true},
+		{expr.Cmp{Op: expr.GE, L: k, R: expr.Lit(tuple.Int(14))}, false},
+		{expr.Between{E: k, Lo: tuple.Int(14), Hi: tuple.Int(99)}, false}, // touches max
+		{expr.Between{E: k, Lo: tuple.Int(15), Hi: tuple.Int(99)}, true},
+		{expr.Between{E: k, Lo: tuple.Int(0), Hi: tuple.Int(10)}, false}, // touches min
+		{expr.Between{E: k, Lo: tuple.Int(0), Hi: tuple.Int(9)}, true},
+	}
+	for i, tc := range cases {
+		p := prunerFor(t, tab, tc.pred)
+		if got := p.CanSkip(0); got != tc.skip {
+			t.Errorf("case %d %s: CanSkip = %v, want %v", i, tc.pred, got, tc.skip)
+		}
+	}
+}
+
+// segsOf wraps rows into a single test segment.
+func segsOf(rows []tuple.Row) []*segment.Segment {
+	return []*segment.Segment{{ID: segment.ObjectID{Table: "t"}, Rows: rows}}
+}
+
+// TestPruneUnanalyzable checks the conservative fallbacks: NOT and
+// column-vs-column comparisons are not prunable alone, an OR with an
+// unanalyzable branch is not prunable, but an AND keeps pruning on its
+// analyzable terms.
+func TestPruneUnanalyzable(t *testing.T) {
+	rows := []tuple.Row{{tuple.Int(5), tuple.DateFromDays(1), tuple.Str("aa"), tuple.Float(0)}}
+	tab := Collect("t", testSchema, segsOf(rows), DefaultOptions())
+	colCol := expr.Cmp{Op: expr.LT, L: expr.NewCol(0, "k"), R: expr.NewCol(1, "d")}
+	if _, ok := ForPredicate(colCol, testSchema, tab); ok {
+		t.Fatal("column-vs-column comparison compiled")
+	}
+	if _, ok := ForPredicate(expr.Not{E: expr.True}, testSchema, tab); ok {
+		t.Fatal("NOT compiled")
+	}
+	tight := expr.Cmp{Op: expr.GT, L: expr.NewCol(0, "k"), R: expr.Lit(tuple.Int(100))}
+	if _, ok := ForPredicate(expr.NewOr(tight, colCol), testSchema, tab); ok {
+		t.Fatal("OR with unanalyzable branch compiled")
+	}
+	p, ok := ForPredicate(expr.NewAnd(colCol, tight), testSchema, tab)
+	if !ok {
+		t.Fatal("AND with one analyzable term did not compile")
+	}
+	if !p.CanSkip(0) {
+		t.Fatal("AND did not prune on its analyzable term")
+	}
+}
+
+// TestPruneEmptySegmentAlwaysSkips: a zero-row segment can always be
+// skipped, whatever the predicate.
+func TestPruneEmptySegmentAlwaysSkips(t *testing.T) {
+	tab := Collect("t", testSchema, []*segment.Segment{{ID: segment.ObjectID{Table: "t"}}}, DefaultOptions())
+	p := prunerFor(t, tab, expr.Cmp{Op: expr.GE, L: expr.NewCol(0, "k"), R: expr.Lit(tuple.Int(0))})
+	if !p.CanSkip(0) {
+		t.Fatal("empty segment not skipped")
+	}
+	if p.CanSkip(1) || p.CanSkip(-1) {
+		t.Fatal("out-of-range segment index skipped")
+	}
+}
+
+// TestBloomPruning: an equality inside the zone-map range is still
+// skippable when the Bloom filter proves the value absent.
+func TestBloomPruning(t *testing.T) {
+	// Only even keys: odd probes fall inside [0, 98] but miss the Bloom.
+	rows := make([]tuple.Row, 50)
+	for i := range rows {
+		rows[i] = tuple.Row{tuple.Int(int64(2 * i)), tuple.DateFromDays(0), tuple.Str("x"), tuple.Float(0)}
+	}
+	tab := Collect("t", testSchema, segsOf(rows), DefaultOptions())
+	skipped := 0
+	for probe := int64(1); probe < 99; probe += 2 {
+		p := prunerFor(t, tab, expr.Cmp{Op: expr.EQ, L: expr.NewCol(0, "k"), R: expr.Lit(tuple.Int(probe))})
+		if p.CanSkip(0) {
+			skipped++
+		}
+	}
+	// ≈1% FPR at 10 bits/key: the vast majority of absent probes skip.
+	if skipped < 40 {
+		t.Fatalf("bloom skipped only %d/49 absent probes", skipped)
+	}
+	// Present values must never skip.
+	for probe := int64(0); probe < 100; probe += 2 {
+		p := prunerFor(t, tab, expr.Cmp{Op: expr.EQ, L: expr.NewCol(0, "k"), R: expr.Lit(tuple.Int(probe))})
+		if p.CanSkip(0) {
+			t.Fatalf("present value %d pruned", probe)
+		}
+	}
+}
+
+// TestPrefixPruning pins the LIKE 'p%' bounds, including the succ edge.
+func TestPrefixPruning(t *testing.T) {
+	rows := []tuple.Row{
+		{tuple.Int(0), tuple.DateFromDays(0), tuple.Str("carrot"), tuple.Float(0)},
+		{tuple.Int(0), tuple.DateFromDays(0), tuple.Str("cherry"), tuple.Float(0)},
+	}
+	tab := Collect("t", testSchema, segsOf(rows), DefaultOptions())
+	cases := []struct {
+		prefix string
+		skip   bool
+	}{
+		{"c", false},
+		{"ca", false},
+		{"ch", false},
+		{"b", true},   // every value sorts above the prefix range
+		{"d", true},   // every value sorts below the prefix range
+		{"cz", true},  // max "cherry" < "cz"
+		{"ce", false}, // nothing matches, but [min,max] straddles "ce": not provable from the range
+	}
+	for _, tc := range cases {
+		pred := expr.Prefix{E: expr.NewCol(2, "s"), Prefix: tc.prefix}
+		p, ok := ForPredicate(pred, testSchema, tab)
+		if !ok {
+			t.Fatalf("prefix %q not prunable", tc.prefix)
+		}
+		if got := p.CanSkip(0); got != tc.skip {
+			t.Errorf("prefix %q: CanSkip = %v, want %v", tc.prefix, got, tc.skip)
+		}
+	}
+	if got := fmt.Sprint(p0(t, tab).Predicate()); got == "" {
+		t.Fatal("empty predicate description")
+	}
+}
+
+func p0(t *testing.T, tab *Table) Pruner {
+	return prunerFor(t, tab, expr.Prefix{E: expr.NewCol(2, "s"), Prefix: "c"})
+}

@@ -81,7 +81,15 @@ func DecodeRows(s *Schema, data []byte) ([]Row, error) {
 		return nil, fmt.Errorf("tuple: truncated row-batch header")
 	}
 	data = data[sz:]
-	rows := make([]Row, 0, n)
+	// The count header is untrusted input: cap the preallocation by what
+	// the remaining bytes could possibly hold (every non-empty row costs
+	// at least one byte), so a corrupt header cannot demand the count's
+	// worth of memory up front.
+	capHint := n
+	if limit := uint64(len(data)) + 1; capHint > limit {
+		capHint = limit
+	}
+	rows := make([]Row, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		r, rest, err := DecodeRow(s, data)
 		if err != nil {

@@ -8,10 +8,13 @@ import (
 
 // Evaluate runs a query spec locally (no simulation, no costs) against the
 // dataset's in-memory store — handy for result inspection and as the
-// ground truth in tests.
+// ground truth in tests. Data skipping is deliberately left OFF so the
+// evaluator stays an oracle independent of the statistics subsystem:
+// differential tests that compare a pruned execution against Evaluate
+// exercise the pruning on/off boundary for free.
 func Evaluate(ds *Dataset, spec skipper.QuerySpec) ([]tuple.Row, error) {
 	ctx := engine.NewTestCtx(ds.Store)
-	it, err := skipper.BuildPullPlan(ctx, spec.Join)
+	it, err := skipper.BuildPullPlanPruned(ctx, spec.Join, false)
 	if err != nil {
 		return nil, err
 	}

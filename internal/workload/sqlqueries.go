@@ -75,6 +75,46 @@ func SSBQ13(cat *catalog.Catalog) skipper.QuerySpec {
 		  AND lo_quantity BETWEEN 26 AND 35`)
 }
 
+// QShipdateWindow is the data-skipping probe behind the selectivity
+// sweep: Q12's lineitem⋈orders join with a configurable l_shipdate
+// window (dates as 'YYYY-MM-DD'). Going through the SQL planner attaches
+// a stats.Pruner for the window automatically. The aggregates are
+// integer-only (COUNT plus SUM of an int column), so results are
+// bit-identical under any execution order — pruning on/off and every
+// DOP and arrival order can be compared byte for byte.
+func QShipdateWindow(cat *catalog.Catalog, lo, hi string) skipper.QuerySpec {
+	return mustPlan(cat, fmt.Sprintf("shipwin[%s..%s]", lo, hi), fmt.Sprintf(`
+		SELECT l_shipmode, COUNT(*) AS lines, SUM(l_quantity) AS qty
+		FROM lineitem, orders
+		WHERE l_orderkey = o_orderkey
+		  AND l_shipdate BETWEEN '%s' AND '%s'
+		GROUP BY l_shipmode
+		ORDER BY l_shipmode`, lo, hi))
+}
+
+// Q5Selective is the Q5-style pruning showcase: the full six-relation
+// Q5 join shape with tight range predicates on the two date columns, so
+// on a date-clustered dataset the zone maps skip most lineitem and
+// orders segments before any CSD request is issued. Integer aggregates
+// keep the result bit-identical at any execution order (see
+// QShipdateWindow).
+func Q5Selective(cat *catalog.Catalog) skipper.QuerySpec {
+	return mustPlan(cat, "tpch-q5-selective", `
+		SELECT n_name, COUNT(*) AS lines, SUM(l_quantity) AS qty
+		FROM customer, orders, lineitem, supplier, nation, region
+		WHERE c_custkey = o_custkey
+		  AND o_orderkey = l_orderkey
+		  AND l_suppkey = s_suppkey
+		  AND s_nationkey = n_nationkey
+		  AND n_regionkey = r_regionkey
+		  AND c_nationkey = s_nationkey
+		  AND r_name = 'ASIA'
+		  AND o_orderdate BETWEEN '1994-01-01' AND '1994-03-31'
+		  AND l_shipdate BETWEEN '1994-01-01' AND '1994-06-30'
+		GROUP BY n_name
+		ORDER BY n_name`)
+}
+
 // Q6SQL is TPC-H Q6 ("forecasting revenue change") — a single-relation
 // scan with tight predicates, demonstrating scans need no MJoin.
 func Q6SQL(cat *catalog.Catalog) skipper.QuerySpec {

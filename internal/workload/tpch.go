@@ -22,11 +22,13 @@ type TPCHConfig struct {
 	RowsPerObject int
 	// Seed makes generation deterministic per tenant.
 	Seed int64
-	// ClusteredDates sorts lineitem by l_shipdate before segmenting, so
-	// date-filtered queries find their matches concentrated in a few
-	// segments — the distribution under which Skipper's subplan pruning
-	// eliminates refetches (§5.2.4). Default (false) spreads matches
-	// uniformly, the paper's high-reissue case.
+	// ClusteredDates sorts lineitem by l_shipdate and orders by
+	// o_orderdate before segmenting, so date-filtered queries find their
+	// matches concentrated in a few segments — the distribution under
+	// which Skipper's subplan pruning eliminates refetches (§5.2.4) and
+	// under which the zone maps of the statistics subsystem skip most
+	// segments outright. Default (false) spreads matches uniformly, the
+	// paper's high-reissue case.
 	ClusteredDates bool
 }
 
@@ -201,6 +203,12 @@ func TPCH(tenant int, cfg TPCHConfig) *Dataset {
 			tuple.Str(pick(b.rng, priorities)),
 			tuple.Float(float64(b.rng.Intn(5000000)) / 100),
 		}
+	}
+	if cfg.ClusteredDates {
+		dateIdx := SchemaOrders.MustColIndex("o_orderdate")
+		sort.SliceStable(ordRows, func(i, j int) bool {
+			return ordRows[i][dateIdx].AsInt() < ordRows[j][dateIdx].AsInt()
+		})
 	}
 	b.addTable("orders", SchemaOrders, ordRows, counts["orders"])
 
