@@ -7,6 +7,8 @@
 //	skipperbench -fig 7              # Figure 7 only
 //	skipperbench -fig table3 -quick  # reduced-scale smoke run
 //	skipperbench -prune -quick       # data-skipping report (fails on divergence)
+//	skipperbench -proj -quick        # projection/format report (fails on divergence)
+//	skipperbench -format v2 -fig 9   # serve columnar (v2) encoded objects
 //
 // Figures: table1, 2, 3, 4, 5, 7, 8, 9, table3, 10, 11a, 11b, 11c, 12,
 // selectivity (the data-skipping sweep — ours, not the paper's).
@@ -15,6 +17,17 @@
 // engines with data skipping on and off, reports segments fetched vs
 // skipped, and exits non-zero if any pair of runs diverges in its query
 // results — the CI gate for the statistics subsystem.
+//
+// -proj runs the projective probe queries over the same dataset encoded
+// in the row-major (v1) and columnar (v2) segment formats, reports bytes
+// fetched vs decoded vs skipped-by-projection plus scan-side decode
+// time, and exits non-zero on any result divergence — the CI gate for
+// the segment format.
+//
+// -format selects the wire format the CSD store serves for figure runs:
+// mem (in-memory segments, no decode work — the default), v1, or v2.
+// Simulated timings are format-independent; real runtime and the byte
+// accounting are not.
 package main
 
 import (
@@ -36,9 +49,11 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced-scale configuration")
 	sf := flag.Int("sf", 0, "override TPC-H scale factor")
 	dop := flag.Int("dop", 0, "per-client query-execution parallelism (0 = number of CPUs, 1 = serial)")
-	format := flag.String("format", "table", "output format: table or csv")
+	outFmt := flag.String("out", "table", "output format: table or csv")
 	showTrace := flag.Bool("trace", false, "run a small 3-client scenario and print its event trace instead of figures")
 	prune := flag.Bool("prune", false, "run the data-skipping report (segments fetched vs skipped, on/off, both engines) and exit non-zero on result divergence")
+	proj := flag.Bool("proj", false, "run the projection/format report (v1 vs v2 decode bytes and time) and exit non-zero on result divergence")
+	segFormat := flag.String("format", "mem", "segment wire format served by the CSD store: mem, v1 or v2")
 	flag.Parse()
 
 	if *showTrace {
@@ -57,6 +72,12 @@ func main() {
 	if p.Parallelism <= 0 {
 		p.Parallelism = runtime.NumCPU()
 	}
+	wireFmt, err := segment.ParseFormat(*segFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipperbench: %v\n", err)
+		os.Exit(2)
+	}
+	p.Format = wireFmt
 
 	if *prune {
 		f, err := p.PruneReport()
@@ -64,7 +85,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skipperbench: prune report: %v\n", err)
 			os.Exit(1)
 		}
-		if *format == "csv" {
+		if *outFmt == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f)
+		}
+		return
+	}
+
+	if *proj {
+		f, err := p.ProjectionReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipperbench: projection report: %v\n", err)
+			os.Exit(1)
+		}
+		if *outFmt == "csv" {
 			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
 		} else {
 			fmt.Println(f)
@@ -114,7 +149,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skipperbench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		if *format == "csv" {
+		if *outFmt == "csv" {
 			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
 		} else {
 			fmt.Println(f)

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	skipperql [-workload tpch|ssb|mrbench|nref] [-sf N] [-engine skipper|vanilla|local] [-cache N] [-prune=false]
+//	skipperql [-workload tpch|ssb|mrbench|nref] [-sf N] [-engine skipper|vanilla|local]
+//	          [-cache N] [-prune=false] [-format mem|v1|v2]
 //
 // Example session:
 //
@@ -15,7 +16,14 @@
 //
 // Prefixing a statement with EXPLAIN prints the pull-engine plan instead
 // of executing it, including, per scan, the predicate pushed down for
-// data skipping and how many segments the catalog statistics prune.
+// data skipping, how many segments the catalog statistics prune, and the
+// columns the projection decodes; with an encoded store (-format v1/v2)
+// it also reports how many column-block bytes the plan would decode
+// versus skip.
+//
+// -format selects the segment wire format the store serves: v2 (the
+// columnar default — scans decode only referenced column blocks), v1
+// (row-major), or mem (in-memory segments, no decode work).
 package main
 
 import (
@@ -26,6 +34,8 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/objstore"
 	"repro/internal/segment"
 	"repro/internal/skipper"
 	"repro/internal/sql"
@@ -41,6 +51,7 @@ func main() {
 	engineName := flag.String("engine", "skipper", "execution engine: skipper, vanilla, local")
 	cache := flag.Int("cache", 10, "MJoin cache size in objects (skipper engine)")
 	prune := flag.Bool("prune", true, "enable zone-map/Bloom data skipping of segment requests")
+	segFormat := flag.String("format", "v2", "segment wire format the store serves: mem, v1 or v2")
 	clustered := flag.Bool("clustered", false, "sort the TPC-H date columns before segmenting (makes date predicates prunable)")
 	command := flag.String("c", "", "run one statement and exit")
 	flag.Parse()
@@ -60,13 +71,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	wireFmt, err := segment.ParseFormat(*segFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipperql: %v\n", err)
+		os.Exit(2)
+	}
+	// Re-encode the dataset in the chosen wire format: the store then
+	// serves lazily decoded segments, scans pay (and report) real decode
+	// work, and the catalog statistics come from the v2 column
+	// directories. FormatMem keeps the generator's in-memory segments.
+	ds, err = objstore.ReencodeDataset(ds, wireFmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipperql: encode dataset: %v\n", err)
+		os.Exit(1)
+	}
+
 	planner := &sql.Planner{Catalog: ds.Catalog}
 	if *command != "" {
 		execute(planner, ds, *engineName, *cache, *prune, *command)
 		return
 	}
 
-	fmt.Printf("skipperql — %s dataset, %d objects, engine=%s\n", *wl, len(ds.Catalog.AllObjects()), *engineName)
+	fmt.Printf("skipperql — %s dataset, %d objects, engine=%s, format=%s\n", *wl, len(ds.Catalog.AllObjects()), *engineName, wireFmt)
 	fmt.Printf("tables: %s\n", strings.Join(ds.Catalog.TableNames(), ", "))
 	fmt.Println(`end statements with ';', '\q' quits, '\d table' describes a table, EXPLAIN SELECT ... shows the plan`)
 
@@ -161,6 +187,11 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 	fmt.Printf("-- %s: %.1fs virtual (processing %.1fs, stalled %.1fs), %d GETs (%d pruned), %d switches\n",
 		mode, cs.Elapsed().Seconds(), cs.Processing.Seconds(), cs.Stalled().Seconds(),
 		cs.GetsIssued, cs.SegmentsSkipped, res.CSD.GroupSwitches)
+	if cs.BytesFetched > 0 {
+		fmt.Printf("-- bytes: %d fetched, %d decoded, %d skipped by projection (%.0f%%), %d materialized\n",
+			cs.BytesFetched, cs.BytesDecoded, cs.BytesSkippedByProjection,
+			100*metrics.ProjectionRatio(cs.BytesDecoded, cs.BytesSkippedByProjection), cs.BytesMaterialized)
+	}
 }
 
 // stripExplain recognizes a leading EXPLAIN keyword and returns the
@@ -195,13 +226,37 @@ func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, stmtTex
 	}
 	fmt.Print(engine.Explain(it))
 	total, skipped := 0, 0
+	var decodeB, skipB int64
 	for _, rel := range spec.Join.Relations {
 		total += len(rel.Table.Objects)
 		if prune {
 			skipped += stats.CountSkipped(rel.Pruner, len(rel.Table.Objects))
 		}
+		// Estimate the projection's block-byte effect from the column
+		// directories of the unpruned segments (encoded v2 stores only).
+		want := map[int]bool{}
+		for _, ci := range rel.Cols {
+			want[ci] = true
+		}
+		for si, id := range rel.Table.Objects {
+			if prune && rel.Pruner != nil && rel.Pruner.CanSkip(si) {
+				continue
+			}
+			dir := ds.Store[id].Directory()
+			for ci, m := range dir {
+				if rel.Cols == nil || want[ci] {
+					decodeB += int64(m.BlockLen)
+				} else {
+					skipB += int64(m.BlockLen)
+				}
+			}
+		}
 	}
 	fmt.Printf("-- data skipping: %d of %d segment fetches pruned\n", skipped, total)
+	if decodeB+skipB > 0 {
+		fmt.Printf("-- projection: decode %d of %d column-block bytes (%d skipped, %.0f%%)\n",
+			decodeB, decodeB+skipB, skipB, 100*metrics.ProjectionRatio(decodeB, skipB))
+	}
 }
 
 // evalPulled runs the spec locally on the pull engine (no simulation),

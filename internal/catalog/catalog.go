@@ -47,7 +47,9 @@ func New(tenant int) *Catalog {
 // AddTable registers a relation from its segments, computing its
 // per-segment statistics (zone maps + Bloom filters) as part of the
 // catalog metadata. The segments must all belong to this catalog's
-// tenant and share the table name.
+// tenant and share the table name. Lazily decoded v2 segments register
+// without any row materialization: row counts and zone maps come from
+// the column directories (see stats.CollectChecked).
 func (c *Catalog) AddTable(name string, schema *tuple.Schema, segs []*segment.Segment) (*TableMeta, error) {
 	if _, dup := c.tables[name]; dup {
 		return nil, fmt.Errorf("catalog: table %q already registered", name)
@@ -63,9 +65,13 @@ func (c *Catalog) AddTable(name string, schema *tuple.Schema, segs []*segment.Se
 			return nil, fmt.Errorf("catalog: segment %v registered under table %q", sg.ID, name)
 		}
 		tm.Objects = append(tm.Objects, sg.ID)
-		tm.RowCount += int64(len(sg.Rows))
+		tm.RowCount += int64(sg.NumRows())
 	}
-	tm.Stats = stats.Collect(name, schema, ordered, stats.DefaultOptions())
+	st, err := stats.CollectChecked(name, schema, ordered, stats.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("catalog: table %q: %w", name, err)
+	}
+	tm.Stats = st
 	c.tables[name] = tm
 	c.order = append(c.order, name)
 	return tm, nil

@@ -42,13 +42,19 @@ type Interval struct {
 
 // Stats aggregates what the device did during a run.
 type Stats struct {
-	GroupSwitches   int
-	ObjectsServed   int
-	BytesServed     int64
-	GetsReceived    int
-	GetsByTenant    map[int]int
-	ServedByQuery   map[string]int
-	SwitchIntervals []Interval // when the device was mid-switch
+	GroupSwitches int
+	ObjectsServed int
+	// BytesServed sums the nominal (paper-scale, 1 GB) object sizes the
+	// transfer model charges for.
+	BytesServed int64
+	// PayloadBytesServed sums the actual encoded sizes of the served
+	// objects — the wire footprint of the segment format in use. Zero
+	// when the store holds in-memory (never-encoded) segments.
+	PayloadBytesServed int64
+	GetsReceived       int
+	GetsByTenant       map[int]int
+	ServedByQuery      map[string]int
+	SwitchIntervals    []Interval // when the device was mid-switch
 	// GetsAvoided counts segment requests that were never issued because
 	// the clients' statistics subsystem (zone maps + Bloom filters)
 	// skipped them. The device cannot observe these itself; the cluster
@@ -362,6 +368,7 @@ func (c *CSD) tenantStream(tenant int) *stream {
 				r.Reply.Send(p, Delivery{Object: r.Object, Seg: seg})
 				c.stats.ObjectsServed++
 				c.stats.BytesServed += seg.NominalBytes
+				c.stats.PayloadBytesServed += seg.EncodedSize()
 				c.cfg.Events.Add(trace.Event{
 					At: p.Now(), Kind: trace.KindDelivery, Tenant: r.Tenant,
 					Query: r.QueryID, Object: r.Object.String(), Group: -1,

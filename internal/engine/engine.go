@@ -119,6 +119,14 @@ func Collect(it Iterator) ([]tuple.Row, error) {
 // a reused columnar batch; Next serves single rows off the same segment
 // cursor, so mixing the two protocols stays consistent and per-segment
 // cost charges are identical on both paths.
+//
+// Against lazily decoded segments (segment.DecodeLazy output) the scan
+// performs the decode itself, per segment, and — when Project is set on a
+// v2 segment — decodes only the projected column blocks, copying them
+// straight into the reused output batch with no intermediate Row
+// materialization. Columns outside the projection are filled with typed
+// zero values; the planner only sets Project when no downstream operator
+// reads them.
 type SeqScan struct {
 	ctx   *Ctx
 	table *catalog.TableMeta
@@ -131,11 +139,47 @@ type SeqScan struct {
 	// Filter.
 	Pruner stats.Pruner
 
+	// Project lists the schema columns the query references (sorted,
+	// possibly empty = none but the row count). nil decodes everything —
+	// the conservative default. It only affects lazily decoded segments;
+	// materialized segments always carry all columns.
+	Project []int
+
 	segIdx  int
 	rows    []tuple.Row
+	cd      *segment.ColumnData
+	nrows   int
 	rowIdx  int
 	skipped int
+	bytes   ScanBytes
 	out     *tuple.Batch
+}
+
+// ScanBytes is the scan-side byte accounting of one SeqScan drain. All
+// counters are zero over materialized (never-encoded) stores, where the
+// scan has no decode work to do.
+type ScanBytes struct {
+	// Fetched is the total encoded size of the segments fetched.
+	Fetched int64
+	// Decoded counts encoded block bytes actually decoded.
+	Decoded int64
+	// SkippedByProjection counts encoded block bytes left undecoded
+	// because the projection did not need their columns.
+	SkippedByProjection int64
+	// Materialized counts the logical bytes of decoded values.
+	Materialized int64
+	// DecodeTime is the wall-clock time spent decoding segments — the
+	// scan-side decode cost the v2 format attacks.
+	DecodeTime time.Duration
+}
+
+// add accumulates another scan's counters.
+func (b *ScanBytes) add(o ScanBytes) {
+	b.Fetched += o.Fetched
+	b.Decoded += o.Decoded
+	b.SkippedByProjection += o.SkippedByProjection
+	b.Materialized += o.Materialized
+	b.DecodeTime += o.DecodeTime
 }
 
 // NewSeqScan builds a sequential scan over the table.
@@ -148,7 +192,8 @@ func (s *SeqScan) Schema() *tuple.Schema { return s.table.Schema }
 
 // Open implements Iterator.
 func (s *SeqScan) Open() error {
-	s.segIdx, s.rowIdx, s.rows, s.skipped = 0, 0, nil, 0
+	s.segIdx, s.rowIdx, s.nrows, s.rows, s.skipped = 0, 0, 0, nil, 0
+	s.bytes = ScanBytes{}
 	return nil
 }
 
@@ -156,11 +201,17 @@ func (s *SeqScan) Open() error {
 // far in this iteration.
 func (s *SeqScan) SegmentsSkipped() int { return s.skipped }
 
+// Bytes reports the scan-side byte and decode-time accounting so far in
+// this iteration.
+func (s *SeqScan) Bytes() ScanBytes { return s.bytes }
+
 // loadSegment advances to the next segment holding unread rows, charging
 // the per-segment processing cost per fetch; prunable segments are
-// passed over without a fetch. ok=false signals exhaustion.
+// passed over without a fetch. Lazy segments are decoded here — only the
+// projected column blocks for v2 — into reused buffers. ok=false signals
+// exhaustion.
 func (s *SeqScan) loadSegment() (ok bool, err error) {
-	for s.rowIdx >= len(s.rows) {
+	for s.rowIdx >= s.nrows {
 		for s.Pruner != nil && s.segIdx < len(s.table.Objects) && s.Pruner.CanSkip(s.segIdx) {
 			s.segIdx++
 			s.skipped++
@@ -173,7 +224,21 @@ func (s *SeqScan) loadSegment() (ok bool, err error) {
 			return false, err
 		}
 		s.segIdx++
-		s.rows, s.rowIdx = sg.Rows, 0
+		if sg.Lazy() {
+			start := time.Now()
+			cd, err := sg.DecodeColumns(s.table.Schema, s.Project, s.cd)
+			if err != nil {
+				return false, err
+			}
+			s.bytes.DecodeTime += time.Since(start)
+			s.bytes.Fetched += sg.EncodedSize()
+			s.bytes.Decoded += cd.BytesDecoded
+			s.bytes.SkippedByProjection += cd.BytesSkipped
+			s.bytes.Materialized += cd.BytesMaterialized
+			s.cd, s.rows, s.nrows, s.rowIdx = cd, nil, cd.NumRows, 0
+		} else {
+			s.cd, s.rows, s.nrows, s.rowIdx = nil, sg.Rows, len(sg.Rows), 0
+		}
 		// Charge the per-segment processing cost as the segment is
 		// consumed.
 		s.ctx.Clock.Sleep(s.ctx.Costs.ProcessPerObject)
@@ -186,6 +251,18 @@ func (s *SeqScan) Next() (tuple.Row, bool, error) {
 	ok, err := s.loadSegment()
 	if !ok {
 		return nil, false, err
+	}
+	if s.cd != nil {
+		row := make(tuple.Row, len(s.cd.Cols))
+		for c := range s.cd.Cols {
+			if s.cd.Cols[c] == nil {
+				row[c] = tuple.Value{K: s.table.Schema.Cols[c].Kind}
+			} else {
+				row[c] = s.cd.Cols[c][s.rowIdx]
+			}
+		}
+		s.rowIdx++
+		return row, true, nil
 	}
 	row := s.rows[s.rowIdx]
 	s.rowIdx++
@@ -200,11 +277,24 @@ func (s *SeqScan) NextBatch() (*tuple.Batch, bool, error) {
 	if !ok {
 		return nil, false, err
 	}
+	if s.cd != nil {
+		if s.out == nil {
+			s.out = tuple.NewBatch(s.table.Schema, DefaultBatchSize)
+		}
+		s.out.Reset()
+		n := s.nrows - s.rowIdx
+		if n > s.out.Cap() {
+			n = s.out.Cap()
+		}
+		s.out.AppendColumns(s.cd.Cols, s.rowIdx, s.rowIdx+n)
+		s.rowIdx += n
+		return s.out, true, nil
+	}
 	return serveRowSlice(&s.out, s.table.Schema, s.rows, &s.rowIdx)
 }
 
 // Close implements Iterator.
 func (s *SeqScan) Close() error {
-	s.rows = nil
+	s.rows, s.cd = nil, nil
 	return nil
 }

@@ -40,6 +40,14 @@ func (s *SeqScan) explain() (string, []Iterator) {
 		label += fmt.Sprintf(" [prune %d/%d segments on %s]",
 			stats.CountSkipped(s.Pruner, total), total, s.Pruner.Predicate())
 	}
+	if s.Project != nil {
+		names := make([]string, len(s.Project))
+		for i, ci := range s.Project {
+			names[i] = s.table.Schema.Cols[ci].Name
+		}
+		label += fmt.Sprintf(" [project %d/%d cols: %s]",
+			len(s.Project), s.table.Schema.Len(), strings.Join(names, ","))
+	}
 	return label, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/csd"
 	"repro/internal/layout"
+	"repro/internal/objstore"
 	"repro/internal/segment"
 	"repro/internal/skipper"
 	"repro/internal/workload"
@@ -43,6 +44,20 @@ type Params struct {
 	// skipper.Client.Parallelism). 0 or 1 runs serially. It changes only
 	// real runtime, never the simulated timings the figures report.
 	Parallelism int
+	// Format selects the segment wire format the CSD store serves.
+	// FormatMem (the zero value) keeps the generator's in-memory
+	// segments — no encode/decode work, the historical behaviour.
+	// FormatV1/FormatV2 push every dataset through the object store and
+	// serve lazily decoded segments, so scans perform (and account) real
+	// per-access decode work; v2 additionally honours projection
+	// pushdown. Query results are identical across formats — the
+	// differential suites and `skipperbench -proj` enforce it.
+	Format segment.Format
+}
+
+// encoded re-encodes a dataset per p.Format (no-op for FormatMem).
+func (p Params) encoded(ds *workload.Dataset) (*workload.Dataset, error) {
+	return objstore.ReencodeDataset(ds, p.Format)
 }
 
 // Default returns the paper's configuration.
@@ -172,7 +187,10 @@ func (p Params) run(spec runSpec) (*skipper.RunResult, error) {
 	store := make(map[segment.ObjectID]*segment.Segment)
 	clients := make([]*skipper.Client, spec.clients)
 	for t := 0; t < spec.clients; t++ {
-		ds := spec.dataset(t)
+		ds, err := p.encoded(spec.dataset(t))
+		if err != nil {
+			return nil, err
+		}
 		ds.MergeInto(store)
 		qs := spec.queries(ds.Catalog)
 		if spec.repeat > 1 {

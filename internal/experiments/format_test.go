@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mjoin"
+	"repro/internal/objstore"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// The format differential suite proves the columnar segment format end to
+// end: for every probe query, serving the same dataset as in-memory
+// segments (mem), row-major objects (v1) and columnar objects with
+// projection pushdown (v2) must produce byte-identical, identically
+// ordered results — across both engines, DOP ∈ {1, 4} and data skipping
+// on/off. Queries whose aggregates are integer-only compare across
+// engines too; float-aggregating queries compare within each engine
+// (parallel/ out-of-order float addition may differ in the last ulps, as
+// documented in docs/tuning.md — that is an engine property, not a
+// format one).
+
+var formatDiffQueries = []struct {
+	name        string
+	spec        func(ds *workload.Dataset) skipper.QuerySpec
+	crossEngine bool
+}{
+	{"q12", func(ds *workload.Dataset) skipper.QuerySpec { return workload.Q12(ds.Catalog) }, true},
+	{"shipdate-window", func(ds *workload.Dataset) skipper.QuerySpec {
+		return workload.QShipdateWindow(ds.Catalog, "1994-01-01", "1994-03-31")
+	}, true},
+	{"q5-selective", func(ds *workload.Dataset) skipper.QuerySpec { return workload.Q5Selective(ds.Catalog) }, true},
+	{"projective-scan", func(ds *workload.Dataset) skipper.QuerySpec { return workload.QProjectiveScan(ds.Catalog) }, true},
+	{"count-star", func(ds *workload.Dataset) skipper.QuerySpec { return workload.QCountLineitem(ds.Catalog) }, true},
+	{"q3-float", func(ds *workload.Dataset) skipper.QuerySpec { return workload.Q3(ds.Catalog) }, false},
+	{"q14-float", func(ds *workload.Dataset) skipper.QuerySpec { return workload.Q14(ds.Catalog) }, false},
+}
+
+// evalFormat runs one (mode, dop, prune) combination locally over the
+// given (possibly lazily decoded) store.
+func evalFormat(ds *workload.Dataset, spec skipper.QuerySpec, mode skipper.Mode, dop int, prune bool) ([]tuple.Row, error) {
+	if mode == skipper.ModeVanilla {
+		it, err := skipper.BuildPullPlanPruned(engine.NewTestCtx(ds.Store), spec.Join, prune)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Shape != nil {
+			it = spec.Shape(it)
+		}
+		return engine.Collect(engine.Parallelize(it, dop))
+	}
+	cfg := mjoin.DefaultConfig(len(spec.Join.Objects()))
+	cfg.StatsPruning = prune
+	cfg.Parallelism = dop
+	res, err := mjoin.Run(spec.Join, cfg, &immediateSource{store: ds.Store})
+	if err != nil {
+		return nil, err
+	}
+	if spec.Shape == nil {
+		return res.Rows, nil
+	}
+	return engine.Collect(engine.Parallelize(spec.Shape(engine.NewValues(res.Schema, res.Rows)), dop))
+}
+
+func TestFormatDifferential(t *testing.T) {
+	p := Quick()
+	base := p.clusteredDataset()
+	datasets := map[segment.Format]*workload.Dataset{segment.FormatMem: base}
+	for _, f := range []segment.Format{segment.FormatV1, segment.FormatV2} {
+		ds, err := objstore.ReencodeDataset(base, f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", f, err)
+		}
+		datasets[f] = ds
+	}
+	formats := []segment.Format{segment.FormatMem, segment.FormatV1, segment.FormatV2}
+	for _, q := range formatDiffQueries {
+		q := q
+		t.Run(q.name, func(t *testing.T) {
+			want := map[skipper.Mode][]string{}
+			for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+				for _, f := range formats {
+					ds := datasets[f]
+					spec := q.spec(ds)
+					for _, dop := range []int{1, 4} {
+						for _, prune := range []bool{true, false} {
+							label := fmt.Sprintf("%v/%s/dop%d/prune=%v", f, mode, dop, prune)
+							rows, err := evalFormat(ds, spec, mode, dop, prune)
+							if err != nil {
+								t.Fatalf("%s: %v", label, err)
+							}
+							got := render(rows)
+							key := mode
+							if q.crossEngine {
+								key = skipper.ModeVanilla // one bucket for all runs
+							}
+							if want[key] == nil {
+								want[key] = got
+								continue
+							}
+							if err := equalStrings(want[key], got); err != nil {
+								t.Fatalf("%s diverges: %v", label, err)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFormatDifferentialScrambledArrivals drives the MJoin engine with
+// deterministic shuffled deliveries over every format: out-of-order
+// arrivals are the regime the state manager exists for, and the shaped
+// results must still be identical across formats.
+func TestFormatDifferentialScrambledArrivals(t *testing.T) {
+	p := Quick()
+	base := p.clusteredDataset()
+	var want []string
+	for _, f := range []segment.Format{segment.FormatMem, segment.FormatV1, segment.FormatV2} {
+		ds, err := objstore.ReencodeDataset(base, f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", f, err)
+		}
+		spec := workload.QShipdateWindow(ds.Catalog, "1994-01-01", "1994-06-30")
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := mjoin.DefaultConfig(len(spec.Join.Objects()))
+			res, err := mjoin.Run(spec.Join, cfg, &scrambledSource{store: ds.Store, rng: rand.New(rand.NewSource(seed))})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", f, seed, err)
+			}
+			rows, err := engine.Collect(spec.Shape(engine.NewValues(res.Schema, res.Rows)))
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", f, seed, err)
+			}
+			got := render(rows)
+			if want == nil {
+				want = got
+				continue
+			}
+			if err := equalStrings(want, got); err != nil {
+				t.Fatalf("%v seed %d diverges: %v", f, seed, err)
+			}
+		}
+	}
+}
+
+// scrambledSource delivers requested objects in a deterministic shuffled
+// order.
+type scrambledSource struct {
+	store map[segment.ObjectID]*segment.Segment
+	rng   *rand.Rand
+	queue []*segment.Segment
+}
+
+func (s *scrambledSource) Request(objs []segment.ObjectID) {
+	order := make([]segment.ObjectID, len(objs))
+	copy(order, objs)
+	s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, id := range order {
+		s.queue = append(s.queue, s.store[id])
+	}
+}
+
+func (s *scrambledSource) NextArrival() *segment.Segment {
+	sg := s.queue[0]
+	s.queue = s.queue[1:]
+	return sg
+}
+
+// TestFormatPreservesCatalogStats asserts the v2 path's directory-derived
+// statistics are exactly what row-walking produces: same zone maps, same
+// pruning decisions.
+func TestFormatPreservesCatalogStats(t *testing.T) {
+	p := Quick()
+	base := p.clusteredDataset()
+	v2, err := objstore.ReencodeDataset(base, segment.FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range base.Catalog.TableNames() {
+		bt, vt := base.Catalog.MustTable(name), v2.Catalog.MustTable(name)
+		if bt.RowCount != vt.RowCount {
+			t.Fatalf("%s: row count %d vs %d", name, bt.RowCount, vt.RowCount)
+		}
+		for si := range bt.Stats.Segments {
+			bs, vs := bt.Stats.Segments[si], vt.Stats.Segments[si]
+			if bs.Rows != vs.Rows {
+				t.Fatalf("%s[%d]: rows %d vs %d", name, si, bs.Rows, vs.Rows)
+			}
+			for ci := range bs.Cols {
+				b, v := bs.Cols[ci], vs.Cols[ci]
+				if b.HasRange != v.HasRange || b.Nulls != v.Nulls {
+					t.Fatalf("%s[%d] col %d: range/nulls diverge", name, si, ci)
+				}
+				if b.HasRange && (!tuple.Equal(b.Min, v.Min) || !tuple.Equal(b.Max, v.Max)) {
+					t.Fatalf("%s[%d] col %d: zone map [%v,%v] vs [%v,%v]", name, si, ci, b.Min, b.Max, v.Min, v.Max)
+				}
+				if (b.Bloom == nil) != (v.Bloom == nil) {
+					t.Fatalf("%s[%d] col %d: bloom presence diverges", name, si, ci)
+				}
+			}
+		}
+	}
+}
+
+// TestProjectionReportQuick exercises the `skipperbench -proj` path at
+// quick scale, including its divergence gate and the headline claims:
+// v2 must decode strictly fewer bytes than v1 on the projective probes.
+func TestProjectionReportQuick(t *testing.T) {
+	p := Quick()
+	pts, err := p.ProjectionReportData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || len(pts)%2 != 0 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 0; i+1 < len(pts); i += 2 {
+		v1, v2 := pts[i], pts[i+1]
+		if v1.Format != segment.FormatV1 || v2.Format != segment.FormatV2 || v1.Query != v2.Query {
+			t.Fatalf("unexpected pairing: %+v / %+v", v1, v2)
+		}
+		if v1.BytesSkipped != 0 {
+			t.Errorf("%s: v1 reported %d projection-skipped bytes", v1.Query, v1.BytesSkipped)
+		}
+		if v2.BytesDecoded >= v1.BytesDecoded {
+			t.Errorf("%s: v2 decoded %d bytes, v1 %d — no reduction", v2.Query, v2.BytesDecoded, v1.BytesDecoded)
+		}
+		if v1.Rows != v2.Rows {
+			t.Errorf("%s: result cardinality %d vs %d", v1.Query, v1.Rows, v2.Rows)
+		}
+	}
+}

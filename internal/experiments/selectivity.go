@@ -85,7 +85,10 @@ func (p Params) runPruneToggle(ds *workload.Dataset, spec skipper.QuerySpec, mod
 // over the date-clustered dataset on the skipper engine, with data
 // skipping on and off, verifying byte-identical results at every point.
 func (p Params) SelectivitySweepData() ([]SelectivityPoint, error) {
-	ds := p.clusteredDataset()
+	ds, err := p.encoded(p.clusteredDataset())
+	if err != nil {
+		return nil, err
+	}
 	var out []SelectivityPoint
 	for _, w := range selectivityWindows {
 		spec := workload.QShipdateWindow(ds.Catalog, w.lo, w.hi)
@@ -156,7 +159,10 @@ type PruneReportPoint struct {
 // report — if any pair of runs diverges in its results, which is what
 // lets CI use `skipperbench -prune` as a correctness gate.
 func (p Params) PruneReportData() ([]PruneReportPoint, error) {
-	ds := p.clusteredDataset()
+	ds, err := p.encoded(p.clusteredDataset())
+	if err != nil {
+		return nil, err
+	}
 	queries := []struct {
 		name string
 		spec skipper.QuerySpec

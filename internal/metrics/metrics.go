@@ -133,6 +133,17 @@ func PruneRatio(issued, skipped int) float64 {
 	return float64(skipped) / float64(issued+skipped)
 }
 
+// ProjectionRatio returns the fraction of candidate block bytes that
+// projection pushdown left undecoded: skipped / (decoded + skipped), or
+// 0 when nothing was read. Decoded should count the block bytes a scan
+// actually decoded; skipped the block bytes its projection passed over.
+func ProjectionRatio(decoded, skipped int64) float64 {
+	if decoded+skipped <= 0 {
+		return 0
+	}
+	return float64(skipped) / float64(decoded+skipped)
+}
+
 // Percent returns 100·part/total, or 0 when total is zero.
 func Percent(part, total time.Duration) float64 {
 	if total <= 0 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/expr"
+	"repro/internal/segment"
 	"repro/internal/tuple"
 )
 
@@ -45,12 +46,71 @@ type cacheEntry struct {
 	keyIdx int
 }
 
+// arrivalBatch turns one delivered segment into the filtered columnar
+// batch a cache entry holds. Materialized segments filter their rows as
+// before; lazily decoded segments decode only the relation's projected
+// column blocks (Relation.Cols) and filter straight off the decoded
+// columns — no intermediate Row materialization on the scan path. The
+// decode buffers are reused across arrivals (m.arrivalCD); everything
+// cached is copied out of them. Decode errors (lazy stores validate
+// headers at build time, block contents on first decode) surface as
+// errors, like the vanilla scan path; filter failures still panic — the
+// predicate was validated at plan time, so they indicate a bug.
+func (m *manager) arrivalBatch(rel int, seg *segment.Segment) (*tuple.Batch, error) {
+	r := &m.q.Relations[rel]
+	schema := r.Table.Schema
+	if !seg.Lazy() {
+		rows, err := filterRows(r.Filter, seg.Rows)
+		if err != nil {
+			panic(fmt.Sprintf("mjoin: filter on %v: %v", seg.ID, err))
+		}
+		return tuple.FromRows(schema, rows), nil
+	}
+	cd, err := seg.DecodeColumns(schema, r.Cols, m.arrivalCD)
+	if err != nil {
+		return nil, fmt.Errorf("mjoin: decode %v: %w", seg.ID, err)
+	}
+	m.arrivalCD = cd
+	m.stats.BytesFetched += seg.EncodedSize()
+	m.stats.BytesDecoded += cd.BytesDecoded
+	m.stats.BytesSkippedByProjection += cd.BytesSkipped
+	m.stats.BytesMaterialized += cd.BytesMaterialized
+	batch := tuple.NewBatch(schema, cd.NumRows)
+	if r.Filter == nil {
+		batch.AppendColumns(cd.Cols, 0, cd.NumRows)
+		return batch, nil
+	}
+	// Evaluate the filter over a scratch row assembled per index; columns
+	// outside the projection keep a fixed typed zero value (the planner
+	// guarantees the filter never reads them).
+	scratch := make(tuple.Row, schema.Len())
+	for c := range cd.Cols {
+		if cd.Cols[c] == nil {
+			scratch[c] = tuple.Value{K: schema.Cols[c].Kind}
+		}
+	}
+	for i := 0; i < cd.NumRows; i++ {
+		for c := range cd.Cols {
+			if cd.Cols[c] != nil {
+				scratch[c] = cd.Cols[c][i]
+			}
+		}
+		keep, err := expr.EvalBool(r.Filter, scratch)
+		if err != nil {
+			panic(fmt.Sprintf("mjoin: filter on %v: %v", seg.ID, err))
+		}
+		if keep {
+			batch.AppendRow(scratch)
+		}
+	}
+	return batch, nil
+}
+
 // buildEntry constructs the cache entry for an arrival of relation rel.
 // The key column index is precomputed per relation (m.keyIdxByRel), and
 // the whole segment is hashed in one vectorized pass.
-func (m *manager) buildEntry(rel int, rows []tuple.Row) *cacheEntry {
-	schema := m.q.Relations[rel].Table.Schema
-	e := &cacheEntry{batch: tuple.FromRows(schema, rows), keyIdx: -1}
+func (m *manager) buildEntry(rel int, batch *tuple.Batch) *cacheEntry {
+	e := &cacheEntry{batch: batch, keyIdx: -1}
 	if rel == 0 {
 		return e
 	}

@@ -87,6 +87,13 @@ type Stats struct {
 	ObjectsSkipped   int // objects never requested: zone-map/Bloom data skipping
 	SubplansSkipped  int // subplans retired by data skipping before any request
 	ResultRows       int // join output cardinality
+	// Byte accounting over lazily decoded arrivals (zero for in-memory
+	// sources). Re-arrivals of reissued objects decode again and count
+	// again — rescans are real work, exactly like the processing charge.
+	BytesFetched             int64 // encoded size of scanned arrivals
+	BytesDecoded             int64 // encoded block bytes decoded
+	BytesSkippedByProjection int64 // block bytes skipped via Relation.Cols
+	BytesMaterialized        int64 // logical bytes of decoded values
 	// PinnedCycles counts cycles that ran with a designated subplan
 	// pinned — i.e. how often the livelock escape hatch was needed.
 	// Zero on the paper's workloads and delivery orders.
@@ -125,6 +132,10 @@ type manager struct {
 	keyIdxByRel []int
 	// dop is the normalized Config.Parallelism (>= 1).
 	dop int
+	// arrivalCD is the reused projected-decode buffer for lazy arrivals;
+	// cache entries copy out of it, so one buffer set serves every
+	// (re)arrival.
+	arrivalCD *segment.ColumnData
 	// scratches holds one probe-chain scratch per worker, reused across
 	// arrivals and subplans; scratches[0] doubles as the serial path's
 	// buffer set, and its hashBuf serves the vectorized cache-entry build.
@@ -282,7 +293,9 @@ func (m *manager) loop() error {
 		execBefore := m.stats.SubplansExecuted + m.stats.SubplansPruned
 		for range toFetch {
 			seg := m.src.NextArrival()
-			m.processArrival(seg)
+			if err := m.processArrival(seg); err != nil {
+				return err
+			}
 		}
 		if m.stats.SubplansExecuted+m.stats.SubplansPruned == execBefore {
 			m.pinDesignatedSubplan()
@@ -334,8 +347,9 @@ func (m *manager) neededObjects() []segment.ObjectID {
 }
 
 // processArrival folds one delivered object into the cache and runs every
-// subplan it makes runnable.
-func (m *manager) processArrival(seg *segment.Segment) {
+// subplan it makes runnable. It fails on a corrupt arrival (lazy-store
+// block decode), mirroring the vanilla scan path.
+func (m *manager) processArrival(seg *segment.Segment) error {
 	m.stats.Arrivals++
 	id := seg.ID
 	ref, known := m.objIndex[id]
@@ -344,18 +358,18 @@ func (m *manager) processArrival(seg *segment.Segment) {
 	}
 	if m.pendingCount[id] == 0 {
 		// Raced with pruning/completion: no pending subplan needs it.
-		return
+		return nil
 	}
 	// Scanning the object into a hash table costs processing time, every
 	// time it (re)arrives.
 	m.cfg.Clock.Sleep(m.cfg.Costs.ProcessPerObject)
-	rows, err := filterRows(m.q.Relations[ref.rel].Filter, seg.Rows)
+	batch, err := m.arrivalBatch(ref.rel, seg)
 	if err != nil {
-		panic(fmt.Sprintf("mjoin: filter on %v: %v", id, err))
+		return err
 	}
-	if m.cfg.Pruning && len(rows) == 0 {
+	if m.cfg.Pruning && batch.Len() == 0 {
 		m.pruneObject(id)
-		return
+		return nil
 	}
 	if len(m.cache) >= m.cfg.CacheSize {
 		candidates := m.cacheOrder
@@ -374,18 +388,19 @@ func (m *manager) processArrival(seg *segment.Segment) {
 				if m.pinned[id] {
 					panic(fmt.Sprintf("mjoin: pinned arrival %v with fully pinned cache", id))
 				}
-				return
+				return nil
 			}
 		}
 		m.arriving = id
 		victim := m.cfg.Policy.PickVictim(candidates, id, m)
 		m.evict(victim)
 	}
-	m.cache[id] = m.buildEntry(ref.rel, rows)
+	m.cache[id] = m.buildEntry(ref.rel, batch)
 	m.cacheOrder = append(m.cacheOrder, id)
 	m.seq++
 	m.arrivalSeq[id] = m.seq
 	m.executeRunnableWith(id)
+	return nil
 }
 
 // pruneObject marks every pending subplan containing the object as pruned:

@@ -31,6 +31,15 @@ type Relation struct {
 	// under Filter before any CSD request is issued: their subplans are
 	// retired upfront, so the objects never appear in a request cycle.
 	Pruner stats.Pruner
+	// Cols lists the schema columns the query references in this relation
+	// (sorted; empty non-nil = none beyond the row count). nil decodes
+	// every column — the conservative default. It only matters when the
+	// source delivers lazily decoded v2 segments: arrivals then decode
+	// exactly these column blocks and skip the rest. Columns outside the
+	// set are zero-filled in the cached batches and must not be read by
+	// Filter, the join conditions or the caller's shaping stage — the SQL
+	// planner computes the set so that this holds.
+	Cols []int
 }
 
 // JoinCond joins relation Rel (by index into Query.Relations) to the
@@ -64,6 +73,13 @@ func (q *Query) Validate() (*tuple.Schema, error) {
 	}
 	if len(q.Joins) != len(q.Relations)-1 {
 		return nil, fmt.Errorf("mjoin: query %s has %d relations but %d join conditions", q.ID, len(q.Relations), len(q.Joins))
+	}
+	for ri, rel := range q.Relations {
+		for _, ci := range rel.Cols {
+			if ci < 0 || ci >= rel.Table.Schema.Len() {
+				return nil, fmt.Errorf("mjoin: query %s relation %d: projected column %d out of range (%d columns)", q.ID, ri, ci, rel.Table.Schema.Len())
+			}
+		}
 	}
 	acc := q.Relations[0].Table.Schema
 	for i, jc := range q.Joins {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/segment"
+	"repro/internal/tuple"
 	"repro/internal/workload"
 )
 
@@ -143,9 +144,17 @@ func (s *Store) TotalBytes() int64 {
 }
 
 // LoadDataset encodes every segment of a tenant's dataset through the
-// binary codec and PUTs it — the "data waterfall" into the cold storage
-// tier.
+// binary codec (FormatV1, the historical wire format) and PUTs it — the
+// "data waterfall" into the cold storage tier.
 func LoadDataset(s *Store, ds *workload.Dataset) error {
+	return LoadDatasetFormat(s, ds, segment.FormatV1)
+}
+
+// LoadDatasetFormat is LoadDataset with the wire format made explicit:
+// FormatV1 writes the row-major layout, FormatV2 the columnar layout with
+// a column directory. Either format decodes back to identical rows; only
+// access granularity and size differ.
+func LoadDatasetFormat(s *Store, ds *workload.Dataset, f segment.Format) error {
 	for _, name := range ds.Catalog.TableNames() {
 		tm := ds.Catalog.MustTable(name)
 		for _, id := range tm.Objects {
@@ -153,7 +162,7 @@ func LoadDataset(s *Store, ds *workload.Dataset) error {
 			if !ok {
 				return fmt.Errorf("objstore: dataset missing segment %v", id)
 			}
-			data, err := sg.Encode(tm.Schema)
+			data, err := sg.EncodeFormat(tm.Schema, f)
 			if err != nil {
 				return err
 			}
@@ -164,9 +173,21 @@ func LoadDataset(s *Store, ds *workload.Dataset) error {
 }
 
 // BuildSegmentStore decodes every object of the given catalogs back into
-// segments, producing the map the CSD emulator serves from. Decoding
-// verifies the wire format and checksums end to end.
+// fully materialized segments, producing the map the CSD emulator serves
+// from. Decoding verifies the wire format and checksums end to end.
 func BuildSegmentStore(s *Store, catalogs ...*catalog.Catalog) (map[segment.ObjectID]*segment.Segment, error) {
+	return buildSegmentStore(s, segment.Decode, catalogs)
+}
+
+// BuildSegmentStoreLazy is BuildSegmentStore without eager row
+// materialization: the returned segments keep their encoded payloads and
+// decode columns on demand, so scans pay (and measure) decode work per
+// access, and v2 readers decode only the column blocks a query projects.
+func BuildSegmentStoreLazy(s *Store, catalogs ...*catalog.Catalog) (map[segment.ObjectID]*segment.Segment, error) {
+	return buildSegmentStore(s, segment.DecodeLazy, catalogs)
+}
+
+func buildSegmentStore(s *Store, decode func(*tuple.Schema, []byte) (*segment.Segment, error), catalogs []*catalog.Catalog) (map[segment.ObjectID]*segment.Segment, error) {
 	out := make(map[segment.ObjectID]*segment.Segment)
 	for _, cat := range catalogs {
 		for _, name := range cat.TableNames() {
@@ -176,7 +197,7 @@ func BuildSegmentStore(s *Store, catalogs ...*catalog.Catalog) (map[segment.Obje
 				if err != nil {
 					return nil, err
 				}
-				sg, err := segment.Decode(tm.Schema, data)
+				sg, err := decode(tm.Schema, data)
 				if err != nil {
 					return nil, fmt.Errorf("objstore: decode %v: %w", id, err)
 				}
@@ -188,4 +209,37 @@ func BuildSegmentStore(s *Store, catalogs ...*catalog.Catalog) (map[segment.Obje
 		}
 	}
 	return out, nil
+}
+
+// ReencodeDataset pushes a generated dataset through the object store in
+// the given wire format and returns a dataset whose store serves lazily
+// decoded segments and whose catalog was rebuilt from them — so its
+// statistics come from the v2 column directories when f is FormatV2, and
+// every scan against the returned store performs real, per-access decode
+// work. FormatMem returns the dataset unchanged (in-memory segments,
+// zero decode cost — the historical behaviour).
+func ReencodeDataset(ds *workload.Dataset, f segment.Format) (*workload.Dataset, error) {
+	if f == segment.FormatMem {
+		return ds, nil
+	}
+	s := New()
+	if err := LoadDatasetFormat(s, ds, f); err != nil {
+		return nil, err
+	}
+	store, err := BuildSegmentStoreLazy(s, ds.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	cat := catalog.New(ds.Catalog.Tenant)
+	for _, name := range ds.Catalog.TableNames() {
+		tm := ds.Catalog.MustTable(name)
+		segs := make([]*segment.Segment, 0, len(tm.Objects))
+		for _, id := range tm.Objects {
+			segs = append(segs, store[id])
+		}
+		if _, err := cat.AddTable(name, tm.Schema, segs); err != nil {
+			return nil, err
+		}
+	}
+	return &workload.Dataset{Catalog: cat, Store: store}, nil
 }

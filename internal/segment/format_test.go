@@ -1,0 +1,369 @@
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// wideSchema exercises every kind and every encoding family.
+var wideSchema = tuple.NewSchema(
+	tuple.Column{Name: "id", Kind: tuple.KindInt64},      // sorted → delta
+	tuple.Column{Name: "code", Kind: tuple.KindInt64},    // runs → rle
+	tuple.Column{Name: "rand", Kind: tuple.KindInt64},    // random → raw
+	tuple.Column{Name: "price", Kind: tuple.KindFloat64}, // raw
+	tuple.Column{Name: "tag", Kind: tuple.KindString},    // low card → dict
+	tuple.Column{Name: "blob", Kind: tuple.KindString},   // high card → str-raw
+	tuple.Column{Name: "day", Kind: tuple.KindDate},      // delta
+	tuple.Column{Name: "flag", Kind: tuple.KindBool},     // rle
+)
+
+func wideRows(n int, seed int64) []tuple.Row {
+	rng := rand.New(rand.NewSource(seed))
+	tags := []string{"AIR", "RAIL", "SHIP"}
+	out := make([]tuple.Row, n)
+	for i := range out {
+		blob := make([]byte, 6+rng.Intn(10))
+		rng.Read(blob)
+		out[i] = tuple.Row{
+			tuple.Int(int64(1000 + i)),
+			tuple.Int(int64(i / 7)),
+			tuple.Int(rng.Int63() - rng.Int63()),
+			tuple.Float(rng.NormFloat64() * 1e6),
+			tuple.Str(tags[rng.Intn(len(tags))]),
+			tuple.Str(string(blob)),
+			tuple.DateFromDays(8000 + int64(i%90)),
+			tuple.Bool(i%13 == 0),
+		}
+	}
+	return out
+}
+
+func wideSegment(n int) *Segment {
+	return &Segment{
+		ID:           ObjectID{Tenant: 1, Table: "wide", Index: 3},
+		Rows:         wideRows(n, 42),
+		NominalBytes: 1e9,
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		orig := wideSegment(n)
+		data, err := orig.EncodeFormat(wideSchema, FormatV2)
+		if err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		back, err := Decode(wideSchema, data)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if back.ID != orig.ID || back.NominalBytes != orig.NominalBytes {
+			t.Fatalf("n=%d: header mismatch: %+v", n, back)
+		}
+		if len(back.Rows) != len(orig.Rows) {
+			t.Fatalf("n=%d: %d rows, want %d", n, len(back.Rows), len(orig.Rows))
+		}
+		for i := range orig.Rows {
+			if !reflect.DeepEqual(orig.Rows[i], back.Rows[i]) {
+				t.Fatalf("n=%d row %d: %v != %v", n, i, back.Rows[i], orig.Rows[i])
+			}
+		}
+	}
+}
+
+func TestV2SmallerThanV1OnTypical(t *testing.T) {
+	orig := wideSegment(200)
+	v1, err := orig.EncodeFormat(wideSchema, FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := orig.EncodeFormat(wideSchema, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) >= len(v1) {
+		t.Fatalf("v2 (%d bytes) not smaller than v1 (%d bytes) on a typical mixed segment", len(v2), len(v1))
+	}
+}
+
+func TestV2ProjectedDecode(t *testing.T) {
+	orig := wideSegment(64)
+	data, err := orig.EncodeFormat(wideSchema, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeLazy(wideSchema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Lazy() || g.Format() != FormatV2 || g.NumRows() != 64 {
+		t.Fatalf("lazy=%v format=%v rows=%d", g.Lazy(), g.Format(), g.NumRows())
+	}
+	if g.EncodedSize() != int64(len(data)) {
+		t.Fatalf("EncodedSize %d, want %d", g.EncodedSize(), len(data))
+	}
+	proj := []int{0, 4} // id, tag
+	cd, err := g.DecodeColumns(wideSchema, proj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.NumRows != 64 {
+		t.Fatalf("NumRows %d", cd.NumRows)
+	}
+	for ci := range wideSchema.Cols {
+		want := ci == 0 || ci == 4
+		if (cd.Cols[ci] != nil) != want {
+			t.Fatalf("column %d decoded=%v, want %v", ci, cd.Cols[ci] != nil, want)
+		}
+	}
+	for i, r := range orig.Rows {
+		if !tuple.Equal(cd.Cols[0][i], r[0]) || !tuple.Equal(cd.Cols[4][i], r[4]) {
+			t.Fatalf("row %d: projected values diverge", i)
+		}
+	}
+	if cd.BytesDecoded <= 0 || cd.BytesSkipped <= 0 {
+		t.Fatalf("byte accounting: decoded=%d skipped=%d", cd.BytesDecoded, cd.BytesSkipped)
+	}
+	dir := g.Directory()
+	var total int64
+	for _, m := range dir {
+		total += int64(m.BlockLen)
+	}
+	if cd.BytesDecoded+cd.BytesSkipped != total {
+		t.Fatalf("decoded+skipped = %d, directory total %d", cd.BytesDecoded+cd.BytesSkipped, total)
+	}
+
+	// Empty (non-nil) projection: row count only, no block decoded.
+	cd, err = g.DecodeColumns(wideSchema, []int{}, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.BytesDecoded != 0 || cd.BytesSkipped != total || cd.NumRows != 64 {
+		t.Fatalf("empty projection: decoded=%d skipped=%d rows=%d", cd.BytesDecoded, cd.BytesSkipped, cd.NumRows)
+	}
+
+	// Out-of-range projection is an error, not a panic.
+	if _, err := g.DecodeColumns(wideSchema, []int{99}, nil); err == nil {
+		t.Fatal("out-of-range projection accepted")
+	}
+}
+
+func TestV2DirectoryZoneMaps(t *testing.T) {
+	orig := wideSegment(50)
+	data, err := orig.EncodeFormat(wideSchema, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeLazy(wideSchema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := g.Directory()
+	for ci, col := range wideSchema.Cols {
+		min, max := orig.Rows[0][ci], orig.Rows[0][ci]
+		for _, r := range orig.Rows[1:] {
+			if tuple.Compare(r[ci], min) < 0 {
+				min = r[ci]
+			}
+			if tuple.Compare(r[ci], max) > 0 {
+				max = r[ci]
+			}
+		}
+		m := dir[ci]
+		if !m.HasRange || !tuple.Equal(m.Min, min) || !tuple.Equal(m.Max, max) {
+			t.Fatalf("column %q: directory [%v, %v], rows [%v, %v]", col.Name, m.Min, m.Max, min, max)
+		}
+		if m.Nulls != 0 {
+			t.Fatalf("column %q: %d nulls", col.Name, m.Nulls)
+		}
+	}
+}
+
+func TestV1LazyDecodesEverything(t *testing.T) {
+	orig := wideSegment(32)
+	data, err := orig.EncodeFormat(wideSchema, FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeLazy(wideSchema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Format() != FormatV1 || g.NumRows() != 32 || g.Directory() != nil {
+		t.Fatalf("format=%v rows=%d dir=%v", g.Format(), g.NumRows(), g.Directory())
+	}
+	cd, err := g.DecodeColumns(wideSchema, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row-major: the projection cannot skip anything.
+	if cd.BytesSkipped != 0 || cd.BytesDecoded == 0 {
+		t.Fatalf("v1: decoded=%d skipped=%d", cd.BytesDecoded, cd.BytesSkipped)
+	}
+	for ci := range wideSchema.Cols {
+		if cd.Cols[ci] == nil {
+			t.Fatalf("v1 projected decode left column %d nil", ci)
+		}
+	}
+	rows, err := g.Materialize(wideSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, orig.Rows) {
+		t.Fatal("v1 materialize mismatch")
+	}
+}
+
+func TestDecodeRejectsNegativeNominalBytes(t *testing.T) {
+	// Regression: a crafted header with a negative nominal size used to
+	// decode successfully and corrupt the virtual-time transfer model
+	// (negative sleep). Both formats must reject it with ErrCorrupt.
+	data := binary.AppendVarint(nil, 0)  // tenant
+	data = binary.AppendVarint(data, 0)  // index
+	data = binary.AppendVarint(data, -5) // nominal bytes: corrupt
+	data = binary.AppendUvarint(data, 1)
+	data = append(data, 't')
+	data = binary.AppendUvarint(data, 0) // zero rows
+	if _, err := Decode(sch, data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v1 negative NominalBytes: got %v, want ErrCorrupt", err)
+	}
+
+	orig := &Segment{ID: ObjectID{Table: "t"}, Rows: rows(2), NominalBytes: -1}
+	if _, err := orig.EncodeFormat(sch, FormatV1); err == nil {
+		t.Fatal("encode accepted negative NominalBytes")
+	}
+	// And a crafted v2 header.
+	orig.NominalBytes = 7
+	v2, err := orig.EncodeFormat(sch, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the nominal-size varint (after magic + two zero-ish varints).
+	good, err := Decode(sch, v2)
+	if err != nil || good.NominalBytes != 7 {
+		t.Fatalf("baseline v2 decode: %v", err)
+	}
+	patched := append([]byte(nil), v2[:4]...)
+	patched = binary.AppendVarint(patched, 0)
+	patched = binary.AppendVarint(patched, 0)
+	patched = binary.AppendVarint(patched, -9)
+	patched = append(patched, v2[4+3:]...) // original had three 1-byte varints (0, 0, 7)
+	if _, err := Decode(sch, patched); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v2 negative NominalBytes: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestV2DecodeCorruptTyped(t *testing.T) {
+	orig := wideSegment(12)
+	data, err := orig.EncodeFormat(wideSchema, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every prefix truncation must fail with ErrCorrupt (at DecodeLazy or
+	// at materialization) and never panic.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(wideSchema, data[:cut]); err == nil {
+			t.Fatalf("truncated at %d accepted", cut)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated at %d: %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+	// Flipping directory or block bytes must never panic; if it decodes,
+	// it must still be schema-shaped.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		mut := append([]byte(nil), data...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		sg, err := Decode(wideSchema, mut)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("mutation %d: %v does not wrap ErrCorrupt", i, err)
+			}
+			continue
+		}
+		for _, r := range sg.Rows {
+			if len(r) != wideSchema.Len() {
+				t.Fatalf("mutation %d: row arity %d", i, len(r))
+			}
+		}
+	}
+}
+
+func TestV2RejectsAbsurdRowCount(t *testing.T) {
+	orig := &Segment{ID: ObjectID{Table: "t"}, Rows: rows(1), NominalBytes: 1}
+	data, err := orig.EncodeFormat(sch, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the buffer with a ludicrous row count: magic + header, then
+	// a row count beyond MaxSegmentRows.
+	patched := append([]byte(nil), data[:4]...)
+	patched = binary.AppendVarint(patched, 0)
+	patched = binary.AppendVarint(patched, 0)
+	patched = binary.AppendVarint(patched, 1)
+	patched = binary.AppendUvarint(patched, 1)
+	patched = append(patched, 't')
+	patched = binary.AppendUvarint(patched, MaxSegmentRows+1)
+	patched = binary.AppendUvarint(patched, uint64(sch.Len()))
+	if _, err := DecodeLazy(sch, patched); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("absurd row count: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestV2RejectsOverflowingBlockLengths(t *testing.T) {
+	// Regression: two directory entries whose uvarint block lengths sum
+	// past int64 used to wrap the directory total into agreement with the
+	// remaining bytes, and the negative per-column length then panicked
+	// DecodeColumns. Both entries must be rejected at parse time.
+	data := append([]byte(nil), magicV2[:]...)
+	data = binary.AppendVarint(data, 0) // tenant
+	data = binary.AppendVarint(data, 0) // index
+	data = binary.AppendVarint(data, 1) // nominal
+	data = binary.AppendUvarint(data, 1)
+	data = append(data, 't')
+	data = binary.AppendUvarint(data, 1)                 // rows
+	data = binary.AppendUvarint(data, uint64(sch.Len())) // cols
+	huge := uint64(1) << 63
+	entry := func(bl uint64) {
+		data = append(data, byte(EncRaw))
+		data = binary.AppendUvarint(data, bl)
+		data = binary.AppendUvarint(data, 0) // nulls
+		data = append(data, 0)               // no range
+	}
+	entry(huge)
+	entry(huge + 8)
+	data = append(data, make([]byte, 8)...) // "blocks"
+	g, err := DecodeLazy(sch, data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("overflowing block lengths: got %v (segment %v), want ErrCorrupt", err, g)
+	}
+}
+
+func TestFloatRoundTripExact(t *testing.T) {
+	s := tuple.NewSchema(tuple.Column{Name: "f", Kind: tuple.KindFloat64})
+	specials := []float64{0, math.Copysign(0, -1), 1.5, -1e308, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64}
+	rs := make([]tuple.Row, len(specials))
+	for i, f := range specials {
+		rs[i] = tuple.Row{tuple.Float(f)}
+	}
+	orig := &Segment{ID: ObjectID{Table: "f"}, Rows: rs, NominalBytes: 1}
+	data, err := orig.EncodeFormat(s, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if math.Float64bits(back.Rows[i][0].F) != math.Float64bits(rs[i][0].F) {
+			t.Fatalf("float %d not bit-exact: %v vs %v", i, back.Rows[i][0], rs[i][0])
+		}
+	}
+}

@@ -2,6 +2,14 @@
 // the cold storage device: a relation is split into fixed-size segments,
 // each stored as one CSD object (the paper uses 1 GB PostgreSQL segments
 // stored as Swift objects, one container per relation).
+//
+// Two wire formats coexist. FormatV1 is the original row-major layout: a
+// header followed by the tuple row codec, decodable only as a whole.
+// FormatV2 is columnar: the header carries a column directory (per-column
+// encoding, block length, min/max and null count) followed by
+// independently decodable column blocks (see colcodec.go), so a reader
+// can decode exactly the columns a query references — projection pushdown
+// at the storage layer — and read zone maps without touching a block.
 package segment
 
 import (
@@ -23,6 +31,59 @@ var ErrCorrupt = errors.New("corrupt segment")
 // as a name.
 const MaxTableName = 255
 
+// MaxSegmentRows bounds the row count a v2 header may claim. The emulator
+// stores tens to thousands of tuples per object; a larger count means the
+// header is corrupt, and rejecting it up front keeps run-length decoders
+// from being talked into gigantic allocations by two bytes of input.
+const MaxSegmentRows = 1 << 20
+
+// Format selects the segment wire format.
+type Format uint8
+
+const (
+	// FormatMem marks a segment that was never encoded: it exists only as
+	// in-memory rows (generator output, test fixtures).
+	FormatMem Format = 0
+	// FormatV1 is the row-major format: header + tuple row codec.
+	FormatV1 Format = 1
+	// FormatV2 is the columnar format: header + column directory +
+	// independently decodable column blocks.
+	FormatV2 Format = 2
+)
+
+// String returns the format's short name ("mem", "v1", "v2").
+func (f Format) String() string {
+	switch f {
+	case FormatMem:
+		return "mem"
+	case FormatV1:
+		return "v1"
+	case FormatV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// ParseFormat parses "mem", "v1" or "v2".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "mem":
+		return FormatMem, nil
+	case "v1":
+		return FormatV1, nil
+	case "v2":
+		return FormatV2, nil
+	default:
+		return 0, fmt.Errorf("segment: unknown format %q (want mem, v1 or v2)", s)
+	}
+}
+
+// magicV2 opens every v2 buffer. The first byte has the varint
+// continuation bit set and is followed by printable tag bytes, a prefix
+// no v1 header produced by Encode starts with.
+var magicV2 = [4]byte{0xC5, 'S', 'G', '2'}
+
 // ObjectID names one stored object: a tenant (database client), a relation
 // (container) and a segment index within the relation.
 type ObjectID struct {
@@ -37,78 +98,463 @@ func (id ObjectID) String() string {
 	return fmt.Sprintf("t%d/%s/%04d", id.Tenant, id.Table, id.Index)
 }
 
-// Segment is the in-memory form of one object: a slice of rows plus the
-// nominal on-device size used by the virtual-time transfer model. Rows
-// carry the actual tuples so joins compute real results; NominalBytes
-// carries the paper-scale size (1 GB) so timing matches the paper.
+// payload is the retained wire form of a lazily decoded segment: enough
+// directory state to decode individual column blocks on demand.
+type payload struct {
+	format Format
+	rows   int
+	size   int64  // total encoded size, header included
+	body   []byte // v1: the row-codec body; v2: the concatenated blocks
+	dir    []ColumnMeta
+}
+
+// Segment is the in-memory form of one object. Rows carries the actual
+// tuples so joins compute real results; NominalBytes carries the
+// paper-scale size (1 GB) so timing matches the paper. A segment produced
+// by DecodeLazy holds its encoded payload instead of Rows, and serves
+// columns on demand through DecodeColumns — that is what makes scan-side
+// projection pushdown real.
 type Segment struct {
 	ID           ObjectID
 	Rows         []tuple.Row
 	NominalBytes int64
+
+	payload *payload
 }
 
-// Encode serializes the segment: a header (tenant, index, nominal size,
-// table name) followed by the row batch. The schema is not stored; it is
-// catalog metadata, as in the paper's setup where only catalog files live
-// in the VM image.
+// Lazy reports whether the segment holds an encoded payload to be decoded
+// at access time (DecodeLazy output) rather than materialized Rows.
+func (g *Segment) Lazy() bool { return g.payload != nil }
+
+// Format returns the wire format the segment was decoded from, or
+// FormatMem for purely in-memory segments.
+func (g *Segment) Format() Format {
+	if g.payload == nil {
+		return FormatMem
+	}
+	return g.payload.format
+}
+
+// NumRows returns the segment's row count without materializing anything.
+func (g *Segment) NumRows() int {
+	if g.payload != nil {
+		return g.payload.rows
+	}
+	return len(g.Rows)
+}
+
+// EncodedSize returns the total encoded byte size of a lazy segment
+// (header, directory and blocks), or 0 for in-memory segments.
+func (g *Segment) EncodedSize() int64 {
+	if g.payload == nil {
+		return 0
+	}
+	return g.payload.size
+}
+
+// Directory returns the column directory of a lazy v2 segment (aligned
+// with the schema's columns), or nil for any other segment. The entries
+// carry the per-column zone maps, so statistics collection reads min/max
+// and null counts without decoding a block.
+func (g *Segment) Directory() []ColumnMeta {
+	if g.payload == nil || g.payload.format != FormatV2 {
+		return nil
+	}
+	return g.payload.dir
+}
+
+// Encode serializes the segment in FormatV1 — the historical default,
+// kept so existing callers and stored objects stay readable.
 func (g *Segment) Encode(schema *tuple.Schema) ([]byte, error) {
+	return g.EncodeFormat(schema, FormatV1)
+}
+
+// EncodeFormat serializes the segment in the given wire format. The
+// schema is not stored; it is catalog metadata, as in the paper's setup
+// where only catalog files live in the VM image.
+func (g *Segment) EncodeFormat(schema *tuple.Schema, f Format) ([]byte, error) {
 	if len(g.ID.Table) > MaxTableName {
 		return nil, fmt.Errorf("segment %v: table name %d bytes long, limit %d", g.ID, len(g.ID.Table), MaxTableName)
 	}
-	out := binary.AppendVarint(nil, int64(g.ID.Tenant))
+	if g.NominalBytes < 0 {
+		return nil, fmt.Errorf("segment %v: negative nominal size %d", g.ID, g.NominalBytes)
+	}
+	switch f {
+	case FormatV1:
+		out := g.appendHeader(nil)
+		body, err := tuple.EncodeRows(schema, g.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("segment %v: %w", g.ID, err)
+		}
+		return append(out, body...), nil
+	case FormatV2:
+		return g.encodeV2(schema)
+	default:
+		return nil, fmt.Errorf("segment %v: cannot encode format %v", g.ID, f)
+	}
+}
+
+// appendHeader writes the fields both formats share: tenant, index,
+// nominal size and table name.
+func (g *Segment) appendHeader(out []byte) []byte {
+	out = binary.AppendVarint(out, int64(g.ID.Tenant))
 	out = binary.AppendVarint(out, int64(g.ID.Index))
 	out = binary.AppendVarint(out, g.NominalBytes)
 	out = binary.AppendUvarint(out, uint64(len(g.ID.Table)))
-	out = append(out, g.ID.Table...)
-	body, err := tuple.EncodeRows(schema, g.Rows)
-	if err != nil {
-		return nil, fmt.Errorf("segment %v: %w", g.ID, err)
-	}
-	return append(out, body...), nil
+	return append(out, g.ID.Table...)
 }
 
-// Decode parses a segment previously produced by Encode. Malformed
-// input — truncated headers or rows, or a table-name length beyond
-// MaxTableName — yields an error wrapping ErrCorrupt; Decode never
+// encodeV2 lays out the columnar format:
+//
+//	magic "0xC5 S G 2"
+//	tenant, index, nominalBytes (varint), table name (uvarint len + bytes)
+//	row count, column count (uvarint)
+//	per column: encoding (byte), block length (uvarint), null count
+//	            (uvarint), has-range (byte), [min, max]
+//	column blocks, back to back in schema order
+func (g *Segment) encodeV2(schema *tuple.Schema) ([]byte, error) {
+	if len(g.Rows) > MaxSegmentRows {
+		return nil, fmt.Errorf("segment %v: %d rows exceed MaxSegmentRows %d", g.ID, len(g.Rows), MaxSegmentRows)
+	}
+	for _, r := range g.Rows {
+		if len(r) != schema.Len() {
+			return nil, fmt.Errorf("segment %v: row arity %d != schema arity %d", g.ID, len(r), schema.Len())
+		}
+	}
+	out := append([]byte(nil), magicV2[:]...)
+	out = g.appendHeader(out)
+	out = binary.AppendUvarint(out, uint64(len(g.Rows)))
+	out = binary.AppendUvarint(out, uint64(schema.Len()))
+	colVals := make([]tuple.Value, len(g.Rows))
+	var blocks []byte
+	for ci, col := range schema.Cols {
+		for ri, r := range g.Rows {
+			colVals[ri] = r[ci]
+		}
+		meta, block, err := encodeColumn(col.Kind, colVals)
+		if err != nil {
+			return nil, fmt.Errorf("segment %v: column %q: %w", g.ID, col.Name, err)
+		}
+		out = append(out, byte(meta.Encoding))
+		out = binary.AppendUvarint(out, uint64(meta.BlockLen))
+		out = binary.AppendUvarint(out, uint64(meta.Nulls))
+		if meta.HasRange {
+			out = append(out, 1)
+			out = appendDirValue(out, col.Kind, meta.Min)
+			out = appendDirValue(out, col.Kind, meta.Max)
+		} else {
+			out = append(out, 0)
+		}
+		blocks = append(blocks, block...)
+	}
+	return append(out, blocks...), nil
+}
+
+// Decode parses a segment previously produced by Encode/EncodeFormat,
+// materializing every row — v1 behaviour, preserved for both formats.
+// Malformed input yields an error wrapping ErrCorrupt; Decode never
 // panics on short buffers.
 func Decode(schema *tuple.Schema, data []byte) (*Segment, error) {
+	g, err := DecodeLazy(schema, data)
+	if err != nil {
+		return nil, err
+	}
+	if g.payload == nil {
+		return g, nil
+	}
+	rows, err := g.Materialize(schema)
+	if err != nil {
+		return nil, err
+	}
+	g.Rows, g.payload = rows, nil
+	return g, nil
+}
+
+// DecodeLazy parses a segment's header (and, for v2, its column
+// directory) and keeps the payload for on-demand column decoding. Block
+// contents are validated when they are first decoded; header or directory
+// corruption is rejected here, wrapping ErrCorrupt.
+func DecodeLazy(schema *tuple.Schema, data []byte) (*Segment, error) {
+	size := int64(len(data))
+	if len(data) >= len(magicV2) && [4]byte(data[:4]) == magicV2 {
+		return decodeLazyV2(schema, data[4:], size)
+	}
+	g, rest, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return nil, fmt.Errorf("segment: truncated row-count header: %w", ErrCorrupt)
+	}
+	g.payload = &payload{format: FormatV1, size: size, body: rest}
+	// The count is untrusted until the rows decode, but bounding it now
+	// (every non-empty row costs at least one byte) keeps NumRows sane.
+	if n > uint64(len(rest)-sz)+1 {
+		return nil, fmt.Errorf("segment: row count %d exceeds %d body bytes: %w", n, len(rest)-sz, ErrCorrupt)
+	}
+	g.payload.rows = int(n)
+	return g, nil
+}
+
+// decodeHeader parses the shared header fields, returning the segment
+// shell and the remaining bytes.
+func decodeHeader(data []byte) (*Segment, []byte, error) {
 	g := &Segment{}
-	var n int
 	v, n := binary.Varint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("segment: bad tenant header: %w", ErrCorrupt)
+		return nil, nil, fmt.Errorf("segment: bad tenant header: %w", ErrCorrupt)
 	}
 	g.ID.Tenant = int(v)
 	data = data[n:]
 	v, n = binary.Varint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("segment: bad index header: %w", ErrCorrupt)
+		return nil, nil, fmt.Errorf("segment: bad index header: %w", ErrCorrupt)
 	}
 	g.ID.Index = int(v)
 	data = data[n:]
 	g.NominalBytes, n = binary.Varint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("segment: bad size header: %w", ErrCorrupt)
+		return nil, nil, fmt.Errorf("segment: bad size header: %w", ErrCorrupt)
+	}
+	if g.NominalBytes < 0 {
+		// A negative nominal size would corrupt the virtual-time transfer
+		// model (negative sleep durations panic downstream).
+		return nil, nil, fmt.Errorf("segment: negative nominal size %d: %w", g.NominalBytes, ErrCorrupt)
 	}
 	data = data[n:]
 	ln, n := binary.Uvarint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("segment: bad table-name header: %w", ErrCorrupt)
+		return nil, nil, fmt.Errorf("segment: bad table-name header: %w", ErrCorrupt)
 	}
 	if ln > MaxTableName {
-		return nil, fmt.Errorf("segment: table-name length %d exceeds limit %d: %w", ln, MaxTableName, ErrCorrupt)
+		return nil, nil, fmt.Errorf("segment: table-name length %d exceeds limit %d: %w", ln, MaxTableName, ErrCorrupt)
 	}
 	if uint64(len(data)-n) < ln {
-		return nil, fmt.Errorf("segment: truncated table name: %w", ErrCorrupt)
+		return nil, nil, fmt.Errorf("segment: truncated table name: %w", ErrCorrupt)
 	}
 	g.ID.Table = string(data[n : n+int(ln)])
-	data = data[n+int(ln):]
-	rows, err := tuple.DecodeRows(schema, data)
+	return g, data[n+int(ln):], nil
+}
+
+// decodeLazyV2 parses the v2 header and column directory (magic already
+// consumed) and wires up the lazy payload.
+func decodeLazyV2(schema *tuple.Schema, data []byte, size int64) (*Segment, error) {
+	g, rest, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	nrows, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return nil, fmt.Errorf("segment: bad v2 row count: %w", ErrCorrupt)
+	}
+	if nrows > MaxSegmentRows {
+		return nil, fmt.Errorf("segment: v2 row count %d exceeds MaxSegmentRows %d: %w", nrows, MaxSegmentRows, ErrCorrupt)
+	}
+	rest = rest[sz:]
+	ncols, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return nil, fmt.Errorf("segment: bad v2 column count: %w", ErrCorrupt)
+	}
+	rest = rest[sz:]
+	if ncols != uint64(schema.Len()) {
+		return nil, fmt.Errorf("segment: v2 directory has %d columns, schema %v has %d: %w", ncols, schema, schema.Len(), ErrCorrupt)
+	}
+	dir := make([]ColumnMeta, schema.Len())
+	var total int64
+	for ci := range dir {
+		m := &dir[ci]
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("segment: truncated directory at column %d: %w", ci, ErrCorrupt)
+		}
+		m.Encoding = Encoding(rest[0])
+		rest = rest[1:]
+		bl, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return nil, fmt.Errorf("segment: bad block length for column %d: %w", ci, ErrCorrupt)
+		}
+		rest = rest[sz:]
+		// The remaining bytes still hold the rest of the directory plus
+		// every block, so any single length beyond them is corrupt. The
+		// bound also keeps the int64 total from overflowing on crafted
+		// huge uvarints (ncols is schema-bounded).
+		if bl > uint64(len(rest)) {
+			return nil, fmt.Errorf("segment: column %d block length %d exceeds %d remaining bytes: %w", ci, bl, len(rest), ErrCorrupt)
+		}
+		m.BlockLen = int(bl)
+		total += int64(bl)
+		nulls, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return nil, fmt.Errorf("segment: bad null count for column %d: %w", ci, ErrCorrupt)
+		}
+		rest = rest[sz:]
+		m.Nulls = int64(nulls)
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("segment: truncated range flag for column %d: %w", ci, ErrCorrupt)
+		}
+		hasRange := rest[0]
+		rest = rest[1:]
+		if hasRange > 1 {
+			return nil, fmt.Errorf("segment: bad range flag %d for column %d: %w", hasRange, ci, ErrCorrupt)
+		}
+		if hasRange == 1 {
+			kind := schema.Cols[ci].Kind
+			var err error
+			if m.Min, rest, err = decodeDirValue(rest, kind); err != nil {
+				return nil, fmt.Errorf("segment: column %d min: %v: %w", ci, err, ErrCorrupt)
+			}
+			if m.Max, rest, err = decodeDirValue(rest, kind); err != nil {
+				return nil, fmt.Errorf("segment: column %d max: %v: %w", ci, err, ErrCorrupt)
+			}
+			m.HasRange = true
+		}
+	}
+	if int64(len(rest)) != total {
+		return nil, fmt.Errorf("segment: directory claims %d block bytes, %d remain: %w", total, len(rest), ErrCorrupt)
+	}
+	g.payload = &payload{format: FormatV2, rows: int(nrows), size: size, body: rest, dir: dir}
+	return g, nil
+}
+
+// ColumnData is the result of a projected decode: per-schema-column value
+// slices (nil for columns the projection skipped) plus the byte
+// accounting behind the bytes-fetched / decoded / materialized metrics.
+type ColumnData struct {
+	// Cols has one entry per schema column; entries outside the
+	// projection are nil. The slices are reused across DecodeColumns
+	// calls that pass the same ColumnData back in.
+	Cols [][]tuple.Value
+	// NumRows is the segment's row count (also for empty projections).
+	NumRows int
+	// BytesDecoded counts encoded block bytes actually decoded.
+	BytesDecoded int64
+	// BytesSkipped counts encoded block bytes the projection skipped.
+	BytesSkipped int64
+	// BytesMaterialized counts the logical size of the decoded values
+	// (8 bytes per numeric, payload length per string).
+	BytesMaterialized int64
+}
+
+// DecodeColumns decodes the projected columns of a lazy segment. proj
+// lists schema column indexes to decode, in any order; nil means every
+// column, and an empty non-nil slice decodes nothing (row counts only —
+// what a COUNT(*) scan needs). Pass a previous ColumnData back in to
+// reuse its buffers. V1 payloads are row-major, so they decode every
+// column regardless of proj — the format difference projection pushdown
+// measures. Errors wrap ErrCorrupt.
+func (g *Segment) DecodeColumns(schema *tuple.Schema, proj []int, reuse *ColumnData) (*ColumnData, error) {
+	p := g.payload
+	if p == nil {
+		return nil, fmt.Errorf("segment %v: DecodeColumns on a materialized segment", g.ID)
+	}
+	cd := reuse
+	if cd == nil {
+		cd = &ColumnData{}
+	}
+	if len(cd.Cols) != schema.Len() {
+		cd.Cols = make([][]tuple.Value, schema.Len())
+	}
+	cd.NumRows = p.rows
+	cd.BytesDecoded, cd.BytesSkipped, cd.BytesMaterialized = 0, 0, 0
+	want := make([]bool, schema.Len())
+	if proj == nil {
+		for i := range want {
+			want[i] = true
+		}
+	} else {
+		for _, ci := range proj {
+			if ci < 0 || ci >= schema.Len() {
+				return nil, fmt.Errorf("segment %v: projected column %d out of range (%d columns)", g.ID, ci, schema.Len())
+			}
+			want[ci] = true
+		}
+	}
+	if p.format == FormatV1 {
+		return g.decodeColumnsV1(schema, cd)
+	}
+	block := p.body
+	for ci, m := range p.dir {
+		if m.BlockLen > len(block) {
+			return nil, fmt.Errorf("segment %v: column %d block overruns payload: %w", g.ID, ci, ErrCorrupt)
+		}
+		if !want[ci] {
+			cd.Cols[ci] = nil
+			cd.BytesSkipped += int64(m.BlockLen)
+			block = block[m.BlockLen:]
+			continue
+		}
+		vals, err := decodeColumn(schema.Cols[ci].Kind, m.Encoding, block[:m.BlockLen], p.rows, cd.Cols[ci])
+		if err != nil {
+			return nil, fmt.Errorf("segment %v: column %q: %v: %w", g.ID, schema.Cols[ci].Name, err, ErrCorrupt)
+		}
+		cd.Cols[ci] = vals
+		cd.BytesDecoded += int64(m.BlockLen)
+		kind := schema.Cols[ci].Kind
+		for _, v := range vals {
+			cd.BytesMaterialized += valueBytes(kind, v)
+		}
+		block = block[m.BlockLen:]
+	}
+	return cd, nil
+}
+
+// decodeColumnsV1 decodes a row-major payload in full and transposes it
+// into ColumnData: v1 has no independently decodable blocks, so every
+// projected read pays for the whole segment.
+func (g *Segment) decodeColumnsV1(schema *tuple.Schema, cd *ColumnData) (*ColumnData, error) {
+	rows, err := tuple.DecodeRows(schema, g.payload.body)
 	if err != nil {
 		return nil, fmt.Errorf("segment %v: %v: %w", g.ID, err, ErrCorrupt)
 	}
-	g.Rows = rows
-	return g, nil
+	cd.NumRows = len(rows)
+	cd.BytesDecoded = int64(len(g.payload.body))
+	for ci, col := range schema.Cols {
+		vals := cd.Cols[ci]
+		if cap(vals) < len(rows) {
+			vals = make([]tuple.Value, 0, len(rows))
+		}
+		vals = vals[:0]
+		for _, r := range rows {
+			vals = append(vals, r[ci])
+			cd.BytesMaterialized += valueBytes(col.Kind, r[ci])
+		}
+		cd.Cols[ci] = vals
+	}
+	return cd, nil
+}
+
+// Materialize returns the segment's rows, decoding every column of a lazy
+// payload. The result is freshly allocated per call (it is not cached on
+// the segment), so repeated materializations model repeated decode work —
+// exactly what MJoin's rescan accounting expects.
+func (g *Segment) Materialize(schema *tuple.Schema) ([]tuple.Row, error) {
+	if g.payload == nil {
+		return g.Rows, nil
+	}
+	if g.payload.format == FormatV1 {
+		rows, err := tuple.DecodeRows(schema, g.payload.body)
+		if err != nil {
+			return nil, fmt.Errorf("segment %v: %v: %w", g.ID, err, ErrCorrupt)
+		}
+		return rows, nil
+	}
+	cd, err := g.DecodeColumns(schema, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cd.NumRows == 0 {
+		return nil, nil
+	}
+	arena := make([]tuple.Value, cd.NumRows*schema.Len())
+	rows := make([]tuple.Row, cd.NumRows)
+	for i := range rows {
+		row := arena[i*schema.Len() : (i+1)*schema.Len() : (i+1)*schema.Len()]
+		for ci := range cd.Cols {
+			row[ci] = cd.Cols[ci][i]
+		}
+		rows[i] = row
+	}
+	return rows, nil
 }
 
 // Split partitions rows into segments of at most rowsPerSegment rows each,

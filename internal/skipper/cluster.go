@@ -168,9 +168,15 @@ func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, c *Client, spec Que
 	}
 	// Each scan counts the fetches its Pruner actually avoided during
 	// the drain — exact even when a LIMIT stops the pipeline before a
-	// scan reaches its tail segments.
+	// scan reaches its tail segments — and the decode bytes it spent or
+	// skipped against lazily decoded (encoded-format) stores.
 	for _, s := range scans {
 		c.stats.SegmentsSkipped += s.SegmentsSkipped()
+		sb := s.Bytes()
+		c.stats.BytesFetched += sb.Fetched
+		c.stats.BytesDecoded += sb.Decoded
+		c.stats.BytesSkippedByProjection += sb.SkippedByProjection
+		c.stats.BytesMaterialized += sb.Materialized
 	}
 	return rows, nil
 }
@@ -200,6 +206,10 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 	}
 	c.stats.MJoin = addStats(c.stats.MJoin, res.Stats)
 	c.stats.SegmentsSkipped += res.Stats.ObjectsSkipped
+	c.stats.BytesFetched += res.Stats.BytesFetched
+	c.stats.BytesDecoded += res.Stats.BytesDecoded
+	c.stats.BytesSkippedByProjection += res.Stats.BytesSkippedByProjection
+	c.stats.BytesMaterialized += res.Stats.BytesMaterialized
 	rows := res.Rows
 	if spec.Shape != nil {
 		// The MJoin result bridges into the shaping stage as batches, so
@@ -218,16 +228,20 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 
 func addStats(a, b mjoin.Stats) mjoin.Stats {
 	return mjoin.Stats{
-		Requests:         a.Requests + b.Requests,
-		Cycles:           a.Cycles + b.Cycles,
-		Arrivals:         a.Arrivals + b.Arrivals,
-		Evictions:        a.Evictions + b.Evictions,
-		SubplansTotal:    a.SubplansTotal + b.SubplansTotal,
-		SubplansExecuted: a.SubplansExecuted + b.SubplansExecuted,
-		SubplansPruned:   a.SubplansPruned + b.SubplansPruned,
-		ObjectsSkipped:   a.ObjectsSkipped + b.ObjectsSkipped,
-		SubplansSkipped:  a.SubplansSkipped + b.SubplansSkipped,
-		ResultRows:       a.ResultRows + b.ResultRows,
+		Requests:                 a.Requests + b.Requests,
+		Cycles:                   a.Cycles + b.Cycles,
+		Arrivals:                 a.Arrivals + b.Arrivals,
+		Evictions:                a.Evictions + b.Evictions,
+		SubplansTotal:            a.SubplansTotal + b.SubplansTotal,
+		SubplansExecuted:         a.SubplansExecuted + b.SubplansExecuted,
+		SubplansPruned:           a.SubplansPruned + b.SubplansPruned,
+		ObjectsSkipped:           a.ObjectsSkipped + b.ObjectsSkipped,
+		SubplansSkipped:          a.SubplansSkipped + b.SubplansSkipped,
+		ResultRows:               a.ResultRows + b.ResultRows,
+		BytesFetched:             a.BytesFetched + b.BytesFetched,
+		BytesDecoded:             a.BytesDecoded + b.BytesDecoded,
+		BytesSkippedByProjection: a.BytesSkippedByProjection + b.BytesSkippedByProjection,
+		BytesMaterialized:        a.BytesMaterialized + b.BytesMaterialized,
 	}
 }
 
@@ -249,6 +263,7 @@ func BuildPullPlanPruned(ctx *engine.Ctx, q *mjoin.Query, prune bool) (engine.It
 	its := make([]engine.Iterator, len(q.Relations))
 	for i, rel := range q.Relations {
 		scan := engine.NewSeqScan(ctx, rel.Table)
+		scan.Project = rel.Cols
 		if prune {
 			scan.Pruner = rel.Pruner
 		}

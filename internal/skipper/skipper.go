@@ -92,6 +92,17 @@ type ClientStats struct {
 	// (zone maps + Bloom filters) avoided across the workload — fetches
 	// that would have been issued without data skipping.
 	SegmentsSkipped int
+	// BytesFetched / BytesDecoded / BytesSkippedByProjection /
+	// BytesMaterialized account the scan-side decode work against
+	// encoded (lazily decoded) stores: total encoded size of the
+	// segments scanned, the block bytes actually decoded, the block
+	// bytes projection pushdown left untouched, and the logical size of
+	// the values materialized into batches. All zero over in-memory
+	// (never-encoded) stores.
+	BytesFetched             int64
+	BytesDecoded             int64
+	BytesSkippedByProjection int64
+	BytesMaterialized        int64
 	// Rows is the total result row count across queries.
 	Rows int64
 	// MJoin aggregates state-manager statistics (skipper mode).

@@ -112,12 +112,17 @@ func (pl *Planner) PlanStmt(stmt *SelectStmt) (skipper.QuerySpec, error) {
 			R: ColNode{Ref: ColumnRef{Column: e.c2}}})
 	}
 
+	// Compute, per table, the set of base columns the whole statement
+	// references — the projection pushed down to the storage format, so
+	// scans over columnar (v2) segments decode only these blocks.
+	proj := referencedColumns(stmt, b)
+
 	// Assemble the MJoin query in chain order.
 	var q mjoin.Query
 	q.ID = "sql"
 	joined := tables[order[0]].meta.Schema
 	for pos, ti := range order {
-		rel := mjoin.Relation{Table: tables[ti].meta}
+		rel := mjoin.Relation{Table: tables[ti].meta, Cols: proj[ti]}
 		if fs := localFilters[ti]; len(fs) > 0 {
 			pred, err := b.bindConjuncts(fs, tables[ti].meta.Schema)
 			if err != nil {
@@ -803,6 +808,107 @@ func stripQualifiers(n Node) Node {
 	default:
 		return n
 	}
+}
+
+// referencedColumns computes, per FROM table, the base columns the
+// statement can ever read: WHERE (local filters, join keys and post-join
+// terms alike), select items, GROUP BY, and — when it binds against the
+// base schema — ORDER BY. HAVING and the ORDER BY of aggregated or
+// DISTINCT queries bind against the output schema, whose inputs are
+// already covered by the select items and GROUP BY. The result feeds
+// mjoin.Relation.Cols / engine.SeqScan.Project: scans over columnar
+// segments decode exactly these blocks.
+//
+// The analysis is strictly conservative: a SELECT *, or any reference it
+// cannot resolve (binding will fail later with a proper error anyway),
+// widens the projection to every column (nil). A table none of whose
+// columns are referenced — SELECT COUNT(*) with no predicate — yields an
+// empty non-nil set: the scan needs only row counts.
+func referencedColumns(stmt *SelectStmt, b *binder) [][]int {
+	refs := make([]map[string]bool, len(b.tables))
+	for i := range refs {
+		refs[i] = make(map[string]bool)
+	}
+	all := false
+	var walk func(n Node)
+	walk = func(n Node) {
+		if all || n == nil {
+			return
+		}
+		switch v := n.(type) {
+		case ColNode:
+			ti, err := b.ownerOf(v.Ref)
+			if err != nil {
+				all = true // unresolvable: give up rather than under-read
+				return
+			}
+			refs[ti][v.Ref.Column] = true
+		case BinNode:
+			walk(v.L)
+			walk(v.R)
+		case NotNode:
+			walk(v.E)
+		case BetweenNode:
+			walk(v.E)
+			walk(v.Lo)
+			walk(v.Hi)
+		case InNode:
+			walk(v.E)
+		case LikeNode:
+			walk(v.E)
+		case CaseNode:
+			for _, w := range v.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(v.Else)
+		case LitNode:
+		default:
+			all = true
+		}
+	}
+	walk(stmt.Where)
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			all = true
+			break
+		}
+		if it.Expr != nil && !it.CountStar {
+			walk(it.Expr)
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		walk(ColNode{Ref: g})
+	}
+	if !hasAgg && !stmt.Distinct {
+		for _, oi := range stmt.OrderBy {
+			walk(oi.Expr)
+		}
+	}
+	out := make([][]int, len(b.tables))
+	if all {
+		return out // nil per table: decode everything
+	}
+	for ti, t := range b.tables {
+		schema := t.meta.Schema
+		if len(refs[ti]) == schema.Len() {
+			continue // every column referenced: nil, skip the fill work
+		}
+		cols := make([]int, 0, len(refs[ti]))
+		for ci, c := range schema.Cols {
+			if refs[ti][c.Name] {
+				cols = append(cols, ci)
+			}
+		}
+		out[ti] = cols
+	}
+	return out
 }
 
 // outName picks the output column name for a select item.

@@ -76,17 +76,47 @@ func bloomKind(k tuple.Kind) bool { return k != tuple.KindFloat64 }
 
 // Collect computes the zone maps (and, per opt, Bloom filters) of a
 // relation from its segments. The segments must be in the relation's
-// object order and their rows must match the schema.
+// object order and their rows must match the schema. It panics on a
+// corrupt lazy segment; use CollectChecked to handle that as an error.
 func Collect(name string, schema *tuple.Schema, segs []*segment.Segment, opt Options) *Table {
+	t, err := CollectChecked(name, schema, segs, opt)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// CollectChecked is Collect with decode errors surfaced. Materialized
+// segments are scanned row by row as before. Lazy v2 segments take the
+// fast path: min/max, row and null counts come straight from the column
+// directory — no block is touched for the zone maps — and only the
+// Bloom-filtered columns are decoded, one block at a time, never as rows.
+func CollectChecked(name string, schema *tuple.Schema, segs []*segment.Segment, opt Options) (*Table, error) {
 	t := &Table{Name: name, Schema: schema, Segments: make([]SegmentStats, len(segs))}
 	for si, sg := range segs {
-		ss := SegmentStats{Rows: int64(len(sg.Rows)), Cols: make([]ColumnStats, schema.Len())}
+		if dir := sg.Directory(); dir != nil {
+			ss, err := segmentStatsFromDirectory(schema, sg, dir, opt)
+			if err != nil {
+				return nil, fmt.Errorf("stats: %s segment %d: %w", name, si, err)
+			}
+			t.Segments[si] = ss
+			continue
+		}
+		rows := sg.Rows
+		if sg.Lazy() {
+			// A lazy v1 segment has no directory; materialize and scan.
+			var err error
+			if rows, err = sg.Materialize(schema); err != nil {
+				return nil, fmt.Errorf("stats: %s segment %d: %w", name, si, err)
+			}
+		}
+		ss := SegmentStats{Rows: int64(len(rows)), Cols: make([]ColumnStats, schema.Len())}
 		for ci, col := range schema.Cols {
 			cs := &ss.Cols[ci]
 			if opt.Blooms && bloomKind(col.Kind) {
-				cs.Bloom = NewBloom(len(sg.Rows), opt.BloomBitsPerRow)
+				cs.Bloom = NewBloom(len(rows), opt.BloomBitsPerRow)
 			}
-			for _, row := range sg.Rows {
+			for _, row := range rows {
 				v := row[ci]
 				if !cs.HasRange {
 					cs.Min, cs.Max, cs.HasRange = v, v, true
@@ -105,7 +135,33 @@ func Collect(name string, schema *tuple.Schema, segs []*segment.Segment, opt Opt
 		}
 		t.Segments[si] = ss
 	}
-	return t
+	return t, nil
+}
+
+// segmentStatsFromDirectory builds one segment's statistics from a v2
+// column directory: zone maps are copied verbatim (the encoder computed
+// them in the same pass that wrote the blocks), and Bloom filters decode
+// just their own column's block via the projected decoder.
+func segmentStatsFromDirectory(schema *tuple.Schema, sg *segment.Segment, dir []segment.ColumnMeta, opt Options) (SegmentStats, error) {
+	ss := SegmentStats{Rows: int64(sg.NumRows()), Cols: make([]ColumnStats, schema.Len())}
+	var cd *segment.ColumnData
+	for ci, col := range schema.Cols {
+		cs := &ss.Cols[ci]
+		cs.Min, cs.Max, cs.HasRange, cs.Nulls = dir[ci].Min, dir[ci].Max, dir[ci].HasRange, dir[ci].Nulls
+		if !opt.Blooms || !bloomKind(col.Kind) {
+			continue
+		}
+		var err error
+		cd, err = sg.DecodeColumns(schema, []int{ci}, cd)
+		if err != nil {
+			return SegmentStats{}, err
+		}
+		cs.Bloom = NewBloom(cd.NumRows, opt.BloomBitsPerRow)
+		for _, v := range cd.Cols[ci] {
+			cs.Bloom.Add(v.Hash())
+		}
+	}
+	return ss, nil
 }
 
 // RowCount sums the per-segment row counts.

@@ -90,6 +90,27 @@ func (b *Batch) AppendBatch(src *Batch) {
 	b.n += src.n
 }
 
+// AppendColumns appends rows [start, end) of the given per-column value
+// slices (one slice per schema column, as produced by a projected segment
+// decode) into the batch, one bulk copy per column. A nil column slice —
+// a column the projection skipped — is filled with the column kind's zero
+// value so the batch stays kind-consistent; the planner guarantees such
+// columns are never read downstream.
+func (b *Batch) AppendColumns(cols [][]Value, start, end int) {
+	n := end - start
+	for c := range b.cols {
+		if cols[c] == nil {
+			zero := Value{K: b.schema.Cols[c].Kind}
+			for i := 0; i < n; i++ {
+				b.cols[c] = append(b.cols[c], zero)
+			}
+			continue
+		}
+		b.cols[c] = append(b.cols[c], cols[c][start:end]...)
+	}
+	b.n += n
+}
+
 // Row materializes row i as a freshly allocated Row.
 func (b *Batch) Row(i int) Row {
 	out := make(Row, len(b.cols))

@@ -115,6 +115,27 @@ func Q5Selective(cat *catalog.Catalog) skipper.QuerySpec {
 		ORDER BY n_name`)
 }
 
+// QProjectiveScan is the single-table projection-pushdown probe: it
+// touches three of lineitem's columns (filter, group key, aggregate), so
+// a columnar (v2) store decodes three blocks per segment where the
+// row-major (v1) store decodes everything. Integer aggregates keep the
+// result bit-identical at any execution order (see QShipdateWindow).
+func QProjectiveScan(cat *catalog.Catalog) skipper.QuerySpec {
+	return mustPlan(cat, "projective-scan", `
+		SELECT l_shipmode, COUNT(*) AS lines, SUM(l_quantity) AS qty
+		FROM lineitem
+		WHERE l_shipdate BETWEEN '1994-01-01' AND '1994-06-30'
+		GROUP BY l_shipmode
+		ORDER BY l_shipmode`)
+}
+
+// QCountLineitem is the degenerate projection probe: COUNT(*) with no
+// predicate references no column at all, so a columnar store decodes
+// zero blocks — row counts come straight from the segment headers.
+func QCountLineitem(cat *catalog.Catalog) skipper.QuerySpec {
+	return mustPlan(cat, "count-lineitem", `SELECT COUNT(*) AS n FROM lineitem`)
+}
+
 // Q6SQL is TPC-H Q6 ("forecasting revenue change") — a single-relation
 // scan with tight predicates, demonstrating scans need no MJoin.
 func Q6SQL(cat *catalog.Catalog) skipper.QuerySpec {
