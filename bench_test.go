@@ -567,10 +567,10 @@ func (s *memSource) Request(objs []segment.ObjectID) {
 	}
 }
 
-func (s *memSource) NextArrival() *segment.Segment {
+func (s *memSource) NextArrival() (*segment.Segment, error) {
 	sg := s.queue[0]
 	s.queue = s.queue[1:]
-	return sg
+	return sg, nil
 }
 
 // fmt import keepalive for error paths in future edits.

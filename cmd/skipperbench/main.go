@@ -8,6 +8,7 @@
 //	skipperbench -fig table3 -quick  # reduced-scale smoke run
 //	skipperbench -prune -quick       # data-skipping report (fails on divergence)
 //	skipperbench -proj -quick        # projection/format report (fails on divergence)
+//	skipperbench -cache -quick       # shared-cache sweep (fails on divergence)
 //	skipperbench -format v2 -fig 9   # serve columnar (v2) encoded objects
 //
 // Figures: table1, 2, 3, 4, 5, 7, 8, 9, table3, 10, 11a, 11b, 11c, 12,
@@ -23,6 +24,14 @@
 // fetched vs decoded vs skipped-by-projection plus scan-side decode
 // time, and exits non-zero on any result divergence — the CI gate for
 // the segment format.
+//
+// -cache verifies byte-identical results with the shared segment cache
+// on and off — across both engines, the mem/v1/v2 segment formats,
+// DOP {1,4} and pruning on/off — then sweeps the cache budget over a
+// repeated-query multi-tenant workload (three tenants sharing one
+// dataset), reporting device GETs, group switches, coalesced transfers,
+// hits and timings per budget. Exits non-zero on any divergence — the
+// CI gate for the cache layer.
 //
 // -format selects the wire format the CSD store serves for figure runs:
 // mem (in-memory segments, no decode work — the default), v1, or v2.
@@ -53,6 +62,7 @@ func main() {
 	showTrace := flag.Bool("trace", false, "run a small 3-client scenario and print its event trace instead of figures")
 	prune := flag.Bool("prune", false, "run the data-skipping report (segments fetched vs skipped, on/off, both engines) and exit non-zero on result divergence")
 	proj := flag.Bool("proj", false, "run the projection/format report (v1 vs v2 decode bytes and time) and exit non-zero on result divergence")
+	cacheSweep := flag.Bool("cache", false, "run the shared segment cache sweep (budgets × repeated-query multi-tenant workload) and exit non-zero on any cache-on/off result divergence")
 	segFormat := flag.String("format", "mem", "segment wire format served by the CSD store: mem, v1 or v2")
 	flag.Parse()
 
@@ -97,6 +107,20 @@ func main() {
 		f, err := p.ProjectionReport()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skipperbench: projection report: %v\n", err)
+			os.Exit(1)
+		}
+		if *outFmt == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f)
+		}
+		return
+	}
+
+	if *cacheSweep {
+		f, err := p.CacheReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipperbench: cache report: %v\n", err)
 			os.Exit(1)
 		}
 		if *outFmt == "csv" {

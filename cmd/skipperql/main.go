@@ -7,7 +7,7 @@
 // Usage:
 //
 //	skipperql [-workload tpch|ssb|mrbench|nref] [-sf N] [-engine skipper|vanilla|local]
-//	          [-cache N] [-prune=false] [-format mem|v1|v2]
+//	          [-cache N] [-segcache N] [-prune=false] [-format mem|v1|v2]
 //
 // Example session:
 //
@@ -24,6 +24,12 @@
 // -format selects the segment wire format the store serves: v2 (the
 // columnar default — scans decode only referenced column blocks), v1
 // (row-major), or mem (in-memory segments, no decode work).
+//
+// -segcache N enables a shared segment cache of N objects that persists
+// across the session's statements: re-running a query (or touching the
+// same segments again) is served from memory at zero device cost. The
+// run footer reports residency and the lifetime hit ratio; EXPLAIN
+// reports how many of a plan's fetches are currently cache-resident.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/objstore"
+	"repro/internal/segcache"
 	"repro/internal/segment"
 	"repro/internal/skipper"
 	"repro/internal/sql"
@@ -50,6 +57,7 @@ func main() {
 	rows := flag.Int("rows", 20, "tuples per 1 GB object")
 	engineName := flag.String("engine", "skipper", "execution engine: skipper, vanilla, local")
 	cache := flag.Int("cache", 10, "MJoin cache size in objects (skipper engine)")
+	segCache := flag.Int("segcache", 0, "shared segment cache budget in objects (0 = off); persists across statements, so re-running a query hits")
 	prune := flag.Bool("prune", true, "enable zone-map/Bloom data skipping of segment requests")
 	segFormat := flag.String("format", "v2", "segment wire format the store serves: mem, v1 or v2")
 	clustered := flag.Bool("clustered", false, "sort the TPC-H date columns before segmenting (makes date predicates prunable)")
@@ -86,9 +94,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The session's shared segment cache persists across statements, so a
+	// re-run of a query (or one touching the same segments) is served
+	// from memory instead of the device — the interactive view of the
+	// cluster-wide cache.
+	var sc *segcache.Cache
+	if *segCache > 0 {
+		sc = segcache.NewObjects(*segCache)
+	}
+
 	planner := &sql.Planner{Catalog: ds.Catalog}
 	if *command != "" {
-		execute(planner, ds, *engineName, *cache, *prune, *command)
+		execute(planner, ds, *engineName, *cache, *prune, sc, *command)
 		return
 	}
 
@@ -119,7 +136,7 @@ func main() {
 		}
 		stmtText := buf.String()
 		buf.Reset()
-		execute(planner, ds, *engineName, *cache, *prune, stmtText)
+		execute(planner, ds, *engineName, *cache, *prune, sc, stmtText)
 		fmt.Print("> ")
 	}
 }
@@ -142,9 +159,9 @@ func describe(ds *workload.Dataset, table string) {
 	}
 }
 
-func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, stmtText string) {
+func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, sc *segcache.Cache, stmtText string) {
 	if rest, ok := stripExplain(stmtText); ok {
-		explainStmt(planner, ds, prune, rest)
+		explainStmt(planner, ds, prune, sc, rest)
 		return
 	}
 	spec, err := planner.Plan(stmtText)
@@ -171,6 +188,7 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 		Tenant: 0, Mode: mode, Catalog: ds.Catalog,
 		Queries: []skipper.QuerySpec{spec}, CacheObjects: cache,
 		StatsPruning: &prune,
+		SegCache:     sc,
 	}
 	res, err := (&skipper.Cluster{Clients: []*skipper.Client{client}, Store: store}).Run()
 	if err != nil {
@@ -184,15 +202,24 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 	}
 	printRows(rows)
 	cs := res.Clients[0]
-	fmt.Printf("-- %s: %.1fs virtual (processing %.1fs, stalled %.1fs), %d GETs (%d pruned), %d switches\n",
+	fmt.Printf("-- %s: %.1fs virtual (processing %.1fs, stalled %.1fs), %d GETs (%d from cache, %d pruned), %d switches\n",
 		mode, cs.Elapsed().Seconds(), cs.Processing.Seconds(), cs.Stalled().Seconds(),
-		cs.GetsIssued, cs.SegmentsSkipped, res.CSD.GroupSwitches)
+		cs.GetsIssued, cs.CacheHits, cs.SegmentsSkipped, res.CSD.GroupSwitches)
+	if sc != nil {
+		st := sc.Stats()
+		fmt.Printf("-- segcache: %d objects resident (%s of %s budget), %.0f%% lifetime hit ratio\n",
+			st.Entries, gb(st.BytesCached), gb(st.Budget),
+			100*metrics.HitRatio(st.Hits, st.Misses))
+	}
 	if cs.BytesFetched > 0 {
 		fmt.Printf("-- bytes: %d fetched, %d decoded, %d skipped by projection (%.0f%%), %d materialized\n",
 			cs.BytesFetched, cs.BytesDecoded, cs.BytesSkippedByProjection,
 			100*metrics.ProjectionRatio(cs.BytesDecoded, cs.BytesSkippedByProjection), cs.BytesMaterialized)
 	}
 }
+
+// gb renders a byte count as gigabytes.
+func gb(b int64) string { return fmt.Sprintf("%.0f GB", float64(b)/1e9) }
 
 // stripExplain recognizes a leading EXPLAIN keyword and returns the
 // statement behind it.
@@ -209,8 +236,11 @@ func stripExplain(stmtText string) (string, bool) {
 
 // explainStmt plans the statement and prints the pull-engine operator
 // tree, with per-scan data-skipping detail (pushed-down predicate,
-// segments pruned) and a whole-query pruning summary.
-func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, stmtText string) {
+// segments pruned), a whole-query pruning summary, and — when the
+// session runs with a shared segment cache — how many of the plan's
+// unpruned segment fetches are cache-resident right now (i.e. would be
+// served without a device GET).
+func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, sc *segcache.Cache, stmtText string) {
 	spec, err := planner.Plan(stmtText)
 	if err != nil {
 		fmt.Println(err)
@@ -225,12 +255,23 @@ func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, stmtTex
 		it = spec.Shape(it)
 	}
 	fmt.Print(engine.Explain(it))
-	total, skipped := 0, 0
+	total, skipped, resident, fetches := 0, 0, 0, 0
 	var decodeB, skipB int64
 	for _, rel := range spec.Join.Relations {
 		total += len(rel.Table.Objects)
 		if prune {
 			skipped += stats.CountSkipped(rel.Pruner, len(rel.Table.Objects))
+		}
+		if sc != nil {
+			for si, id := range rel.Table.Objects {
+				if prune && rel.Pruner != nil && rel.Pruner.CanSkip(si) {
+					continue
+				}
+				fetches++
+				if sc.Contains(id) {
+					resident++
+				}
+			}
 		}
 		// Estimate the projection's block-byte effect from the column
 		// directories of the unpruned segments (encoded v2 stores only).
@@ -253,6 +294,10 @@ func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, stmtTex
 		}
 	}
 	fmt.Printf("-- data skipping: %d of %d segment fetches pruned\n", skipped, total)
+	if sc != nil {
+		fmt.Printf("-- segcache: %d of %d unpruned segment fetches cache-resident (served without a device GET)\n",
+			resident, fetches)
+	}
 	if decodeB+skipB > 0 {
 		fmt.Printf("-- projection: decode %d of %d column-block bytes (%d skipped, %.0f%%)\n",
 			decodeB, decodeB+skipB, skipB, 100*metrics.ProjectionRatio(decodeB, skipB))

@@ -4,7 +4,12 @@
 // costs a group switch (spin-down + spin-up, ~10 s). The emulator mirrors
 // the paper's Swift middleware: it maintains object→group metadata, adds
 // group-switch delays, serializes each tenant's transfers on a per-tenant
-// stream, and schedules switches with a pluggable policy (§4.4).
+// stream, and schedules switches with a pluggable policy (§4.4). Pending
+// requests for the same object — across queries and tenants — are
+// coalesced into a single transfer whose delivery fans out to every
+// requester (Stats.GetsCoalesced), lifting the paper's observation that
+// FCFS device policies "cannot merge requests across queries" into the
+// device itself.
 package csd
 
 import (
@@ -21,6 +26,32 @@ import (
 type Delivery struct {
 	Object segment.ObjectID
 	Seg    *segment.Segment
+	// Err, when non-nil, reports that the device failed the request
+	// instead of serving it (e.g. a scheduler contract violation). Seg is
+	// nil in that case.
+	Err error
+}
+
+// SchedulerContractError reports a Scheduler.NextGroup return value that
+// violates the interface contract: a group with no pending requests
+// (including -1 or an unknown group id) or the already-loaded group.
+// Before this validation a misbehaving policy silently corrupted the run
+// — the device would spin the switch loop or panic deep in dispatch; now
+// the run fails fast with this error delivered to every waiting client.
+type SchedulerContractError struct {
+	// Scheduler is the policy's Name().
+	Scheduler string
+	// Returned is the offending group id.
+	Returned int
+	// Loaded is the group that was loaded when NextGroup was consulted.
+	Loaded int
+	// Reason describes the violated clause.
+	Reason string
+}
+
+func (e *SchedulerContractError) Error() string {
+	return fmt.Sprintf("csd: scheduler %s violated its contract: returned group %d (loaded %d): %s",
+		e.Scheduler, e.Returned, e.Loaded, e.Reason)
 }
 
 // Request is a tagged GET: the client proxy attaches the query identifier
@@ -33,6 +64,10 @@ type Request struct {
 
 	seq       int           // arrival order, assigned by the CSD
 	arrivedAt time.Duration // virtual arrival time
+	// followers are later pending requests for the same object coalesced
+	// onto this one: the transfer runs once and the delivery fans out to
+	// every follower's reply channel at the same completion time.
+	followers []*Request
 }
 
 // Interval is a half-open virtual-time interval [From, To).
@@ -52,9 +87,16 @@ type Stats struct {
 	// when the store holds in-memory (never-encoded) segments.
 	PayloadBytesServed int64
 	GetsReceived       int
-	GetsByTenant       map[int]int
-	ServedByQuery      map[string]int
-	SwitchIntervals    []Interval // when the device was mid-switch
+	// GetsCoalesced counts requests that were merged onto an earlier
+	// request for the same object instead of paying their own transfer —
+	// whether both were pending in the same dispatch round or the later
+	// one arrived while the earlier one's transfer was already in
+	// flight: N same-object requests cost one transfer (one BytesServed
+	// charge) and N deliveries, N-1 of them coalesced.
+	GetsCoalesced   int
+	GetsByTenant    map[int]int
+	ServedByQuery   map[string]int
+	SwitchIntervals []Interval // when the device was mid-switch
 	// GetsAvoided counts segment requests that were never issued because
 	// the clients' statistics subsystem (zone maps + Bloom filters)
 	// skipped them. The device cannot observe these itself; the cluster
@@ -139,6 +181,19 @@ type CSD struct {
 	arrivalSeq  int
 	lastService map[string]int // queryID -> switch count at last service/arrival
 	rrPos       map[string]int // queryID -> round-robin cursor over tables
+	// inflight indexes the carrier request of every transfer currently
+	// queued or running, so a later same-object request can ride along
+	// instead of paying a second transfer. The stream worker deletes the
+	// entry at transfer completion, before fanning out deliveries; the
+	// worker's completion sequence never yields (all its channel sends
+	// are buffered), so a follower is either attached while the entry
+	// exists — and delivered — or misses it entirely and becomes a fresh
+	// pending request. No follower can be attached to a carrier that has
+	// already delivered.
+	inflight map[segment.ObjectID]*Request
+	// fatal, once set, fail-stops the device: every pending and future
+	// request is answered with an error delivery instead of data.
+	fatal error
 
 	stats Stats
 }
@@ -171,6 +226,7 @@ func New(sim *vtime.Sim, cfg Config, store map[segment.ObjectID]*segment.Segment
 		loaded:      -1,
 		lastService: make(map[string]int),
 		rrPos:       make(map[string]int),
+		inflight:    make(map[segment.ObjectID]*Request),
 	}
 }
 
@@ -179,6 +235,12 @@ func (c *CSD) Stats() Stats {
 	st := c.stats
 	return st
 }
+
+// Err returns the fatal device error, if any — e.g. a
+// *SchedulerContractError from a misbehaving policy. The same error is
+// also delivered (as Delivery.Err) to every request the device could not
+// serve, so clients normally observe it without polling here.
+func (c *CSD) Err() error { return c.fatal }
 
 // Submit enqueues a GET request. Must be called from a simulated process.
 func (c *CSD) Submit(p *vtime.Proc, reqs ...*Request) {
@@ -229,7 +291,9 @@ func (c *CSD) controller(p *vtime.Proc) {
 		}
 		if len(c.pending) > 0 {
 			// Everything pending is on other groups: switch.
-			c.switchGroup(p)
+			if err := c.switchGroup(p); err != nil {
+				c.fail(p, err)
+			}
 			continue
 		}
 		if shuttingDown {
@@ -248,6 +312,11 @@ func (c *CSD) apply(p *vtime.Proc, ev event) bool {
 		return true
 	case ev.req != nil:
 		r := ev.req
+		if c.fatal != nil {
+			// Fail-stopped device: answer immediately with the error.
+			r.Reply.Send(p, Delivery{Object: r.Object, Err: c.fatal})
+			return false
+		}
 		r.seq = c.arrivalSeq
 		c.arrivalSeq++
 		r.arrivedAt = p.Now()
@@ -269,8 +338,12 @@ func (c *CSD) apply(p *vtime.Proc, ev event) bool {
 }
 
 // dispatch hands every pending request on the loaded group to its tenant's
-// stream, in the configured in-group order. Reports whether any request
-// was dispatched.
+// stream, in the configured in-group order. Duplicate requests for the
+// same object — across queries and tenants, whether pending in this round
+// or already in flight from an earlier one — are coalesced onto the first
+// requester in service order: the object is transferred once (one
+// BytesServed charge) and the delivery fans out to every rider at the
+// transfer's completion time. Reports whether any request was dispatched.
 func (c *CSD) dispatch(p *vtime.Proc) bool {
 	if c.loaded < 0 {
 		// First load is free: the device is assumed to have the first
@@ -296,6 +369,12 @@ func (c *CSD) dispatch(p *vtime.Proc) bool {
 	for _, r := range c.orderRequests(onLoaded) {
 		c.lastService[r.QueryID] = c.stats.GroupSwitches
 		c.stats.ServedByQuery[r.QueryID]++
+		if carrier, dup := c.inflight[r.Object]; dup {
+			carrier.followers = append(carrier.followers, r)
+			c.stats.GetsCoalesced++
+			continue
+		}
+		c.inflight[r.Object] = r
 		c.tenantStream(r.Tenant).queue.Send(p, r)
 		c.inFlight++
 	}
@@ -311,7 +390,9 @@ func (c *CSD) mustGroupOf(id segment.ObjectID) int {
 }
 
 // switchGroup asks the scheduler for the next group and pays the latency.
-func (c *CSD) switchGroup(p *vtime.Proc) {
+// A scheduler return that violates the NextGroup contract yields a
+// *SchedulerContractError instead of a switch.
+func (c *CSD) switchGroup(p *vtime.Proc) error {
 	byGroup := make(map[int][]*Request)
 	for _, r := range c.pending {
 		g := c.mustGroupOf(r.Object)
@@ -321,11 +402,17 @@ func (c *CSD) switchGroup(p *vtime.Proc) {
 		return c.stats.GroupSwitches - c.lastService[queryID]
 	}
 	next := c.cfg.Scheduler.NextGroup(c.loaded, byGroup, waiting)
-	if _, ok := byGroup[next]; !ok {
-		panic(fmt.Sprintf("csd: scheduler %s picked group %d with no pending requests", c.cfg.Scheduler.Name(), next))
-	}
 	if next == c.loaded {
-		panic(fmt.Sprintf("csd: scheduler %s picked the already-loaded group %d", c.cfg.Scheduler.Name(), next))
+		return &SchedulerContractError{
+			Scheduler: c.cfg.Scheduler.Name(), Returned: next, Loaded: c.loaded,
+			Reason: "picked the already-loaded group",
+		}
+	}
+	if _, ok := byGroup[next]; !ok {
+		return &SchedulerContractError{
+			Scheduler: c.cfg.Scheduler.Name(), Returned: next, Loaded: c.loaded,
+			Reason: "picked a group with no pending requests",
+		}
 	}
 	from := p.Now()
 	prev := c.loaded
@@ -338,6 +425,20 @@ func (c *CSD) switchGroup(p *vtime.Proc) {
 		At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: next,
 		Note: fmt.Sprintf("g%d->g%d", prev, next),
 	})
+	return nil
+}
+
+// fail fail-stops the device: the error is recorded and every pending
+// request (and, via apply, every future one) receives an error delivery,
+// so no client blocks forever on a device that cannot make progress.
+// In-flight transfers complete normally.
+func (c *CSD) fail(p *vtime.Proc, err error) {
+	c.fatal = err
+	c.sim.Tracef("csd: fail-stop: %v", err)
+	for _, r := range c.pending {
+		r.Reply.Send(p, Delivery{Object: r.Object, Err: err})
+	}
+	c.pending = nil
 }
 
 // tenantStream lazily spawns the per-tenant transfer worker(s).
@@ -365,14 +466,24 @@ func (c *CSD) tenantStream(tenant int) *stream {
 				seg := c.store[r.Object]
 				d := time.Duration(float64(seg.NominalBytes) / c.cfg.Bandwidth * float64(time.Second))
 				p.Sleep(d)
-				r.Reply.Send(p, Delivery{Object: r.Object, Seg: seg})
-				c.stats.ObjectsServed++
+				// Close the ride-along window before fanning out: from here
+				// on a new same-object request must pay its own transfer.
+				// This sequence runs without yielding (see the inflight
+				// field), so no follower can be attached after delivery.
+				delete(c.inflight, r.Object)
+				// One transfer, one byte charge; the delivery fans out to
+				// the carrier and every coalesced follower at the same
+				// completion instant.
 				c.stats.BytesServed += seg.NominalBytes
 				c.stats.PayloadBytesServed += seg.EncodedSize()
-				c.cfg.Events.Add(trace.Event{
-					At: p.Now(), Kind: trace.KindDelivery, Tenant: r.Tenant,
-					Query: r.QueryID, Object: r.Object.String(), Group: -1,
-				})
+				for _, rr := range append([]*Request{r}, r.followers...) {
+					rr.Reply.Send(p, Delivery{Object: rr.Object, Seg: seg})
+					c.stats.ObjectsServed++
+					c.cfg.Events.Add(trace.Event{
+						At: p.Now(), Kind: trace.KindDelivery, Tenant: rr.Tenant,
+						Query: rr.QueryID, Object: rr.Object.String(), Group: -1,
+					})
+				}
 				c.evCh.Send(p, event{done: true, doneID: s.tenant})
 			}
 		})

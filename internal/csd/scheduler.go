@@ -2,6 +2,8 @@ package csd
 
 import (
 	"sort"
+
+	"repro/internal/segment"
 )
 
 // Scheduler decides which disk group to load next. NextGroup receives the
@@ -35,6 +37,19 @@ func distinctQueries(reqs []*Request) int {
 		seen[r.QueryID] = struct{}{}
 	}
 	return len(seen)
+}
+
+// coalescedRequests counts requests that would ride along on another
+// request's transfer: len(reqs) minus the distinct objects. The device
+// coalesces duplicate same-object requests into one transfer at
+// dispatch, so a group with a high count serves the same demand with
+// fewer transfers.
+func coalescedRequests(reqs []*Request) int {
+	seen := make(map[segment.ObjectID]struct{}, len(reqs))
+	for _, r := range reqs {
+		seen[r.Object] = struct{}{}
+	}
+	return len(reqs) - len(seen)
 }
 
 // FCFSObject loads the group holding the oldest pending object request —
@@ -126,7 +141,11 @@ func (MaxQueries) NextGroup(loaded int, pending map[int][]*Request, _ func(strin
 // rank R(g) = Ng + K·Σ Wq(g), where Ng is the number of distinct queries
 // with pending data on g and Wq is the number of switches since query q
 // was last serviced. K=1 maximizes fairness while preserving the
-// Max-Queries behaviour for equal waiting times (§4.4).
+// Max-Queries behaviour for equal waiting times (§4.4). The scheduler is
+// coalesce-aware: among equally ranked groups with the same query count
+// it prefers the one where more pending requests collapse onto shared
+// transfers (duplicate objects), i.e. the group that serves its demand
+// with the fewest transfers.
 type RankBased struct {
 	K float64
 }
@@ -137,7 +156,7 @@ func NewRankBased(k float64) *RankBased { return &RankBased{K: k} }
 func (s *RankBased) Name() string { return "rank-based" }
 
 func (s *RankBased) NextGroup(loaded int, pending map[int][]*Request, waiting func(string) int) int {
-	best, bestRank, bestN := -1, -1.0, -1
+	best, bestRank, bestN, bestCoal := -1, -1.0, -1, -1
 	for _, g := range sortedGroups(loaded, pending) {
 		queries := make(map[string]struct{})
 		for _, r := range pending[g] {
@@ -148,9 +167,14 @@ func (s *RankBased) NextGroup(loaded int, pending map[int][]*Request, waiting fu
 			sumWait += waiting(q)
 		}
 		rank := float64(len(queries)) + s.K*float64(sumWait)
-		// Tie-break on Ng (efficiency), then on group id (determinism).
-		if rank > bestRank || (rank == bestRank && len(queries) > bestN) {
-			best, bestRank, bestN = g, rank, len(queries)
+		coal := coalescedRequests(pending[g])
+		// Tie-break on Ng (efficiency), then on coalesced requests (a
+		// duplicate-heavy group serves the same demand with fewer
+		// transfers), then on group id (determinism).
+		if rank > bestRank ||
+			(rank == bestRank && len(queries) > bestN) ||
+			(rank == bestRank && len(queries) == bestN && coal > bestCoal) {
+			best, bestRank, bestN, bestCoal = g, rank, len(queries), coal
 		}
 	}
 	return best

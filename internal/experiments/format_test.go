@@ -167,10 +167,10 @@ func (s *scrambledSource) Request(objs []segment.ObjectID) {
 	}
 }
 
-func (s *scrambledSource) NextArrival() *segment.Segment {
+func (s *scrambledSource) NextArrival() (*segment.Segment, error) {
 	sg := s.queue[0]
 	s.queue = s.queue[1:]
-	return sg
+	return sg, nil
 }
 
 // TestFormatPreservesCatalogStats asserts the v2 path's directory-derived

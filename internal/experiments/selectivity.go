@@ -301,8 +301,8 @@ func (s *immediateSource) Request(objs []segment.ObjectID) {
 }
 
 // NextArrival implements mjoin.Source.
-func (s *immediateSource) NextArrival() *segment.Segment {
+func (s *immediateSource) NextArrival() (*segment.Segment, error) {
 	sg := s.queue[0]
 	s.queue = s.queue[1:]
-	return sg
+	return sg, nil
 }

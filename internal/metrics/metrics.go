@@ -133,6 +133,15 @@ func PruneRatio(issued, skipped int) float64 {
 	return float64(skipped) / float64(issued+skipped)
 }
 
+// HitRatio returns the fraction of segment-cache lookups that hit:
+// hits / (hits + misses), or 0 when the cache saw no traffic.
+func HitRatio(hits, misses int64) float64 {
+	if hits+misses <= 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
 // ProjectionRatio returns the fraction of candidate block bytes that
 // projection pushdown left undecoded: skipped / (decoded + skipped), or
 // 0 when nothing was read. Decoded should count the block bytes a scan

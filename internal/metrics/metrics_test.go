@@ -139,6 +139,18 @@ func TestPercentZeroTotal(t *testing.T) {
 	}
 }
 
+func TestHitRatio(t *testing.T) {
+	if got := HitRatio(0, 0); got != 0 {
+		t.Fatalf("no traffic: %v", got)
+	}
+	if got := HitRatio(3, 1); got != 0.75 {
+		t.Fatalf("3/4: %v", got)
+	}
+	if got := HitRatio(5, 0); got != 1 {
+		t.Fatalf("all hits: %v", got)
+	}
+}
+
 func TestPruneRatio(t *testing.T) {
 	if got := PruneRatio(0, 0); got != 0 {
 		t.Fatalf("no candidates: %v", got)

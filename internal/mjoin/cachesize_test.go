@@ -1,0 +1,58 @@
+package mjoin
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/segment"
+)
+
+// panicSource fails the test if the state manager touches the storage
+// layer at all — the impossible-fit check must fire before any request.
+type panicSource struct{ t *testing.T }
+
+func (s *panicSource) Request(objs []segment.ObjectID) {
+	s.t.Fatalf("Request(%v) issued despite impossible cache fit", objs)
+}
+
+func (s *panicSource) NextArrival() (*segment.Segment, error) {
+	s.t.Fatal("NextArrival called despite impossible cache fit")
+	return nil, nil
+}
+
+// TestCacheSmallerThanWidestSubplanFailsFast pins the impossible-fit
+// bugfix: a cache budget below the widest subplan (one object per
+// relation) must return a typed error immediately — zero cycles, zero
+// GETs — instead of reissuing until Config.MaxCycles.
+func TestCacheSmallerThanWidestSubplanFailsFast(t *testing.T) {
+	cat, _ := buildDB(t, []relSpec{
+		{name: "a", col: "ak", keys: seqKeys(10), perSeg: 5},
+		{name: "b", col: "bk", keys: seqKeys(10), perSeg: 5},
+		{name: "c", col: "ck", keys: seqKeys(10), perSeg: 5},
+	})
+	q := &Query{
+		ID: "q",
+		Relations: []Relation{
+			{Table: cat.MustTable("a")},
+			{Table: cat.MustTable("b")},
+			{Table: cat.MustTable("c")},
+		},
+		Joins: []JoinCond{
+			{Rel: 1, LeftCol: "ak", RightCol: "bk"},
+			{Rel: 2, LeftCol: "bk", RightCol: "ck"},
+		},
+	}
+	cfg := DefaultConfig(2) // widest subplan needs 3
+	cfg.MaxCycles = 4       // would be the old failure point, many cycles later
+	res, err := Run(q, cfg, &panicSource{t: t})
+	if err == nil {
+		t.Fatalf("Run succeeded with impossible cache fit (result %v)", res)
+	}
+	var tooSmall *CacheTooSmallError
+	if !errors.As(err, &tooSmall) {
+		t.Fatalf("error %v is not a CacheTooSmallError", err)
+	}
+	if tooSmall.CacheSize != 2 || tooSmall.Widest != 3 {
+		t.Fatalf("error fields = %+v, want CacheSize 2, Widest 3", tooSmall)
+	}
+}

@@ -16,9 +16,28 @@ type Source interface {
 	// Request issues GETs for the given objects. The state manager calls
 	// it once per cycle with every object still needed.
 	Request(objs []segment.ObjectID)
-	// NextArrival blocks until one requested object arrives. The source
-	// delivers exactly one arrival per requested object per cycle.
-	NextArrival() *segment.Segment
+	// NextArrival blocks until one requested object arrives (the source
+	// delivers exactly one arrival per requested object per cycle) or the
+	// storage layer fails the request, in which case it returns the
+	// storage error and execution aborts.
+	NextArrival() (*segment.Segment, error)
+}
+
+// CacheTooSmallError reports an impossible fit detected before the first
+// request cycle: the cache budget cannot hold one object per relation,
+// so the widest subplan could never have all its inputs resident and the
+// reissue loop would spin to Config.MaxCycles without ever executing it.
+type CacheTooSmallError struct {
+	// CacheSize is the configured budget in objects.
+	CacheSize int
+	// Widest is the width of the widest subplan — one object per
+	// relation of the query.
+	Widest int
+}
+
+func (e *CacheTooSmallError) Error() string {
+	return fmt.Sprintf("mjoin: cache of %d objects cannot hold the widest subplan (%d objects, one per relation)",
+		e.CacheSize, e.Widest)
 }
 
 // Costs parametrizes virtual processing charges.
@@ -171,7 +190,7 @@ func Run(q *Query, cfg Config, src Source) (*Result, error) {
 		return nil, err
 	}
 	if cfg.CacheSize < len(q.Relations) {
-		return nil, fmt.Errorf("mjoin: cache of %d objects cannot hold one object per relation (%d needed)", cfg.CacheSize, len(q.Relations))
+		return nil, &CacheTooSmallError{CacheSize: cfg.CacheSize, Widest: len(q.Relations)}
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = MaxProgress{}
@@ -292,7 +311,10 @@ func (m *manager) loop() error {
 		}
 		execBefore := m.stats.SubplansExecuted + m.stats.SubplansPruned
 		for range toFetch {
-			seg := m.src.NextArrival()
+			seg, err := m.src.NextArrival()
+			if err != nil {
+				return fmt.Errorf("mjoin: arrival: %w", err)
+			}
 			if err := m.processArrival(seg); err != nil {
 				return err
 			}

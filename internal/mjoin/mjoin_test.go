@@ -36,13 +36,13 @@ func (s *scriptSource) Request(objs []segment.ObjectID) {
 	}
 }
 
-func (s *scriptSource) NextArrival() *segment.Segment {
+func (s *scriptSource) NextArrival() (*segment.Segment, error) {
 	if len(s.queue) == 0 {
 		panic("scriptSource: NextArrival with empty queue")
 	}
 	sg := s.queue[0]
 	s.queue = s.queue[1:]
-	return sg
+	return sg, nil
 }
 
 // buildRelation creates a table of (key, payload) rows.

@@ -39,10 +39,10 @@ func (s *adversarialSource) Request(objs []segment.ObjectID) {
 	}
 }
 
-func (s *adversarialSource) NextArrival() *segment.Segment {
+func (s *adversarialSource) NextArrival() (*segment.Segment, error) {
 	sg := s.queue[0]
 	s.queue = s.queue[1:]
-	return sg
+	return sg, nil
 }
 
 // TestPinningBreaksLivelock runs LRU (the most thrash-prone policy) at the

@@ -23,7 +23,7 @@ func (s *recordingSource) Request(objs []segment.ObjectID) {
 	s.inner.Request(objs)
 }
 
-func (s *recordingSource) NextArrival() *segment.Segment { return s.inner.NextArrival() }
+func (s *recordingSource) NextArrival() (*segment.Segment, error) { return s.inner.NextArrival() }
 
 // attachPruner compiles the filter into a stats.Pruner for the relation.
 func attachPruner(t *testing.T, rel *Relation) {

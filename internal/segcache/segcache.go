@@ -1,0 +1,222 @@
+// Package segcache implements a byte-budgeted, concurrency-safe shared
+// segment cache: a reuse layer between the database clients and the Cold
+// Storage Device. The paper's device policies cannot merge requests
+// across queries (§4.4) and MJoin's reissue regime re-fetches evicted
+// objects from cold storage at full cost (§5.2.4); a cache at the client
+// proxy turns both into local hits. One Cache instance can be private to
+// a tenant or shared by every client of a skipper.Cluster — segments are
+// immutable once written, so sharing is safe by construction.
+//
+// Eviction is LRU over unpinned entries. Pinned entries are never
+// evicted and admission is pin-aware: a new segment is admitted only if
+// the budget can be met by evicting unpinned entries alone; otherwise
+// the insert is rejected (and counted) rather than corrupting the
+// budget. The in-tree proxies never pin — Pin/Unpin is the embedder
+// hook for keeping hot segments resident against LRU pressure. Entries
+// are sized by their nominal (paper-scale, 1 GB) object size, so
+// budgets are expressible in objects/GB exactly like the MJoin cache
+// capacity.
+package segcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/segment"
+)
+
+// Stats counts what the cache did since creation. Snapshot via
+// Cache.Stats; all counters are monotone except Entries/BytesCached.
+type Stats struct {
+	// Hits / Misses count Get outcomes.
+	Hits, Misses int64
+	// BytesHit sums the nominal sizes of hit segments — bytes that did
+	// not travel from the device.
+	BytesHit int64
+	// Inserted / Evicted / Rejected count Put outcomes: admissions, LRU
+	// victims dropped for space, and inserts refused because the budget
+	// could not be met by evicting unpinned entries.
+	Inserted, Evicted, Rejected int64
+	// BytesEvicted sums the nominal sizes of evicted entries.
+	BytesEvicted int64
+	// Entries / BytesCached describe the current contents.
+	Entries     int
+	BytesCached int64
+	// Budget echoes the configured capacity in bytes.
+	Budget int64
+}
+
+// entry is one cached segment.
+type entry struct {
+	id   segment.ObjectID
+	seg  *segment.Segment
+	size int64
+	elem *list.Element
+	pins int
+}
+
+// Cache is the shared segment cache. Create with New; the zero value is
+// not usable. All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	pinned  int64 // bytes held by entries with pins > 0
+	entries map[segment.ObjectID]*entry
+	lru     *list.List // front = most recently used
+	stats   Stats
+}
+
+// New returns a cache with the given byte budget. A non-positive budget
+// panics: a disabled cache is expressed by not constructing one.
+func New(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		panic(fmt.Sprintf("segcache: non-positive budget %d", budgetBytes))
+	}
+	return &Cache{
+		budget:  budgetBytes,
+		entries: make(map[segment.ObjectID]*entry),
+		lru:     list.New(),
+	}
+}
+
+// NewObjects returns a cache budgeted for n nominal 1 GB objects — the
+// unit the paper (and the MJoin cache capacity) uses.
+func NewObjects(n int) *Cache { return New(int64(n) * 1e9) }
+
+// size returns the budget charge for a segment: its nominal size,
+// clamped to at least one byte so zero-sized test segments still occupy
+// the cache.
+func size(seg *segment.Segment) int64 {
+	if seg.NominalBytes > 0 {
+		return seg.NominalBytes
+	}
+	return 1
+}
+
+// Get returns the cached segment and marks it most recently used.
+func (c *Cache) Get(id segment.ObjectID) (*segment.Segment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.stats.BytesHit += e.size
+	c.lru.MoveToFront(e.elem)
+	return e.seg, true
+}
+
+// Contains reports residency without touching recency or hit/miss
+// accounting — the EXPLAIN peek.
+func (c *Cache) Contains(id segment.ObjectID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Put admits the segment, evicting least-recently-used unpinned entries
+// until it fits. Re-putting a resident object only refreshes recency.
+// Returns false when admission was rejected (the segment alone exceeds
+// the budget, or pinned entries hold too much of it).
+func (c *Cache) Put(id segment.ObjectID, seg *segment.Segment) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok {
+		c.lru.MoveToFront(e.elem)
+		return true
+	}
+	sz := size(seg)
+	if !c.makeRoom(sz) {
+		c.stats.Rejected++
+		return false
+	}
+	e := &entry{id: id, seg: seg, size: sz}
+	e.elem = c.lru.PushFront(e)
+	c.entries[id] = e
+	c.used += sz
+	c.stats.Inserted++
+	return true
+}
+
+// makeRoom evicts unpinned LRU entries until sz fits in the budget,
+// reporting whether it succeeded. On failure nothing is evicted: the
+// admission is all-or-nothing, so a hopeless insert does not flush the
+// cache on its way out.
+func (c *Cache) makeRoom(sz int64) bool {
+	if sz > c.budget {
+		return false
+	}
+	// Evicting every unpinned entry frees used-pinned bytes; if pinned
+	// residents plus the newcomer still exceed the budget, reject.
+	if c.pinned+sz > c.budget {
+		return false
+	}
+	for c.used+sz > c.budget {
+		el := c.lru.Back()
+		for el != nil && el.Value.(*entry).pins > 0 {
+			el = el.Prev()
+		}
+		if el == nil {
+			return false // unreachable given the precheck
+		}
+		c.removeLocked(el.Value.(*entry))
+		c.stats.Evicted++
+	}
+	return true
+}
+
+// removeLocked drops an entry. Caller holds c.mu.
+func (c *Cache) removeLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.id)
+	c.used -= e.size
+	c.stats.BytesEvicted += e.size
+}
+
+// Pin marks a resident object unevictable until a matching Unpin. Pins
+// nest. Pinning a non-resident object is a no-op returning false, so
+// callers need not re-check residency first.
+func (c *Cache) Pin(id segment.ObjectID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	if e.pins == 0 {
+		c.pinned += e.size
+	}
+	e.pins++
+	return true
+}
+
+// Unpin releases one pin. Unpinning a non-resident or unpinned object
+// panics: it indicates broken bracketing at the caller.
+func (c *Cache) Unpin(id segment.ObjectID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok || e.pins == 0 {
+		panic(fmt.Sprintf("segcache: Unpin of unpinned object %v", id))
+	}
+	e.pins--
+	if e.pins == 0 {
+		c.pinned -= e.size
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.BytesCached = c.used
+	st.Budget = c.budget
+	return st
+}

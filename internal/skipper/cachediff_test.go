@@ -1,0 +1,209 @@
+// Shared-segment-cache differential suite: concurrent tenants over one
+// shared dataset, executed with the cache on and off across engine
+// modes, DOP, segment formats and pruning — results must be
+// byte-identical and the GET accounting must balance. Runs under CI's
+// -race job, so the concurrency-safety of the shared cache is under
+// test too. External test package: the workload/objstore helpers import
+// skipper themselves.
+package skipper_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/csd"
+	"repro/internal/layout"
+	"repro/internal/objstore"
+	"repro/internal/segcache"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/workload"
+)
+
+// sharedDataset builds one date-clustered TPC-H dataset served to every
+// tenant, re-encoded in the given wire format.
+func sharedDataset(t *testing.T, f segment.Format) *workload.Dataset {
+	t.Helper()
+	ds := workload.TPCH(0, workload.TPCHConfig{SF: 4, RowsPerObject: 4, Seed: 1, ClusteredDates: true})
+	ds, err := objstore.ReencodeDataset(ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// runShared executes the 2-pass probe workload on two tenants sharing
+// the dataset (and, when cache is non-nil, one segment cache).
+func runShared(t *testing.T, ds *workload.Dataset, mode skipper.Mode, dop int, prune bool, cache *segcache.Cache) *skipper.RunResult {
+	t.Helper()
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	pr := prune
+	clients := make([]*skipper.Client, 2)
+	for tn := range clients {
+		clients[tn] = &skipper.Client{
+			Tenant:       tn,
+			Mode:         mode,
+			Catalog:      ds.Catalog,
+			Queries:      workload.MultiPass(ds.Catalog, 2),
+			CacheObjects: 6, // minimum for the 6-relation probe: eviction pressure on
+			StatsPruning: &pr,
+			Parallelism:  dop,
+			KeepResults:  true,
+		}
+	}
+	cl := &skipper.Cluster{
+		Clients:     clients,
+		Layout:      layout.RoundRobinObjects{NumGroups: 3},
+		Store:       store,
+		SharedCache: cache,
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatalf("mode=%v dop=%d prune=%v cache=%v: %v", mode, dop, prune, cache != nil, err)
+	}
+	return res
+}
+
+func TestSharedCacheDifferential(t *testing.T) {
+	for _, format := range []segment.Format{segment.FormatV1, segment.FormatV2} {
+		ds := sharedDataset(t, format)
+		budget := len(ds.Catalog.AllObjects())
+		for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+			for _, dop := range []int{1, 4} {
+				for _, prune := range []bool{true, false} {
+					name := fmt.Sprintf("%v/%v/dop%d/prune=%v", format, mode, dop, prune)
+					t.Run(name, func(t *testing.T) {
+						off := runShared(t, ds, mode, dop, prune, nil)
+						on := runShared(t, ds, mode, dop, prune, segcache.NewObjects(budget))
+						// Byte-identical results, query by query, client by client.
+						for i := range on.Clients {
+							qa, qb := on.Clients[i].PerQuery, off.Clients[i].PerQuery
+							if len(qa) != len(qb) {
+								t.Fatalf("client %d ran %d vs %d queries", i, len(qa), len(qb))
+							}
+							for j := range qa {
+								ra, rb := qa[j].Results, qb[j].Results
+								if len(ra) != len(rb) {
+									t.Fatalf("client %d query %s: %d vs %d rows", i, qa[j].Name, len(ra), len(rb))
+								}
+								for k := range ra {
+									if ra[k].String() != rb[k].String() {
+										t.Fatalf("client %d query %s row %d: %s vs %s",
+											i, qa[j].Name, k, ra[k], rb[k])
+									}
+								}
+							}
+						}
+						// Accounting: the cache removes device transfers, never
+						// requests — per client, device GETs + cache hits must
+						// equal the GETs issued, and in skipper mode the MJoin
+						// request count (GETs + reissues, the Figure 11 metric)
+						// must equal that same total.
+						totalHits := 0
+						for _, cs := range on.Clients {
+							device := on.CSD.GetsByTenant[cs.Tenant]
+							if device+cs.CacheHits != cs.GetsIssued {
+								t.Fatalf("tenant %d: device %d + hits %d != issued %d",
+									cs.Tenant, device, cs.CacheHits, cs.GetsIssued)
+							}
+							if mode == skipper.ModeSkipper && cs.MJoin.Requests != cs.GetsIssued {
+								t.Fatalf("tenant %d: mjoin requests %d != issued %d",
+									cs.Tenant, cs.MJoin.Requests, cs.GetsIssued)
+							}
+							totalHits += cs.CacheHits
+						}
+						if totalHits == 0 {
+							t.Fatal("repeated-query workload produced no cache hits")
+						}
+						if on.Cache == nil || int(on.Cache.Hits) != totalHits {
+							t.Fatalf("cluster cache stats %+v disagree with client hits %d", on.Cache, totalHits)
+						}
+						// The cache never runs without removing device work here:
+						// a second pass over the same segments must shrink traffic.
+						if on.CSD.GetsReceived >= off.CSD.GetsReceived {
+							t.Fatalf("device GETs did not drop: %d with cache vs %d without",
+								on.CSD.GetsReceived, off.CSD.GetsReceived)
+						}
+						if off.Cache != nil {
+							t.Fatalf("cache stats reported for cache-off run: %+v", off.Cache)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPerClientCacheOverridesShared checks the private-cache opt-out: a
+// client with its own SegCache must not touch the cluster's shared one.
+func TestPerClientCacheOverridesShared(t *testing.T) {
+	ds := sharedDataset(t, segment.FormatMem)
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	shared := segcache.NewObjects(len(ds.Catalog.AllObjects()))
+	private := segcache.NewObjects(len(ds.Catalog.AllObjects()))
+	clients := []*skipper.Client{
+		{Tenant: 0, Mode: skipper.ModeSkipper, Catalog: ds.Catalog,
+			Queries: workload.MultiPass(ds.Catalog, 2), CacheObjects: 6, KeepResults: true,
+			SegCache: private},
+	}
+	cl := &skipper.Cluster{Clients: clients, Store: store, SharedCache: shared}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := shared.Stats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("shared cache saw traffic despite private override: %+v", st)
+	}
+	if st := private.Stats(); st.Hits == 0 {
+		t.Fatalf("private cache unused: %+v", st)
+	}
+	if res.Clients[0].CacheHits == 0 {
+		t.Fatal("client recorded no hits")
+	}
+}
+
+// contractBreaker is a Scheduler that violates NextGroup's contract on
+// its first consultation.
+type contractBreaker struct{}
+
+func (contractBreaker) Name() string { return "contract-breaker" }
+func (contractBreaker) NextGroup(int, map[int][]*csd.Request, func(string) int) int {
+	return -1
+}
+
+// TestClusterSurfacesSchedulerContractError pins end-to-end propagation
+// of the device's typed scheduler error: through the proxy, the engines
+// (both modes) and Cluster.Run.
+func TestClusterSurfacesSchedulerContractError(t *testing.T) {
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		ds := sharedDataset(t, segment.FormatMem)
+		store := make(map[segment.ObjectID]*segment.Segment)
+		ds.MergeInto(store)
+		cfg := csd.DefaultConfig()
+		cfg.Scheduler = contractBreaker{}
+		clients := []*skipper.Client{
+			{Tenant: 0, Mode: mode, Catalog: ds.Catalog,
+				Queries: workload.MultiPass(ds.Catalog, 1), CacheObjects: 6},
+		}
+		cl := &skipper.Cluster{
+			Clients: clients,
+			Layout:  layout.RoundRobinObjects{NumGroups: 3}, // multiple groups force a switch
+			CSD:     cfg,
+			Store:   store,
+		}
+		_, err := cl.Run()
+		if err == nil {
+			t.Fatalf("%v: misbehaving scheduler did not fail the run", mode)
+		}
+		var sce *csd.SchedulerContractError
+		if !errors.As(err, &sce) {
+			t.Fatalf("%v: error %v is not a SchedulerContractError", mode, err)
+		}
+		if sce.Returned != -1 || sce.Scheduler != "contract-breaker" {
+			t.Fatalf("%v: error fields %+v", mode, sce)
+		}
+	}
+}

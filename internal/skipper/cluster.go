@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/layout"
 	"repro/internal/mjoin"
+	"repro/internal/segcache"
 	"repro/internal/segment"
 	"repro/internal/trace"
 	"repro/internal/tuple"
@@ -24,6 +25,13 @@ type Cluster struct {
 	Costs   Costs
 	// Store backs every tenant's objects.
 	Store map[segment.ObjectID]*segment.Segment
+	// SharedCache, when non-nil, is one segment cache shared by every
+	// client of the cluster: bytes transferred for one tenant's query are
+	// served to any later request for the same object — across queries,
+	// reissue cycles and tenants — without touching the device. A client
+	// with its own SegCache opts out of the shared instance. Segments are
+	// immutable, so cross-tenant sharing never changes query results.
+	SharedCache *segcache.Cache
 	// Trace, if non-nil, receives simulator trace lines.
 	Trace func(at time.Duration, format string, args ...any)
 	// Events, if non-nil, receives structured trace events (query spans
@@ -36,6 +44,10 @@ type RunResult struct {
 	Clients  []*ClientStats
 	CSD      csd.Stats
 	Makespan time.Duration
+	// Cache is the shared segment cache's final statistics; nil when the
+	// cluster ran without a SharedCache. Clients with private SegCache
+	// instances report through their own caches instead.
+	Cache *segcache.Stats
 }
 
 // Run executes every client's workload to completion and returns the
@@ -93,6 +105,10 @@ func (cl *Cluster) Run() (*RunResult, error) {
 		return nil, runErr
 	}
 	res := &RunResult{CSD: dev.Stats(), Makespan: sim.Now()}
+	if cl.SharedCache != nil {
+		st := cl.SharedCache.Stats()
+		res.Cache = &st
+	}
 	for _, c := range cl.Clients {
 		res.Clients = append(res.Clients, &c.stats)
 		// The device cannot observe requests that data skipping never
@@ -108,6 +124,9 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, c *Cli
 	c.stats = ClientStats{Tenant: c.Tenant, Mode: c.Mode, Start: p.Now()}
 	px := newProxy(sim, dev, c.Tenant, &c.stats)
 	px.proc = p
+	if px.cache = c.SegCache; px.cache == nil {
+		px.cache = cl.SharedCache
+	}
 	clock := &chargingClock{proc: p, stats: &c.stats}
 	for qi, spec := range c.Queries {
 		queryID := fmt.Sprintf("t%d.%s#%d", c.Tenant, spec.Name, qi)
@@ -127,10 +146,14 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, c *Cli
 		if err != nil {
 			return fmt.Errorf("skipper: tenant %d query %s: %w", c.Tenant, spec.Name, err)
 		}
-		c.stats.PerQuery = append(c.stats.PerQuery, QueryRun{
+		qr := QueryRun{
 			Name: spec.Name, QueryID: queryID,
 			Start: qStart, Finish: p.Now(), Rows: len(rows),
-		})
+		}
+		if c.KeepResults {
+			qr.Results = rows
+		}
+		c.stats.PerQuery = append(c.stats.PerQuery, qr)
 		cl.Events.Add(trace.Event{At: p.Now(), Kind: trace.KindQueryEnd, Tenant: c.Tenant, Query: queryID, Group: -1})
 		c.stats.Rows += int64(len(rows))
 		if c.Think > 0 && qi < len(c.Queries)-1 {

@@ -14,7 +14,9 @@ import (
 	"repro/internal/csd"
 	"repro/internal/engine"
 	"repro/internal/mjoin"
+	"repro/internal/segcache"
 	"repro/internal/segment"
+	"repro/internal/tuple"
 	"repro/internal/vtime"
 )
 
@@ -86,8 +88,14 @@ type ClientStats struct {
 	// StallIntervals are the periods the client spent blocked waiting
 	// for data from the CSD.
 	StallIntervals []csd.Interval
-	// GetsIssued counts GET requests (including MJoin reissues).
+	// GetsIssued counts GET requests (including MJoin reissues). Requests
+	// served by the shared segment cache are included; subtract CacheHits
+	// for the device-visible traffic.
 	GetsIssued int
+	// CacheHits counts GETs served from the shared segment cache without
+	// touching the device: GetsIssued - CacheHits equals the GETs the CSD
+	// actually received from this client.
+	CacheHits int
 	// SegmentsSkipped counts segment requests the statistics subsystem
 	// (zone maps + Bloom filters) avoided across the workload — fetches
 	// that would have been issued without data skipping.
@@ -115,6 +123,9 @@ type QueryRun struct {
 	QueryID       string
 	Start, Finish time.Duration
 	Rows          int
+	// Results holds the full result rows when Client.KeepResults is set;
+	// nil otherwise.
+	Results []tuple.Row
 }
 
 // Elapsed returns the client's total workload time.
@@ -159,6 +170,16 @@ type Client struct {
 	// the knob spends real CPU cores to cut the real (wall-clock)
 	// compute between I/O stalls.
 	Parallelism int
+	// SegCache, when non-nil, is this client's private segment cache: the
+	// proxy serves cache-resident objects without a device GET and admits
+	// device deliveries on the way back. It overrides the cluster's
+	// SharedCache for this client. Query results are byte-identical with
+	// and without a cache; only storage traffic and timing change.
+	SegCache *segcache.Cache
+	// KeepResults retains every query's full result rows in the PerQuery
+	// records — the hook the differential harnesses use to compare runs
+	// byte for byte. Off by default: result sets can be large.
+	KeepResults bool
 	// Think, if set, inserts a pause between successive queries.
 	Think time.Duration
 
@@ -172,12 +193,19 @@ func (c *Client) Stats() *ClientStats { return &c.stats }
 func (c *Client) statsPruningOn() bool { return c.StatsPruning == nil || *c.StatsPruning }
 
 // proxy is the client proxy daemon (§4.3): it owns the reply channel,
-// tags requests with the query id, counts GETs, and records stalls.
+// tags requests with the query id, counts GETs, and records stalls. When
+// a segment cache is configured it sits between the engines and the
+// device: requests are consulted against the cache first (hits are
+// delivered immediately at zero device cost) and device deliveries are
+// admitted into the cache on the way back, so later queries — of this
+// tenant or, with a cluster-shared cache, of any tenant — reuse the
+// transferred bytes.
 type proxy struct {
 	sim    *vtime.Sim
 	dev    *csd.CSD
 	tenant int
 	stats  *ClientStats
+	cache  *segcache.Cache
 	reply  *vtime.Chan[csd.Delivery]
 	proc   *vtime.Proc
 	query  string
@@ -193,36 +221,58 @@ func newProxy(sim *vtime.Sim, dev *csd.CSD, tenant int, stats *ClientStats) *pro
 	}
 }
 
-// Request implements mjoin.Source: issue tagged GETs for a batch.
+// Request implements mjoin.Source: issue tagged GETs for a batch,
+// serving cache-resident objects locally. Cache hits are enqueued on the
+// reply channel ahead of any device delivery — arrival order is the
+// out-of-order engine's input, so this only reorders, never loses, a
+// delivery, and the vanilla path requests one object at a time.
 func (px *proxy) Request(objs []segment.ObjectID) {
-	reqs := make([]*csd.Request, len(objs))
-	for i, id := range objs {
-		reqs[i] = &csd.Request{Object: id, QueryID: px.query, Tenant: px.tenant, Reply: px.reply}
+	var reqs []*csd.Request
+	for _, id := range objs {
+		if px.cache != nil {
+			if seg, ok := px.cache.Get(id); ok {
+				px.stats.CacheHits++
+				px.reply.Send(px.proc, csd.Delivery{Object: id, Seg: seg})
+				continue
+			}
+		}
+		reqs = append(reqs, &csd.Request{Object: id, QueryID: px.query, Tenant: px.tenant, Reply: px.reply})
 	}
-	px.dev.Submit(px.proc, reqs...)
+	if len(reqs) > 0 {
+		px.dev.Submit(px.proc, reqs...)
+	}
 	px.stats.GetsIssued += len(objs)
 }
 
 // NextArrival implements mjoin.Source: block until one object arrives,
-// recording the stall.
-func (px *proxy) NextArrival() *segment.Segment {
+// recording the stall and admitting device deliveries into the cache.
+func (px *proxy) NextArrival() (*segment.Segment, error) {
 	from := px.proc.Now()
 	d := px.reply.Recv(px.proc)
 	if to := px.proc.Now(); to > from {
 		px.stats.StallIntervals = append(px.stats.StallIntervals, csd.Interval{From: from, To: to})
 	}
-	return d.Seg
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	if px.cache != nil {
+		px.cache.Put(d.Object, d.Seg)
+	}
+	return d.Seg, nil
 }
 
 // fetchSync is the vanilla path: one GET, wait, charge FUSE overhead.
-func (px *proxy) fetchSync(id segment.ObjectID, fuse time.Duration) *segment.Segment {
+func (px *proxy) fetchSync(id segment.ObjectID, fuse time.Duration) (*segment.Segment, error) {
 	px.Request([]segment.ObjectID{id})
-	seg := px.NextArrival()
+	seg, err := px.NextArrival()
+	if err != nil {
+		return nil, err
+	}
 	if fuse > 0 {
 		px.proc.Sleep(fuse)
 		px.stats.Fuse += fuse
 	}
-	return seg
+	return seg, nil
 }
 
 // chargingClock charges processing time to both the simulation clock and
@@ -244,5 +294,5 @@ type vanillaFetcher struct {
 }
 
 func (f *vanillaFetcher) Fetch(id segment.ObjectID) (*segment.Segment, error) {
-	return f.px.fetchSync(id, f.fuse), nil
+	return f.px.fetchSync(id, f.fuse)
 }

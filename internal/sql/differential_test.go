@@ -54,10 +54,10 @@ func (s *scrambledSource) Request(objs []segment.ObjectID) {
 	}
 }
 
-func (s *scrambledSource) NextArrival() *segment.Segment {
+func (s *scrambledSource) NextArrival() (*segment.Segment, error) {
 	sg := s.queue[0]
 	s.queue = s.queue[1:]
-	return sg
+	return sg, nil
 }
 
 // drainRowwise pulls a shaped plan one row at a time through the classic

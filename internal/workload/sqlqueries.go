@@ -136,6 +136,28 @@ func QCountLineitem(cat *catalog.Catalog) skipper.QuerySpec {
 	return mustPlan(cat, "count-lineitem", `SELECT COUNT(*) AS n FROM lineitem`)
 }
 
+// MultiPass builds the repeated-query workload the shared-segment-cache
+// experiments run: `passes` rounds of the pruning probe pair (the
+// join+agg shipdate window and the Q5-style selective join). Every pass
+// re-reads the same segments, so a warm cache turns all but the first
+// pass's fetches into local hits; without one, every pass pays full
+// device traffic. Both probes end in ORDER BY over integer aggregates,
+// so results are bit-identical at any arrival order — the property the
+// cache on/off differential gates rely on.
+func MultiPass(cat *catalog.Catalog, passes int) []skipper.QuerySpec {
+	if passes < 1 {
+		passes = 1
+	}
+	specs := make([]skipper.QuerySpec, 0, 2*passes)
+	for i := 0; i < passes; i++ {
+		specs = append(specs,
+			QShipdateWindow(cat, "1994-01-01", "1994-01-31"),
+			Q5Selective(cat),
+		)
+	}
+	return specs
+}
+
 // Q6SQL is TPC-H Q6 ("forecasting revenue change") — a single-relation
 // scan with tight predicates, demonstrating scans need no MJoin.
 func Q6SQL(cat *catalog.Catalog) skipper.QuerySpec {
