@@ -9,6 +9,7 @@
 //	skipperbench -prune -quick       # data-skipping report (fails on divergence)
 //	skipperbench -proj -quick        # projection/format report (fails on divergence)
 //	skipperbench -cache -quick       # shared-cache sweep (fails on divergence)
+//	skipperbench -pipeline -quick    # async-pipeline report (fails on divergence)
 //	skipperbench -format v2 -fig 9   # serve columnar (v2) encoded objects
 //
 // Figures: table1, 2, 3, 4, 5, 7, 8, 9, table3, 10, 11a, 11b, 11c, 12,
@@ -32,6 +33,16 @@
 // dataset), reporting device GETs, group switches, coalesced transfers,
 // hits and timings per budget. Exits non-zero on any divergence — the
 // CI gate for the cache layer.
+//
+// -pipeline verifies byte-identical results with the asynchronous
+// execution pipeline (scheduler-aware prefetch + concurrent decode
+// workers) on and off — across both engines, the v1/v2 wire formats,
+// DOP {1,4} and pruning on/off — then reports both clocks for each
+// engine with the pipeline off and on: simulated makespan (prefetch
+// discloses future demand to the device scheduler) and host wall-clock
+// time with the decode busy/stall/hidden breakdown (decode workers
+// overlap decode with compute). Exits non-zero on any divergence — the
+// CI gate for the pipeline. -rows raises per-object decode work.
 //
 // -format selects the wire format the CSD store serves for figure runs:
 // mem (in-memory segments, no decode work — the default), v1, or v2.
@@ -63,6 +74,8 @@ func main() {
 	prune := flag.Bool("prune", false, "run the data-skipping report (segments fetched vs skipped, on/off, both engines) and exit non-zero on result divergence")
 	proj := flag.Bool("proj", false, "run the projection/format report (v1 vs v2 decode bytes and time) and exit non-zero on result divergence")
 	cacheSweep := flag.Bool("cache", false, "run the shared segment cache sweep (budgets × repeated-query multi-tenant workload) and exit non-zero on any cache-on/off result divergence")
+	pipeline := flag.Bool("pipeline", false, "run the async-pipeline report (prefetch + decode workers, on/off, both engines; simulated and wall-clock time) and exit non-zero on any result divergence")
+	rows := flag.Int("rows", 0, "override rows per 1 GB object (more rows = more decode work per object)")
 	segFormat := flag.String("format", "mem", "segment wire format served by the CSD store: mem, v1 or v2")
 	flag.Parse()
 
@@ -77,6 +90,9 @@ func main() {
 	}
 	if *sf > 0 {
 		p.SF = *sf
+	}
+	if *rows > 0 {
+		p.RowsPerObject = *rows
 	}
 	p.Parallelism = *dop
 	if p.Parallelism <= 0 {
@@ -121,6 +137,20 @@ func main() {
 		f, err := p.CacheReport()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skipperbench: cache report: %v\n", err)
+			os.Exit(1)
+		}
+		if *outFmt == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f)
+		}
+		return
+	}
+
+	if *pipeline {
+		f, err := p.PipelineReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipperbench: pipeline report: %v\n", err)
 			os.Exit(1)
 		}
 		if *outFmt == "csv" {

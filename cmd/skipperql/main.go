@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -60,6 +61,9 @@ func main() {
 	segCache := flag.Int("segcache", 0, "shared segment cache budget in objects (0 = off); persists across statements, so re-running a query hits")
 	prune := flag.Bool("prune", true, "enable zone-map/Bloom data skipping of segment requests")
 	segFormat := flag.String("format", "v2", "segment wire format the store serves: mem, v1 or v2")
+	pipeline := flag.Bool("pipeline", false, "enable the async execution pipeline: scheduler-aware prefetch plus concurrent decode workers")
+	prefetchGB := flag.Int("prefetch", 4, "prefetch budget in 1 GB objects ahead of demand (with -pipeline)")
+	decodeWorkers := flag.Int("decode-workers", 2, "background decode workers (with -pipeline)")
 	clustered := flag.Bool("clustered", false, "sort the TPC-H date columns before segmenting (makes date predicates prunable)")
 	command := flag.String("c", "", "run one statement and exit")
 	flag.Parse()
@@ -103,9 +107,17 @@ func main() {
 		sc = segcache.NewObjects(*segCache)
 	}
 
+	var pc *skipper.PipelineConfig
+	if *pipeline {
+		pc = &skipper.PipelineConfig{
+			PrefetchBytes: int64(*prefetchGB) * 1e9,
+			DecodeWorkers: *decodeWorkers,
+		}
+	}
+
 	planner := &sql.Planner{Catalog: ds.Catalog}
 	if *command != "" {
-		execute(planner, ds, *engineName, *cache, *prune, sc, *command)
+		execute(planner, ds, *engineName, *cache, *prune, sc, pc, *command)
 		return
 	}
 
@@ -136,7 +148,7 @@ func main() {
 		}
 		stmtText := buf.String()
 		buf.Reset()
-		execute(planner, ds, *engineName, *cache, *prune, sc, stmtText)
+		execute(planner, ds, *engineName, *cache, *prune, sc, pc, stmtText)
 		fmt.Print("> ")
 	}
 }
@@ -159,9 +171,9 @@ func describe(ds *workload.Dataset, table string) {
 	}
 }
 
-func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, sc *segcache.Cache, stmtText string) {
+func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, sc *segcache.Cache, pc *skipper.PipelineConfig, stmtText string) {
 	if rest, ok := stripExplain(stmtText); ok {
-		explainStmt(planner, ds, prune, sc, rest)
+		explainStmt(planner, ds, prune, sc, pc, rest)
 		return
 	}
 	spec, err := planner.Plan(stmtText)
@@ -189,6 +201,7 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 		Queries: []skipper.QuerySpec{spec}, CacheObjects: cache,
 		StatsPruning: &prune,
 		SegCache:     sc,
+		Pipeline:     pc,
 	}
 	res, err := (&skipper.Cluster{Clients: []*skipper.Client{client}, Store: store}).Run()
 	if err != nil {
@@ -216,6 +229,14 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 			cs.BytesFetched, cs.BytesDecoded, cs.BytesSkippedByProjection,
 			100*metrics.ProjectionRatio(cs.BytesDecoded, cs.BytesSkippedByProjection), cs.BytesMaterialized)
 	}
+	if pc != nil {
+		pb := metrics.PipelineFrom(cs.Pipe)
+		fmt.Printf("-- pipeline: %d prefetched (%d served staged, %d useful), decode %s busy / %s stalled / %s hidden (%.0f%% overlap), %v wall\n",
+			cs.PrefetchIssued, cs.PrefetchServed, cs.PrefetchUseful,
+			pb.DecodeBusy.Round(time.Microsecond), pb.DecodeStall.Round(time.Microsecond),
+			pb.Hidden.Round(time.Microsecond), 100*pb.OverlapRatio(),
+			cs.WallElapsed.Round(time.Microsecond))
+	}
 }
 
 // gb renders a byte count as gigabytes.
@@ -240,7 +261,7 @@ func stripExplain(stmtText string) (string, bool) {
 // session runs with a shared segment cache — how many of the plan's
 // unpruned segment fetches are cache-resident right now (i.e. would be
 // served without a device GET).
-func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, sc *segcache.Cache, stmtText string) {
+func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, sc *segcache.Cache, pc *skipper.PipelineConfig, stmtText string) {
 	spec, err := planner.Plan(stmtText)
 	if err != nil {
 		fmt.Println(err)
@@ -301,6 +322,19 @@ func explainStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, sc *seg
 	if decodeB+skipB > 0 {
 		fmt.Printf("-- projection: decode %d of %d column-block bytes (%d skipped, %.0f%%)\n",
 			decodeB, decodeB+skipB, skipB, 100*metrics.ProjectionRatio(decodeB, skipB))
+	}
+	if pc != nil {
+		candidates := 0
+		for _, rel := range spec.Join.Relations {
+			for si := range rel.Table.Objects {
+				if prune && rel.Pruner != nil && rel.Pruner.CanSkip(si) {
+					continue
+				}
+				candidates++
+			}
+		}
+		fmt.Printf("-- pipeline: prefetch up to %s ahead (%d candidate segment fetches disclosed to the scheduler), %d decode workers\n",
+			gb(pc.PrefetchBytes), candidates, pc.DecodeWorkers)
 	}
 }
 

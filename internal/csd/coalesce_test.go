@@ -300,3 +300,96 @@ func TestRankBasedPrefersCoalescableGroup(t *testing.T) {
 		t.Fatalf("NextGroup = %d, want group 1 on pure id tie-break", got)
 	}
 }
+
+// TestPrefetchDemandRaceCoalesced pins the prefetch contract at the
+// device: a speculative prefetch GET and the demand GET for the same
+// object — same tenant, distinct reply channels, the shape the client
+// proxy's prefetcher produces — collapse onto one transfer. One
+// BytesServed charge, both deliveries at the transfer's completion.
+func TestPrefetchDemandRaceCoalesced(t *testing.T) {
+	obj := oid(0, "a", 0)
+	rig := newRig(DefaultConfig(), map[segment.ObjectID]int{obj: 0})
+	var atPrefetch, atDemand time.Duration
+	done := vtime.NewChan[int](rig.sim, "done", 2)
+	rig.sim.Spawn("prefetcher", func(p *vtime.Proc) {
+		reply := vtime.NewChan[Delivery](rig.sim, "reply.prefetch", 4)
+		rig.csd.Submit(p, &Request{Object: obj, QueryID: "q1", Tenant: 0, Reply: reply})
+		if d := reply.Recv(p); d.Err != nil {
+			t.Errorf("prefetch delivery error: %v", d.Err)
+		}
+		atPrefetch = p.Now()
+		done.Send(p, 0)
+	})
+	rig.sim.Spawn("demand", func(p *vtime.Proc) {
+		// The query reaches the segment 3 s into the prefetch's transfer.
+		p.Sleep(3 * time.Second)
+		reply := vtime.NewChan[Delivery](rig.sim, "reply.demand", 4)
+		rig.csd.Submit(p, &Request{Object: obj, QueryID: "q1", Tenant: 0, Reply: reply})
+		if d := reply.Recv(p); d.Err != nil {
+			t.Errorf("demand delivery error: %v", d.Err)
+		}
+		atDemand = p.Now()
+		done.Send(p, 1)
+	})
+	rig.sim.Spawn("coordinator", func(p *vtime.Proc) {
+		done.Recv(p)
+		done.Recv(p)
+		rig.csd.Shutdown(p)
+	})
+	if err := rig.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rig.csd.Stats()
+	if st.BytesServed != 1e9 {
+		t.Fatalf("BytesServed = %d, want exactly one charge for the prefetch+demand pair", st.BytesServed)
+	}
+	if st.GetsCoalesced != 1 || st.GetsReceived != 2 || st.ObjectsServed != 2 {
+		t.Fatalf("coalesced %d received %d served %d, want 1/2/2",
+			st.GetsCoalesced, st.GetsReceived, st.ObjectsServed)
+	}
+	if atPrefetch != 10*time.Second || atDemand != 10*time.Second {
+		t.Fatalf("deliveries at %v and %v, want both at 10s", atPrefetch, atDemand)
+	}
+}
+
+// TestLoadedAndPredictedGroup pins the advisory scheduler views the
+// prefetcher aims with: LoadedGroup tracks the spun-up group and
+// PredictNextGroup mirrors the scheduler's next pick without switching.
+func TestLoadedAndPredictedGroup(t *testing.T) {
+	a, b := oid(0, "a", 0), oid(0, "b", 0)
+	rig := newRig(DefaultConfig(), map[segment.ObjectID]int{a: 0, b: 1})
+	rig.sim.Spawn("client", func(p *vtime.Proc) {
+		if g := rig.csd.LoadedGroup(); g != -1 {
+			t.Errorf("LoadedGroup before first load = %d, want -1", g)
+		}
+		if g, ok := rig.csd.PredictNextGroup(); ok {
+			t.Errorf("PredictNextGroup with empty pending = (%d, true), want no prediction", g)
+		}
+		reply := vtime.NewChan[Delivery](rig.sim, "reply", 4)
+		rig.csd.Submit(p,
+			&Request{Object: a, QueryID: "q1", Tenant: 0, Reply: reply},
+			&Request{Object: b, QueryID: "q1", Tenant: 0, Reply: reply},
+		)
+		// 1 s into a's 10 s transfer: group 0 is loaded, b is pending on
+		// group 1 — the only possible next pick.
+		p.Sleep(time.Second)
+		if g := rig.csd.LoadedGroup(); g != 0 {
+			t.Errorf("LoadedGroup mid-transfer = %d, want 0", g)
+		}
+		if g, ok := rig.csd.PredictNextGroup(); !ok || g != 1 {
+			t.Errorf("PredictNextGroup = (%d, %v), want (1, true)", g, ok)
+		}
+		reply.Recv(p)
+		reply.Recv(p)
+		if g := rig.csd.LoadedGroup(); g != 1 {
+			t.Errorf("LoadedGroup after switch = %d, want 1", g)
+		}
+		rig.csd.Shutdown(p)
+	})
+	if err := rig.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sw := rig.csd.Stats().GroupSwitches; sw != 1 {
+		t.Fatalf("switches = %d, want 1", sw)
+	}
+}

@@ -242,6 +242,42 @@ func (c *CSD) Stats() Stats {
 // serve, so clients normally observe it without polling here.
 func (c *CSD) Err() error { return c.fatal }
 
+// LoadedGroup returns the currently spun-up group, or -1 before the
+// first load. Advisory: safe to call from any simulated process because
+// the cooperative vtime kernel runs exactly one process at a time, but
+// the value may change at the caller's next yield. Client-side
+// prefetchers use it to aim lookahead GETs at data the device can serve
+// without a switch.
+func (c *CSD) LoadedGroup() int { return c.loaded }
+
+// PredictNextGroup runs the scheduler's NextGroup policy over the
+// current pending set without switching, returning the group the device
+// would spin up next — or -1 when nothing is pending, the device is
+// fail-stopped, or the policy violates its contract (the real switch
+// will fail-stop; the prediction just declines to guess). Advisory in
+// the same sense as LoadedGroup: the pending set the real switch sees
+// may differ by the time it happens.
+func (c *CSD) PredictNextGroup() (int, bool) {
+	if c.fatal != nil || len(c.pending) == 0 {
+		return -1, false
+	}
+	byGroup := make(map[int][]*Request)
+	for _, r := range c.pending {
+		byGroup[c.mustGroupOf(r.Object)] = append(byGroup[c.mustGroupOf(r.Object)], r)
+	}
+	waiting := func(queryID string) int {
+		return c.stats.GroupSwitches - c.lastService[queryID]
+	}
+	next := c.cfg.Scheduler.NextGroup(c.loaded, byGroup, waiting)
+	if next == c.loaded {
+		return -1, false
+	}
+	if _, ok := byGroup[next]; !ok {
+		return -1, false
+	}
+	return next, true
+}
+
 // Submit enqueues a GET request. Must be called from a simulated process.
 func (c *CSD) Submit(p *vtime.Proc, reqs ...*Request) {
 	for _, r := range reqs {

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the concurrent decode stage of the asynchronous
+// execution pipeline: a pool of real (OS-scheduled) worker goroutines
+// that turn fetched segment payloads into columnar data off the
+// consumer's critical path, so decode overlaps compute in wall-clock
+// time. Virtual time is untouched — decode has no virtual charge (the
+// per-object processing charge models the whole scan step), so the pool
+// changes what the hardware does, never what the simulation observes.
+//
+// Determinism: submitted jobs must be pure computations — they write
+// only state they own (their output slots and the buffers handed to
+// them) and read only immutable inputs. The consumer processes results
+// strictly in submission order via the returned tickets, so results are
+// byte-identical to inline execution at any worker count; the harnesses
+// in internal/experiments enforce this under -race.
+
+// DecodePool is a fixed-size pool of background decode workers shared by
+// the scans (and the MJoin arrival path) of one client. Create with
+// NewDecodePool, hand work to Submit, and Close when the client's
+// workload ends; Close waits for in-flight jobs, so no worker outlives
+// the pool.
+type DecodePool struct {
+	jobs chan *DecodeTicket
+	wg   sync.WaitGroup
+}
+
+// DecodeTicket is the handle of one submitted job. The submitter keeps
+// it and calls Wait before reading anything the job wrote.
+type DecodeTicket struct {
+	fn   func()
+	done chan struct{}
+	// Busy is the real time the worker spent running the job. Valid
+	// after Wait (or Ready() == true).
+	Busy time.Duration
+}
+
+// NewDecodePool starts a pool of the given number of workers (minimum 1).
+func NewDecodePool(workers int) *DecodePool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &DecodePool{jobs: make(chan *DecodeTicket, 4*workers)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *DecodePool) worker() {
+	defer p.wg.Done()
+	for t := range p.jobs {
+		start := time.Now()
+		t.fn()
+		t.Busy = time.Since(start)
+		close(t.done)
+	}
+}
+
+// Submit schedules fn on a worker and returns its ticket. fn must be a
+// pure computation: no shared mutable state, no simulation (vtime)
+// operations — background goroutines are invisible to the cooperative
+// scheduler. Submit blocks only if the job queue is full, which bounds
+// the in-flight work of an over-eager producer.
+func (p *DecodePool) Submit(fn func()) *DecodeTicket {
+	t := &DecodeTicket{fn: fn, done: make(chan struct{})}
+	p.jobs <- t
+	return t
+}
+
+// Close stops the workers after the queued jobs drain. No Submit may
+// follow. Abandoned tickets (submitted but never waited on) still run to
+// completion — their outputs are simply discarded — so Close never
+// strands a worker.
+func (p *DecodePool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Wait blocks until the job completes and returns the real time the
+// caller spent blocked — the decode stall that the pipeline failed to
+// hide. After Wait the job's outputs (and Busy) are safe to read.
+func (t *DecodeTicket) Wait() time.Duration {
+	select {
+	case <-t.done:
+		return 0
+	default:
+	}
+	start := time.Now()
+	<-t.done
+	return time.Since(start)
+}
+
+// Ready reports, without blocking, whether the job has completed — i.e.
+// whether its decode fully overlapped with the consumer's other work.
+func (t *DecodeTicket) Ready() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Pipeline configures the asynchronous decode stage for the operators of
+// one client. A nil *Pipeline (or nil Pool) disables it: scans decode
+// inline, exactly the pre-pipeline behaviour.
+type Pipeline struct {
+	// Pool is the shared decode-worker pool.
+	Pool *DecodePool
+	// Depth bounds how many segments each scan keeps fetched-and-decoding
+	// ahead of consumption (default 2). Each in-flight segment holds one
+	// decode buffer, so memory grows linearly with Depth.
+	Depth int
+}
+
+// depth resolves the read-ahead default.
+func (pl *Pipeline) depth() int {
+	if pl.Depth > 0 {
+		return pl.Depth
+	}
+	return 2
+}
+
+// PipeStats is the real-time (wall-clock) accounting of one pipeline
+// consumer: where its hardware time went while virtual time stood still.
+// With the pipeline off, decode runs inline and DecodeStall equals
+// DecodeBusy; the difference between the two is exactly the decode work
+// the pipeline moved off the critical path.
+type PipeStats struct {
+	// FetchStall is the real time the consumer spent blocked fetching
+	// segments (normally ~0 under simulation, where waiting is virtual).
+	FetchStall time.Duration
+	// DecodeStall is the real time the consumer spent blocked waiting for
+	// a segment's decode.
+	DecodeStall time.Duration
+	// DecodeBusy is the total real time spent decoding, on any thread.
+	DecodeBusy time.Duration
+	// Decodes counts decoded segments; DecodesOverlapped counts those
+	// whose decode had already finished when the consumer asked — fully
+	// hidden behind compute.
+	Decodes           int
+	DecodesOverlapped int
+}
+
+// Add accumulates another consumer's counters.
+func (s *PipeStats) Add(o PipeStats) {
+	s.FetchStall += o.FetchStall
+	s.DecodeStall += o.DecodeStall
+	s.DecodeBusy += o.DecodeBusy
+	s.Decodes += o.Decodes
+	s.DecodesOverlapped += o.DecodesOverlapped
+}
+
+// Plus returns the sum of two PipeStats.
+func (s PipeStats) Plus(o PipeStats) PipeStats {
+	s.Add(o)
+	return s
+}
+
+// Hidden returns the decode time the pipeline kept off the critical
+// path: DecodeBusy - DecodeStall, clamped at zero.
+func (s PipeStats) Hidden() time.Duration {
+	if h := s.DecodeBusy - s.DecodeStall; h > 0 {
+		return h
+	}
+	return 0
+}

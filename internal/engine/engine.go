@@ -37,6 +37,20 @@ type Fetcher interface {
 	Fetch(id segment.ObjectID) (*segment.Segment, error)
 }
 
+// TryFetcher is an optional Fetcher extension for pipelined scans:
+// TryFetch returns a segment only when it is immediately available — in
+// memory, cache-resident, or already prefetched — without ever blocking
+// on storage. Pipelined scans use it to read ahead: a segment that would
+// block is simply not read ahead (ok=false), so read-ahead never changes
+// when the consumer waits, only what it finds decoded when it stops
+// waiting.
+type TryFetcher interface {
+	// TryFetch returns (seg, true, nil) when the object is immediately
+	// available, (nil, false, nil) when fetching it would block, and a
+	// non-nil error only on a real fetch failure.
+	TryFetch(id segment.ObjectID) (*segment.Segment, bool, error)
+}
+
 // MapFetcher serves segments from memory with no cost.
 type MapFetcher map[segment.ObjectID]*segment.Segment
 
@@ -47,6 +61,16 @@ func (m MapFetcher) Fetch(id segment.ObjectID) (*segment.Segment, error) {
 		return nil, fmt.Errorf("engine: object %v not found", id)
 	}
 	return sg, nil
+}
+
+// TryFetch implements TryFetcher: an in-memory store never blocks, so
+// every object is read-ahead eligible.
+func (m MapFetcher) TryFetch(id segment.ObjectID) (*segment.Segment, bool, error) {
+	sg, err := m.Fetch(id)
+	if err != nil {
+		return nil, false, err
+	}
+	return sg, true, nil
 }
 
 // Costs charges virtual processing time. ProcessPerObject is the per-1-GB-
@@ -70,6 +94,14 @@ type Ctx struct {
 	Fetch Fetcher
 	// Costs calibrates the charges.
 	Costs Costs
+	// Pipe, when non-nil with a Pool, turns the scans asynchronous: each
+	// scan reads ahead up to Pipe.Depth immediately-available segments
+	// (Fetch must implement TryFetcher for read-ahead to engage) and
+	// decodes them on the pool's workers, so decode overlaps compute in
+	// real time. Row streams are byte-identical with and without it; the
+	// virtual-time interleaving of fetch charges may shift (reads happen
+	// earlier) while per-segment totals are unchanged.
+	Pipe *Pipeline
 }
 
 // NewTestCtx returns a context over an in-memory store with no costs.
@@ -153,6 +185,22 @@ type SeqScan struct {
 	skipped int
 	bytes   ScanBytes
 	out     *tuple.Batch
+
+	// Pipelined-mode state (ctx.Pipe set): the FIFO of read-ahead
+	// segments in flight on the decode pool, the recycled decode buffers
+	// (depth+1 in steady state), and the real-time stall accounting.
+	ahead  []*scanAhead
+	freeCD []*segment.ColumnData
+	pstats PipeStats
+}
+
+// scanAhead is one read-ahead segment: fetched, with its decode (lazy
+// segments only) in flight on the pool.
+type scanAhead struct {
+	seg *segment.Segment
+	t   *DecodeTicket // nil for non-lazy segments (nothing to decode)
+	cd  *segment.ColumnData
+	err error
 }
 
 // ScanBytes is the scan-side byte accounting of one SeqScan drain. All
@@ -192,9 +240,26 @@ func (s *SeqScan) Schema() *tuple.Schema { return s.table.Schema }
 
 // Open implements Iterator.
 func (s *SeqScan) Open() error {
+	s.drainAhead()
 	s.segIdx, s.rowIdx, s.nrows, s.rows, s.skipped = 0, 0, 0, nil, 0
 	s.bytes = ScanBytes{}
+	s.pstats = PipeStats{}
 	return nil
+}
+
+// drainAhead waits out any in-flight decode jobs and recycles their
+// buffers, so a re-Open or Close never leaves a worker writing into
+// state the scan is about to reuse.
+func (s *SeqScan) drainAhead() {
+	for _, job := range s.ahead {
+		if job.t != nil {
+			job.t.Wait()
+			if job.cd != nil {
+				s.freeCD = append(s.freeCD, job.cd)
+			}
+		}
+	}
+	s.ahead = nil
 }
 
 // SegmentsSkipped reports how many segment fetches the Pruner avoided so
@@ -205,12 +270,22 @@ func (s *SeqScan) SegmentsSkipped() int { return s.skipped }
 // this iteration.
 func (s *SeqScan) Bytes() ScanBytes { return s.bytes }
 
+// PipeStats reports the scan's real-time pipeline accounting: fetch and
+// decode stalls, and decode work overlapped with compute. With ctx.Pipe
+// unset the scan still fills DecodeBusy/DecodeStall (decode runs inline,
+// so the two are equal) — the pipeline-off baseline of the wall-clock
+// comparison.
+func (s *SeqScan) PipeStats() PipeStats { return s.pstats }
+
 // loadSegment advances to the next segment holding unread rows, charging
 // the per-segment processing cost per fetch; prunable segments are
 // passed over without a fetch. Lazy segments are decoded here — only the
 // projected column blocks for v2 — into reused buffers. ok=false signals
 // exhaustion.
 func (s *SeqScan) loadSegment() (ok bool, err error) {
+	if s.ctx.Pipe != nil && s.ctx.Pipe.Pool != nil {
+		return s.loadSegmentPipelined()
+	}
 	for s.rowIdx >= s.nrows {
 		for s.Pruner != nil && s.segIdx < len(s.table.Objects) && s.Pruner.CanSkip(s.segIdx) {
 			s.segIdx++
@@ -219,7 +294,9 @@ func (s *SeqScan) loadSegment() (ok bool, err error) {
 		if s.segIdx >= len(s.table.Objects) {
 			return false, nil
 		}
+		fetchStart := time.Now()
 		sg, err := s.ctx.Fetch.Fetch(s.table.Objects[s.segIdx])
+		s.pstats.FetchStall += time.Since(fetchStart)
 		if err != nil {
 			return false, err
 		}
@@ -230,7 +307,13 @@ func (s *SeqScan) loadSegment() (ok bool, err error) {
 			if err != nil {
 				return false, err
 			}
-			s.bytes.DecodeTime += time.Since(start)
+			d := time.Since(start)
+			// Inline decode sits entirely on the critical path: busy and
+			// stall coincide — the pipeline-off baseline.
+			s.bytes.DecodeTime += d
+			s.pstats.DecodeBusy += d
+			s.pstats.DecodeStall += d
+			s.pstats.Decodes++
 			s.bytes.Fetched += sg.EncodedSize()
 			s.bytes.Decoded += cd.BytesDecoded
 			s.bytes.SkippedByProjection += cd.BytesSkipped
@@ -244,6 +327,128 @@ func (s *SeqScan) loadSegment() (ok bool, err error) {
 		s.ctx.Clock.Sleep(s.ctx.Costs.ProcessPerObject)
 	}
 	return true, nil
+}
+
+// loadSegmentPipelined is loadSegment with the asynchronous pipeline on:
+// segments are read ahead (TryFetcher permitting) and decoded on the
+// pool, and consumption pops the oldest read-ahead slot — strictly in
+// fetch order, so the row stream is byte-identical to the serial path.
+// The per-segment cost charge still lands at consumption; fetch-side
+// charges (FUSE, GET accounting) happen at read-ahead time instead of
+// consumption time, shifting their virtual interleaving but never their
+// totals. A scan abandoned early (LIMIT) may have read ahead past its
+// last consumed segment — those segments count as fetched, exactly like
+// a real speculative read.
+func (s *SeqScan) loadSegmentPipelined() (bool, error) {
+	for s.rowIdx >= s.nrows {
+		if err := s.fillAhead(); err != nil {
+			return false, err
+		}
+		if len(s.ahead) == 0 {
+			// Nothing immediately available: demand-fetch the next
+			// unpruned segment, blocking, then decode it on the pool.
+			for s.Pruner != nil && s.segIdx < len(s.table.Objects) && s.Pruner.CanSkip(s.segIdx) {
+				s.segIdx++
+				s.skipped++
+			}
+			if s.segIdx >= len(s.table.Objects) {
+				return false, nil
+			}
+			fetchStart := time.Now()
+			sg, err := s.ctx.Fetch.Fetch(s.table.Objects[s.segIdx])
+			s.pstats.FetchStall += time.Since(fetchStart)
+			if err != nil {
+				return false, err
+			}
+			s.segIdx++
+			s.submitAhead(sg)
+			// The demand fetch may have made successors available (e.g.
+			// the prefetcher delivered meanwhile): top the window up so
+			// their decodes start now.
+			if err := s.fillAhead(); err != nil {
+				return false, err
+			}
+		}
+		job := s.ahead[0]
+		copy(s.ahead, s.ahead[1:])
+		s.ahead = s.ahead[:len(s.ahead)-1]
+		if job.t != nil {
+			if job.t.Ready() {
+				s.pstats.DecodesOverlapped++
+			}
+			s.pstats.DecodeStall += job.t.Wait()
+			s.pstats.DecodeBusy += job.t.Busy
+			s.pstats.Decodes++
+			s.bytes.DecodeTime += job.t.Busy
+		}
+		if job.err != nil {
+			return false, job.err
+		}
+		if s.cd != nil {
+			// The previous segment is fully consumed; its buffer feeds the
+			// next decode submission.
+			s.freeCD = append(s.freeCD, s.cd)
+		}
+		if job.cd != nil {
+			cd := job.cd
+			s.bytes.Fetched += job.seg.EncodedSize()
+			s.bytes.Decoded += cd.BytesDecoded
+			s.bytes.SkippedByProjection += cd.BytesSkipped
+			s.bytes.Materialized += cd.BytesMaterialized
+			s.cd, s.rows, s.nrows, s.rowIdx = cd, nil, cd.NumRows, 0
+		} else {
+			s.cd, s.rows, s.nrows, s.rowIdx = nil, job.seg.Rows, len(job.seg.Rows), 0
+		}
+		s.ctx.Clock.Sleep(s.ctx.Costs.ProcessPerObject)
+	}
+	return true, nil
+}
+
+// fillAhead tops the read-ahead window up to the configured depth with
+// immediately-available segments. It never blocks: the window simply
+// stays short when the next segment would.
+func (s *SeqScan) fillAhead() error {
+	tf, ok := s.ctx.Fetch.(TryFetcher)
+	if !ok {
+		return nil
+	}
+	depth := s.ctx.Pipe.depth()
+	for len(s.ahead) < depth {
+		for s.Pruner != nil && s.segIdx < len(s.table.Objects) && s.Pruner.CanSkip(s.segIdx) {
+			s.segIdx++
+			s.skipped++
+		}
+		if s.segIdx >= len(s.table.Objects) {
+			return nil
+		}
+		sg, avail, err := tf.TryFetch(s.table.Objects[s.segIdx])
+		if err != nil {
+			return err
+		}
+		if !avail {
+			return nil
+		}
+		s.segIdx++
+		s.submitAhead(sg)
+	}
+	return nil
+}
+
+// submitAhead appends a fetched segment to the read-ahead FIFO, starting
+// its decode on the pool. Each in-flight decode owns its buffer (from
+// the recycle list or fresh), so concurrent jobs never share state.
+func (s *SeqScan) submitAhead(sg *segment.Segment) {
+	job := &scanAhead{seg: sg}
+	if sg.Lazy() {
+		var reuse *segment.ColumnData
+		if n := len(s.freeCD); n > 0 {
+			reuse, s.freeCD = s.freeCD[n-1], s.freeCD[:n-1]
+		}
+		job.t = s.ctx.Pipe.Pool.Submit(func() {
+			job.cd, job.err = sg.DecodeColumns(s.table.Schema, s.Project, reuse)
+		})
+	}
+	s.ahead = append(s.ahead, job)
 }
 
 // Next implements Iterator.
@@ -295,6 +500,7 @@ func (s *SeqScan) NextBatch() (*tuple.Batch, bool, error) {
 
 // Close implements Iterator.
 func (s *SeqScan) Close() error {
+	s.drainAhead()
 	s.rows, s.cd = nil, nil
 	return nil
 }

@@ -46,17 +46,54 @@ type cacheEntry struct {
 	keyIdx int
 }
 
-// arrivalBatch turns one delivered segment into the filtered columnar
+// arrivalBytes is the byte accounting of one decoded arrival, kept out
+// of Stats until the arrival is actually consumed: the pipelined path
+// decodes speculatively and discards the accounting of arrivals no
+// pending subplan needs (the serial path never decodes those at all).
+type arrivalBytes struct {
+	fetched, decoded, skippedByProjection, materialized int64
+}
+
+// addArrivalBytes folds one consumed arrival's byte accounting into Stats.
+func (m *manager) addArrivalBytes(by arrivalBytes) {
+	m.stats.BytesFetched += by.fetched
+	m.stats.BytesDecoded += by.decoded
+	m.stats.BytesSkippedByProjection += by.skippedByProjection
+	m.stats.BytesMaterialized += by.materialized
+}
+
+// arrivalBatch is the serial decode step: decodeArrival against the
+// manager's single reused buffer, with the byte accounting applied
+// immediately.
+func (m *manager) arrivalBatch(rel int, seg *segment.Segment) (*tuple.Batch, error) {
+	batch, cd, by, err := m.decodeArrival(rel, seg, m.arrivalCD)
+	if err != nil {
+		return nil, err
+	}
+	if cd != nil {
+		m.arrivalCD = cd
+	}
+	m.addArrivalBytes(by)
+	return batch, nil
+}
+
+// decodeArrival turns one delivered segment into the filtered columnar
 // batch a cache entry holds. Materialized segments filter their rows as
 // before; lazily decoded segments decode only the relation's projected
 // column blocks (Relation.Cols) and filter straight off the decoded
-// columns — no intermediate Row materialization on the scan path. The
-// decode buffers are reused across arrivals (m.arrivalCD); everything
-// cached is copied out of them. Decode errors (lazy stores validate
+// columns — no intermediate Row materialization on the scan path.
+// Everything cached is copied out of the decode buffer, so reuse can be
+// recycled once the call returns. Decode errors (lazy stores validate
 // headers at build time, block contents on first decode) surface as
 // errors, like the vanilla scan path; filter failures still panic — the
 // predicate was validated at plan time, so they indicate a bug.
-func (m *manager) arrivalBatch(rel int, seg *segment.Segment) (*tuple.Batch, error) {
+//
+// decodeArrival is a pure computation over immutable manager state (the
+// query plan) plus the reuse buffer the caller hands over: it is safe to
+// run on a decode-pool worker as long as each concurrent call owns a
+// distinct reuse buffer.
+func (m *manager) decodeArrival(rel int, seg *segment.Segment, reuse *segment.ColumnData) (*tuple.Batch, *segment.ColumnData, arrivalBytes, error) {
+	var by arrivalBytes
 	r := &m.q.Relations[rel]
 	schema := r.Table.Schema
 	if !seg.Lazy() {
@@ -64,21 +101,22 @@ func (m *manager) arrivalBatch(rel int, seg *segment.Segment) (*tuple.Batch, err
 		if err != nil {
 			panic(fmt.Sprintf("mjoin: filter on %v: %v", seg.ID, err))
 		}
-		return tuple.FromRows(schema, rows), nil
+		return tuple.FromRows(schema, rows), nil, by, nil
 	}
-	cd, err := seg.DecodeColumns(schema, r.Cols, m.arrivalCD)
+	cd, err := seg.DecodeColumns(schema, r.Cols, reuse)
 	if err != nil {
-		return nil, fmt.Errorf("mjoin: decode %v: %w", seg.ID, err)
+		return nil, nil, by, fmt.Errorf("mjoin: decode %v: %w", seg.ID, err)
 	}
-	m.arrivalCD = cd
-	m.stats.BytesFetched += seg.EncodedSize()
-	m.stats.BytesDecoded += cd.BytesDecoded
-	m.stats.BytesSkippedByProjection += cd.BytesSkipped
-	m.stats.BytesMaterialized += cd.BytesMaterialized
+	by = arrivalBytes{
+		fetched:             seg.EncodedSize(),
+		decoded:             cd.BytesDecoded,
+		skippedByProjection: cd.BytesSkipped,
+		materialized:        cd.BytesMaterialized,
+	}
 	batch := tuple.NewBatch(schema, cd.NumRows)
 	if r.Filter == nil {
 		batch.AppendColumns(cd.Cols, 0, cd.NumRows)
-		return batch, nil
+		return batch, cd, by, nil
 	}
 	// Evaluate the filter over a scratch row assembled per index; columns
 	// outside the projection keep a fixed typed zero value (the planner
@@ -103,7 +141,7 @@ func (m *manager) arrivalBatch(rel int, seg *segment.Segment) (*tuple.Batch, err
 			batch.AppendRow(scratch)
 		}
 	}
-	return batch, nil
+	return batch, cd, by, nil
 }
 
 // buildEntry constructs the cache entry for an arrival of relation rel.

@@ -79,6 +79,17 @@ type Config struct {
 	// entries. 0 or 1 selects the serial path; results are identical (and
 	// identically ordered) at every setting.
 	Parallelism int
+	// DecodePool, when non-nil and the source also implements
+	// TryArrivalSource, decodes arrivals on background workers so decode
+	// overlaps probing in wall-clock time. Results are byte-identical to
+	// the serial path (arrivals are still processed strictly in delivery
+	// order) and virtual time is unchanged (only already-delivered
+	// arrivals are picked up early, at zero virtual cost).
+	DecodePool *engine.DecodePool
+	// DecodeAhead bounds how many arrivals may sit decoded-or-decoding
+	// ahead of the one being processed (default 2). Each slot holds one
+	// reusable decode buffer.
+	DecodeAhead int
 }
 
 // DefaultConfig returns a Config with the paper's defaults for the given
@@ -117,6 +128,11 @@ type Stats struct {
 	// pinned — i.e. how often the livelock escape hatch was needed.
 	// Zero on the paper's workloads and delivery orders.
 	PinnedCycles int
+	// Pipe is the wall-clock pipeline accounting: real time spent blocked
+	// on arrivals and decode versus decode time hidden behind probing.
+	// The serial path fills it too (DecodeStall == DecodeBusy), so runs
+	// with the pipeline on and off are directly comparable.
+	Pipe engine.PipeStats
 }
 
 // Result bundles the join output with execution statistics.
@@ -153,8 +169,13 @@ type manager struct {
 	dop int
 	// arrivalCD is the reused projected-decode buffer for lazy arrivals;
 	// cache entries copy out of it, so one buffer set serves every
-	// (re)arrival.
+	// (re)arrival. Only the serial receive path uses it.
 	arrivalCD *segment.ColumnData
+	// freeCD is the pipelined path's decode-buffer free list. Each
+	// in-flight decode job owns exactly one buffer (popped at submit,
+	// recycled after the job is waited on), so concurrent decodes never
+	// share storage; steady state holds DecodeAhead+1 buffers.
+	freeCD []*segment.ColumnData
 	// scratches holds one probe-chain scratch per worker, reused across
 	// arrivals and subplans; scratches[0] doubles as the serial path's
 	// buffer set, and its hashBuf serves the vectorized cache-entry build.
@@ -310,14 +331,8 @@ func (m *manager) loop() error {
 			m.stats.PinnedCycles++
 		}
 		execBefore := m.stats.SubplansExecuted + m.stats.SubplansPruned
-		for range toFetch {
-			seg, err := m.src.NextArrival()
-			if err != nil {
-				return fmt.Errorf("mjoin: arrival: %w", err)
-			}
-			if err := m.processArrival(seg); err != nil {
-				return err
-			}
+		if err := m.receiveArrivals(len(toFetch)); err != nil {
+			return err
 		}
 		if m.stats.SubplansExecuted+m.stats.SubplansPruned == execBefore {
 			m.pinDesignatedSubplan()
@@ -385,13 +400,28 @@ func (m *manager) processArrival(seg *segment.Segment) error {
 	// Scanning the object into a hash table costs processing time, every
 	// time it (re)arrives.
 	m.cfg.Clock.Sleep(m.cfg.Costs.ProcessPerObject)
+	start := time.Now()
 	batch, err := m.arrivalBatch(ref.rel, seg)
+	d := time.Since(start)
+	// Inline decode is both busy time and critical-path stall — the
+	// pipeline-off baseline of the wall-clock accounting.
+	m.stats.Pipe.DecodeBusy += d
+	m.stats.Pipe.DecodeStall += d
+	m.stats.Pipe.Decodes++
 	if err != nil {
 		return err
 	}
+	m.admitArrival(id, ref.rel, batch)
+	return nil
+}
+
+// admitArrival folds one decoded arrival into the cache — pruning empty
+// objects, evicting under pressure — and runs the subplans it makes
+// runnable. Shared tail of the serial and pipelined receive paths.
+func (m *manager) admitArrival(id segment.ObjectID, rel int, batch *tuple.Batch) {
 	if m.cfg.Pruning && batch.Len() == 0 {
 		m.pruneObject(id)
-		return nil
+		return
 	}
 	if len(m.cache) >= m.cfg.CacheSize {
 		candidates := m.cacheOrder
@@ -410,19 +440,18 @@ func (m *manager) processArrival(seg *segment.Segment) error {
 				if m.pinned[id] {
 					panic(fmt.Sprintf("mjoin: pinned arrival %v with fully pinned cache", id))
 				}
-				return nil
+				return
 			}
 		}
 		m.arriving = id
 		victim := m.cfg.Policy.PickVictim(candidates, id, m)
 		m.evict(victim)
 	}
-	m.cache[id] = m.buildEntry(ref.rel, batch)
+	m.cache[id] = m.buildEntry(rel, batch)
 	m.cacheOrder = append(m.cacheOrder, id)
 	m.seq++
 	m.arrivalSeq[id] = m.seq
 	m.executeRunnableWith(id)
-	return nil
 }
 
 // pruneObject marks every pending subplan containing the object as pruned:

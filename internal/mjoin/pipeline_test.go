@@ -1,0 +1,210 @@
+package mjoin
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/segment"
+	"repro/internal/tuple"
+)
+
+// tryScriptSource extends scriptSource with non-blocking receipt. To
+// exercise both the lookahead and the blocking path, every third Try
+// pretends the delivery has not happened yet.
+type tryScriptSource struct {
+	scriptSource
+	calls int
+}
+
+func (s *tryScriptSource) TryNextArrival() (*segment.Segment, bool, error) {
+	s.calls++
+	if len(s.queue) == 0 || s.calls%3 == 0 {
+		return nil, false, nil
+	}
+	sg, err := s.NextArrival()
+	return sg, true, err
+}
+
+// lazyDB rebuilds a buildDB store with lazily decoded v2 segments, so
+// arrivals actually exercise the decode path.
+func lazyDB(t testing.TB, specs []relSpec) (*catalog.Catalog, map[segment.ObjectID]*segment.Segment) {
+	t.Helper()
+	cat, store := buildDB(t, specs)
+	lazyCat := catalog.New(0)
+	lazyStore := make(map[segment.ObjectID]*segment.Segment)
+	for _, spec := range specs {
+		tm := cat.MustTable(spec.name)
+		lazy := make([]*segment.Segment, len(tm.Objects))
+		for i, id := range tm.Objects {
+			data, err := store[id].EncodeFormat(tm.Schema, segment.FormatV2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lz, err := segment.DecodeLazy(tm.Schema, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy[i] = lz
+			lazyStore[lz.ID] = lz
+		}
+		lazyCat.MustAddTable(spec.name, tm.Schema, lazy)
+	}
+	return lazyCat, lazyStore
+}
+
+// statsEqualIgnoringPipe compares two Stats with the wall-clock pipeline
+// accounting (real time, nondeterministic) zeroed out.
+func statsEqualIgnoringPipe(a, b Stats) bool {
+	a.Pipe, b.Pipe = engine.PipeStats{}, engine.PipeStats{}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestMJoinPipelinedIdentical is the decode-ahead differential: with the
+// decode pool on, results (rows AND order), virtual stats, and byte
+// accounting must be identical to the serial path — across scrambled
+// arrival orders, cache pressure (reissues + evictions), runtime
+// pruning, probe parallelism, and both materialized and lazy stores.
+func TestMJoinPipelinedIdentical(t *testing.T) {
+	pool := engine.NewDecodePool(4)
+	defer pool.Close()
+
+	specs := []relSpec{
+		{name: "a", col: "ak", keys: seqKeys(40), perSeg: 5},
+		{name: "b", col: "bk", keys: seqKeys(40), perSeg: 4},
+	}
+	for _, lazy := range []bool{false, true} {
+		var cat *catalog.Catalog
+		var store map[segment.ObjectID]*segment.Segment
+		if lazy {
+			cat, store = lazyDB(t, specs)
+		} else {
+			cat, store = buildDB(t, specs)
+		}
+		aSch := cat.MustTable("a").Schema
+		mkQuery := func() *Query {
+			return &Query{
+				ID: "qp",
+				Relations: []Relation{
+					{Table: cat.MustTable("a"), Filter: expr.ColLT(aSch, "ak", tuple.Int(25))},
+					{Table: cat.MustTable("b")},
+				},
+				Joins: []JoinCond{{Rel: 1, LeftCol: "ak", RightCol: "bk"}},
+			}
+		}
+		scramble := func(seed int64) func([]segment.ObjectID) []segment.ObjectID {
+			return func(objs []segment.ObjectID) []segment.ObjectID {
+				rng := rand.New(rand.NewSource(seed))
+				rng.Shuffle(len(objs), func(i, j int) { objs[i], objs[j] = objs[j], objs[i] })
+				return objs
+			}
+		}
+		for _, cache := range []int{3, 100} {
+			for _, dop := range []int{1, 4} {
+				for _, prune := range []bool{false, true} {
+					cfg := DefaultConfig(cache)
+					cfg.Pruning = prune
+					cfg.Parallelism = dop
+					serial, err := Run(mkQuery(), cfg,
+						&scriptSource{store: store, order: scramble(7)})
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					cfgP := cfg
+					cfgP.DecodePool = pool
+					cfgP.DecodeAhead = 3
+					piped, err := Run(mkQuery(), cfgP,
+						&tryScriptSource{scriptSource: scriptSource{store: store, order: scramble(7)}})
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					label := fmt.Sprintf("lazy=%v cache=%d dop=%d prune=%v", lazy, cache, dop, prune)
+					if !reflect.DeepEqual(serial.Rows, piped.Rows) {
+						t.Fatalf("%s: pipelined rows diverge (%d vs %d)", label, len(serial.Rows), len(piped.Rows))
+					}
+					if !statsEqualIgnoringPipe(serial.Stats, piped.Stats) {
+						t.Fatalf("%s: stats diverge\nserial: %+v\npiped:  %+v", label, serial.Stats, piped.Stats)
+					}
+					if piped.Stats.Pipe.Decodes == 0 {
+						t.Fatalf("%s: pipelined run recorded no decodes", label)
+					}
+					if serial.Stats.Pipe.DecodeStall != serial.Stats.Pipe.DecodeBusy {
+						t.Fatalf("%s: serial baseline stall != busy", label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// failingSource delivers good arrivals until fail, then errors — via
+// both the blocking and non-blocking receive.
+type failingSource struct {
+	tryScriptSource
+	failAfter int
+	delivered int
+	errOut    error
+}
+
+func (s *failingSource) NextArrival() (*segment.Segment, error) {
+	if s.delivered >= s.failAfter {
+		return nil, s.errOut
+	}
+	s.delivered++
+	return s.tryScriptSource.NextArrival()
+}
+
+func (s *failingSource) TryNextArrival() (*segment.Segment, bool, error) {
+	if s.delivered >= s.failAfter {
+		return nil, false, s.errOut
+	}
+	sg, ok, err := s.tryScriptSource.TryNextArrival()
+	if ok {
+		s.delivered++
+	}
+	return sg, ok, err
+}
+
+// TestMJoinPipelinedSourceError pins the error path: a storage failure
+// mid-cycle aborts the run with the wrapped error, after the arrivals
+// delivered before it were processed; in-flight decodes are drained, so
+// the shared pool stays usable.
+func TestMJoinPipelinedSourceError(t *testing.T) {
+	pool := engine.NewDecodePool(2)
+	defer pool.Close()
+	cat, store := lazyDB(t, []relSpec{
+		{name: "a", col: "ak", keys: seqKeys(20), perSeg: 4},
+		{name: "b", col: "bk", keys: seqKeys(20), perSeg: 4},
+	})
+	q := &Query{
+		ID: "qerr",
+		Relations: []Relation{
+			{Table: cat.MustTable("a")},
+			{Table: cat.MustTable("b")},
+		},
+		Joins: []JoinCond{{Rel: 1, LeftCol: "ak", RightCol: "bk"}},
+	}
+	boom := errors.New("csd: scheduler contract violated")
+	src := &failingSource{
+		tryScriptSource: tryScriptSource{scriptSource: scriptSource{store: store}},
+		failAfter:       3,
+		errOut:          boom,
+	}
+	cfg := DefaultConfig(100)
+	cfg.DecodePool = pool
+	cfg.DecodeAhead = 4
+	_, err := Run(q, cfg, src)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	// The pool must still work after the aborted run.
+	done := pool.Submit(func() {})
+	done.Wait()
+}

@@ -43,6 +43,9 @@ type Stats struct {
 	// Entries / BytesCached describe the current contents.
 	Entries     int
 	BytesCached int64
+	// PinnedBytes is the portion of BytesCached held by pinned entries;
+	// a quiesced cache (no readers) must report 0.
+	PinnedBytes int64
 	// Budget echoes the configured capacity in bytes.
 	Budget int64
 }
@@ -217,6 +220,7 @@ func (c *Cache) Stats() Stats {
 	st := c.stats
 	st.Entries = len(c.entries)
 	st.BytesCached = c.used
+	st.PinnedBytes = c.pinned
 	st.Budget = c.budget
 	return st
 }

@@ -44,6 +44,11 @@ type RunResult struct {
 	Clients  []*ClientStats
 	CSD      csd.Stats
 	Makespan time.Duration
+	// Wall is the real (hardware) time the simulation took end to end —
+	// the wall-clock measurement mode's headline number. Virtual quantities
+	// (Makespan, stalls) model the storage hardware; Wall measures the
+	// host's actual compute, which is what the decode pipeline improves.
+	Wall time.Duration
 	// Cache is the shared segment cache's final statistics; nil when the
 	// cluster ran without a SharedCache. Clients with private SegCache
 	// instances report through their own caches instead.
@@ -86,7 +91,7 @@ func (cl *Cluster) Run() (*RunResult, error) {
 	for _, c := range cl.Clients {
 		c := c
 		sim.Spawn(fmt.Sprintf("client.t%d", c.Tenant), func(p *vtime.Proc) {
-			if err := cl.runClient(p, sim, dev, c); err != nil && runErr == nil {
+			if err := cl.runClient(p, sim, dev, assign, c); err != nil && runErr == nil {
 				runErr = err
 			}
 			done.Send(p, c.Tenant)
@@ -98,13 +103,15 @@ func (cl *Cluster) Run() (*RunResult, error) {
 		}
 		dev.Shutdown(p)
 	})
+	wall := vtime.NewWall()
 	if err := sim.Run(); err != nil {
 		return nil, fmt.Errorf("skipper: simulation: %w", err)
 	}
+	elapsed := wall.Now()
 	if runErr != nil {
 		return nil, runErr
 	}
-	res := &RunResult{CSD: dev.Stats(), Makespan: sim.Now()}
+	res := &RunResult{CSD: dev.Stats(), Makespan: sim.Now(), Wall: elapsed}
 	if cl.SharedCache != nil {
 		st := cl.SharedCache.Stats()
 		res.Cache = &st
@@ -119,27 +126,52 @@ func (cl *Cluster) Run() (*RunResult, error) {
 	return res, nil
 }
 
-// runClient executes one client's query sequence.
-func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, c *Client) error {
+// runClient executes one client's query sequence. With c.Pipeline set
+// it also owns the client's pipeline machinery: the decode-worker pool
+// (closed when the workload ends, even on error) and the prefetch
+// daemon (told to stop likewise; it exits once its in-flight transfers
+// drain, so the simulation always terminates).
+func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign *layout.Assignment, c *Client) error {
 	c.stats = ClientStats{Tenant: c.Tenant, Mode: c.Mode, Start: p.Now()}
+	wallStart := time.Now()
+	defer func() { c.stats.WallElapsed = time.Since(wallStart) }()
 	px := newProxy(sim, dev, c.Tenant, &c.stats)
 	px.proc = p
 	if px.cache = c.SegCache; px.cache == nil {
 		px.cache = cl.SharedCache
 	}
+	var pipe *engine.Pipeline
+	if pc := c.Pipeline; pc != nil && pc.DecodeWorkers > 0 {
+		pool := engine.NewDecodePool(pc.DecodeWorkers)
+		defer pool.Close()
+		pipe = &engine.Pipeline{Pool: pool, Depth: pc.DecodeAhead}
+	}
+	if pc := c.Pipeline; pc != nil && pc.PrefetchBytes > 0 {
+		px.pf = newPrefetcher(sim, dev, assign, px.cache, c)
+		sim.Spawn(fmt.Sprintf("prefetch.t%d", c.Tenant), px.pf.run)
+		defer px.pf.stop(p)
+	}
 	clock := &chargingClock{proc: p, stats: &c.stats}
+	enqueued := 0
 	for qi, spec := range c.Queries {
 		queryID := fmt.Sprintf("t%d.%s#%d", c.Tenant, spec.Name, qi)
 		px.query = queryID
+		if px.pf != nil {
+			// Disclose this query's and the next query's demand to the
+			// prefetcher (and, through its tagged GETs, to the scheduler).
+			for ; enqueued <= qi+1 && enqueued < len(c.Queries); enqueued++ {
+				px.pf.enqueue(p, candidatesFor(c, enqueued, cl.Store))
+			}
+		}
 		qStart := p.Now()
 		cl.Events.Add(trace.Event{At: qStart, Kind: trace.KindQueryStart, Tenant: c.Tenant, Query: queryID, Group: -1})
 		var rows []tuple.Row
 		var err error
 		switch c.Mode {
 		case ModeVanilla:
-			rows, err = cl.runVanilla(clock, px, c, spec)
+			rows, err = cl.runVanilla(clock, px, c, spec, pipe)
 		case ModeSkipper:
-			rows, err = cl.runSkipper(clock, px, c, spec)
+			rows, err = cl.runSkipper(clock, px, c, spec, pipe)
 		default:
 			err = fmt.Errorf("skipper: unknown mode %d", c.Mode)
 		}
@@ -171,11 +203,12 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, c *Cli
 // c.Parallelism > 1 the joins and aggregations run on the morsel worker
 // pool; scans (and thus GETs and virtual-time charges) stay on the client
 // goroutine, as the vtime simulation requires.
-func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, c *Client, spec QuerySpec) ([]tuple.Row, error) {
+func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, c *Client, spec QuerySpec, pipe *engine.Pipeline) ([]tuple.Row, error) {
 	ctx := &engine.Ctx{
 		Clock: clock,
 		Fetch: &vanillaFetcher{px: px, fuse: cl.Costs.FusePerObject},
 		Costs: engine.Costs{ProcessPerObject: cl.Costs.VanillaPerObject},
+		Pipe:  pipe,
 	}
 	it, err := BuildPullPlanPruned(ctx, spec.Join, c.statsPruningOn())
 	if err != nil {
@@ -200,13 +233,14 @@ func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, c *Client, spec Que
 		c.stats.BytesDecoded += sb.Decoded
 		c.stats.BytesSkippedByProjection += sb.SkippedByProjection
 		c.stats.BytesMaterialized += sb.Materialized
+		c.stats.Pipe.Add(s.PipeStats())
 	}
 	return rows, nil
 }
 
 // runSkipper executes the query with the cache-aware MJoin over the
 // push-based proxy.
-func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec QuerySpec) ([]tuple.Row, error) {
+func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec QuerySpec, pipe *engine.Pipeline) ([]tuple.Row, error) {
 	cacheSize := c.CacheObjects
 	if cacheSize <= 0 {
 		cacheSize = len(spec.Join.Objects())
@@ -220,6 +254,10 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 		Costs:        mjoin.Costs{ProcessPerObject: cl.Costs.MJoinPerObject},
 		Parallelism:  c.Parallelism,
 	}
+	if pipe != nil {
+		cfg.DecodePool = pipe.Pool
+		cfg.DecodeAhead = pipe.Depth
+	}
 	if c.Pruning != nil {
 		cfg.Pruning = *c.Pruning
 	}
@@ -228,6 +266,7 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 		return nil, err
 	}
 	c.stats.MJoin = addStats(c.stats.MJoin, res.Stats)
+	c.stats.Pipe.Add(res.Stats.Pipe)
 	c.stats.SegmentsSkipped += res.Stats.ObjectsSkipped
 	c.stats.BytesFetched += res.Stats.BytesFetched
 	c.stats.BytesDecoded += res.Stats.BytesDecoded
@@ -265,6 +304,8 @@ func addStats(a, b mjoin.Stats) mjoin.Stats {
 		BytesDecoded:             a.BytesDecoded + b.BytesDecoded,
 		BytesSkippedByProjection: a.BytesSkippedByProjection + b.BytesSkippedByProjection,
 		BytesMaterialized:        a.BytesMaterialized + b.BytesMaterialized,
+		PinnedCycles:             a.PinnedCycles + b.PinnedCycles,
+		Pipe:                     a.Pipe.Plus(b.Pipe),
 	}
 }
 

@@ -1,0 +1,264 @@
+// Pipeline differential suite: the asynchronous execution pipeline
+// (scheduler-aware prefetch + concurrent decode workers) must never
+// change what a query returns. Every combination of engine mode, wire
+// format, DOP and pruning is executed with the pipeline off and on, and
+// the results compared byte for byte, query by query. The suite also
+// pins the prefetch accounting invariant and the cancellation paths:
+// a run that fail-stops (or simply finishes) with prefetches in flight
+// must drain cleanly — no deadlock, no leaked goroutines, no orphaned
+// cache pins. Runs under CI's -race job.
+package skipper_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/csd"
+	"repro/internal/layout"
+	"repro/internal/segcache"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/workload"
+)
+
+// pipelineOn is the configuration the differential suite turns on and
+// off: room for two 1 GB objects in flight, two decode workers.
+func pipelineOn() *skipper.PipelineConfig {
+	return &skipper.PipelineConfig{PrefetchBytes: 2e9, DecodeWorkers: 2, DecodeAhead: 2}
+}
+
+// runPipelined executes the 2-pass probe workload on two tenants
+// sharing the dataset, with the given pipeline configuration (nil =
+// pipeline off).
+func runPipelined(t *testing.T, ds *workload.Dataset, mode skipper.Mode, dop int, prune bool,
+	cache *segcache.Cache, pc *skipper.PipelineConfig) *skipper.RunResult {
+	t.Helper()
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	pr := prune
+	clients := make([]*skipper.Client, 2)
+	for tn := range clients {
+		clients[tn] = &skipper.Client{
+			Tenant:       tn,
+			Mode:         mode,
+			Catalog:      ds.Catalog,
+			Queries:      workload.MultiPass(ds.Catalog, 2),
+			CacheObjects: 6,
+			StatsPruning: &pr,
+			Parallelism:  dop,
+			KeepResults:  true,
+			Pipeline:     pc,
+		}
+	}
+	cl := &skipper.Cluster{
+		Clients:     clients,
+		Layout:      layout.RoundRobinObjects{NumGroups: 3},
+		Store:       store,
+		SharedCache: cache,
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatalf("mode=%v dop=%d prune=%v pipeline=%v: %v", mode, dop, prune, pc != nil, err)
+	}
+	return res
+}
+
+// requireSameResults fails unless both runs produced byte-identical
+// rows in identical order for every query of every client.
+func requireSameResults(t *testing.T, on, off *skipper.RunResult) {
+	t.Helper()
+	for i := range on.Clients {
+		qa, qb := on.Clients[i].PerQuery, off.Clients[i].PerQuery
+		if len(qa) != len(qb) {
+			t.Fatalf("client %d ran %d vs %d queries", i, len(qa), len(qb))
+		}
+		for j := range qa {
+			ra, rb := qa[j].Results, qb[j].Results
+			if len(ra) != len(rb) {
+				t.Fatalf("client %d query %s: %d vs %d rows", i, qa[j].Name, len(ra), len(rb))
+			}
+			for k := range ra {
+				if ra[k].String() != rb[k].String() {
+					t.Fatalf("client %d query %s row %d: %s vs %s",
+						i, qa[j].Name, k, ra[k], rb[k])
+				}
+			}
+		}
+	}
+}
+
+// requirePrefetchAccounting checks the device-side GET balance per
+// client: every demand GET that was not absorbed locally (cache hit or
+// staged prefetch) reached the device, plus every prefetch GET.
+func requirePrefetchAccounting(t *testing.T, res *skipper.RunResult) {
+	t.Helper()
+	for _, cs := range res.Clients {
+		device := res.CSD.GetsByTenant[cs.Tenant]
+		want := cs.GetsIssued - cs.CacheHits - cs.PrefetchServed + cs.PrefetchIssued
+		if device != want {
+			t.Fatalf("tenant %d: device GETs %d != issued %d - hits %d - served %d + prefetched %d",
+				cs.Tenant, device, cs.GetsIssued, cs.CacheHits, cs.PrefetchServed, cs.PrefetchIssued)
+		}
+		if cs.PrefetchUseful > cs.PrefetchIssued {
+			t.Fatalf("tenant %d: useful %d > issued %d", cs.Tenant, cs.PrefetchUseful, cs.PrefetchIssued)
+		}
+	}
+}
+
+// TestPipelineDifferential is the main gate: pipeline on and off across
+// both engines, both wire formats, DOP 1 and 4, pruning on and off.
+// Multi-tenant contention over a 3-group layout scrambles arrival
+// orders relative to request order. No segment cache, so the staged
+// prefetch hand-off path is exercised.
+func TestPipelineDifferential(t *testing.T) {
+	for _, format := range []segment.Format{segment.FormatV1, segment.FormatV2} {
+		ds := sharedDataset(t, format)
+		for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+			for _, dop := range []int{1, 4} {
+				for _, prune := range []bool{true, false} {
+					name := fmt.Sprintf("%v/%v/dop%d/prune=%v", format, mode, dop, prune)
+					t.Run(name, func(t *testing.T) {
+						off := runPipelined(t, ds, mode, dop, prune, nil, nil)
+						on := runPipelined(t, ds, mode, dop, prune, nil, pipelineOn())
+						requireSameResults(t, on, off)
+						requirePrefetchAccounting(t, on)
+						issued, served := 0, 0
+						for _, cs := range on.Clients {
+							issued += cs.PrefetchIssued
+							served += cs.PrefetchServed
+							if cs.WallElapsed <= 0 {
+								t.Fatalf("tenant %d: no wall-clock measurement", cs.Tenant)
+							}
+						}
+						if issued == 0 {
+							t.Fatal("pipeline run issued no prefetches; test is vacuous")
+						}
+						if served == 0 {
+							t.Fatal("no demand GET was served from staged prefetches")
+						}
+						for _, cs := range off.Clients {
+							if cs.PrefetchIssued+cs.PrefetchServed+cs.PrefetchUseful != 0 {
+								t.Fatalf("pipeline-off run recorded prefetch stats: %+v", cs)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineWithSharedCache exercises the cache-admission path:
+// prefetched deliveries land in the shared segment cache and later
+// demand GETs hit there (attributed via PrefetchUseful).
+func TestPipelineWithSharedCache(t *testing.T) {
+	ds := sharedDataset(t, segment.FormatV2)
+	budget := len(ds.Catalog.AllObjects())
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			off := runPipelined(t, ds, mode, 2, true, segcache.NewObjects(budget), nil)
+			on := runPipelined(t, ds, mode, 2, true, segcache.NewObjects(budget), pipelineOn())
+			requireSameResults(t, on, off)
+			requirePrefetchAccounting(t, on)
+			useful := 0
+			for _, cs := range on.Clients {
+				useful += cs.PrefetchUseful
+			}
+			if useful == 0 {
+				t.Fatal("no cache hit was attributed to prefetch")
+			}
+			if st := on.Cache.PinnedBytes; st != 0 {
+				t.Fatalf("quiesced cache reports %d pinned bytes", st)
+			}
+		})
+	}
+}
+
+// requireGoroutinesSettle waits for the goroutine count to return to
+// (at most) the recorded baseline, tolerating runtime bookkeeping
+// noise; decode workers and any stray pipeline helpers must be gone.
+func requireGoroutinesSettle(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finalizer-driven cleanups
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines did not settle: %d > baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPipelineFailStopDrains: a run that fail-stops on a scheduler
+// contract violation with prefetches in flight must still terminate —
+// the device's fail-stop answers every pending and future GET with the
+// error, the prefetcher quiesces, and no goroutines or cache pins leak.
+func TestPipelineFailStopDrains(t *testing.T) {
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ds := sharedDataset(t, segment.FormatV2)
+			store := make(map[segment.ObjectID]*segment.Segment)
+			ds.MergeInto(store)
+			cfg := csd.DefaultConfig()
+			cfg.Scheduler = contractBreaker{}
+			shared := segcache.NewObjects(len(ds.Catalog.AllObjects()))
+			clients := []*skipper.Client{
+				{Tenant: 0, Mode: mode, Catalog: ds.Catalog,
+					Queries: workload.MultiPass(ds.Catalog, 2), CacheObjects: 6,
+					Pipeline: pipelineOn()},
+			}
+			cl := &skipper.Cluster{
+				Clients:     clients,
+				Layout:      layout.RoundRobinObjects{NumGroups: 3},
+				CSD:         cfg,
+				Store:       store,
+				SharedCache: shared,
+			}
+			_, err := cl.Run()
+			if err == nil {
+				t.Fatalf("%v: misbehaving scheduler did not fail the pipelined run", mode)
+			}
+			var sce *csd.SchedulerContractError
+			if !errors.As(err, &sce) {
+				t.Fatalf("%v: error %v is not a SchedulerContractError", mode, err)
+			}
+			if st := shared.Stats(); st.PinnedBytes != 0 {
+				t.Fatalf("%v: aborted run left %d bytes pinned in the cache", mode, st.PinnedBytes)
+			}
+			requireGoroutinesSettle(t, baseline)
+		})
+	}
+}
+
+// TestPipelineCompletionDrains: a run that finishes normally with a
+// generous prefetch budget (so prefetches for the final query may still
+// be in flight when the client finishes) must drain its prefetcher and
+// decode pools without leaking goroutines.
+func TestPipelineCompletionDrains(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ds := sharedDataset(t, segment.FormatV2)
+	pc := &skipper.PipelineConfig{PrefetchBytes: 64e9, DecodeWorkers: 4, DecodeAhead: 4}
+	res := runPipelined(t, ds, skipper.ModeSkipper, 2, true, nil, pc)
+	requirePrefetchAccounting(t, res)
+	issued := 0
+	for _, cs := range res.Clients {
+		issued += cs.PrefetchIssued
+	}
+	if issued == 0 {
+		t.Fatal("no prefetches issued under a 64 GB budget")
+	}
+	if res.Wall <= 0 {
+		t.Fatal("cluster run recorded no wall-clock time")
+	}
+	requireGoroutinesSettle(t, baseline)
+}

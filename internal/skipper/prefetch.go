@@ -1,0 +1,313 @@
+package skipper
+
+import (
+	"fmt"
+
+	"repro/internal/csd"
+	"repro/internal/layout"
+	"repro/internal/segcache"
+	"repro/internal/segment"
+	"repro/internal/vtime"
+)
+
+// This file implements the scheduler-aware prefetcher of the execution
+// pipeline: a per-client simulated process that issues GETs for the
+// upcoming queries' unpruned, cache-missing segments while the current
+// query executes, under a bounded in-flight byte budget. Prefetching
+// helps twice over:
+//
+//   - It discloses future demand to the device scheduler. Prefetch GETs
+//     carry the real upcoming query id, so the rank-based policy sees the
+//     work earlier and can batch group switches across present and future
+//     queries — a virtual-time (makespan) win.
+//   - It overlaps transfer with compute. A segment whose transfer started
+//     during the previous query is resident (segment cache) or staged
+//     (no cache) by the time the demand path asks for it.
+//
+// Prefetch never changes results: a prefetched delivery is the same
+// immutable segment the demand GET would have fetched, and the device
+// coalesces a prefetch racing its own demand GET onto one transfer (one
+// BytesServed charge). Stats pruning is honoured at enqueue time — a
+// segment the relation's Pruner proves result-free is never prefetched.
+
+// PipelineConfig enables the asynchronous execution pipeline for one
+// client. The zero value (or a nil pointer) disables everything.
+type PipelineConfig struct {
+	// PrefetchBytes bounds the prefetcher's outstanding data — transfers
+	// in flight plus staged-but-unconsumed deliveries — in nominal object
+	// bytes. 0 disables prefetching. With the paper's 1 GB objects,
+	// 2e9 keeps two objects ahead.
+	PrefetchBytes int64
+	// DecodeWorkers is the size of the client's decode pool: background
+	// workers that turn delivered payloads into columnar batches off the
+	// critical path. 0 disables concurrent decode.
+	DecodeWorkers int
+	// DecodeAhead bounds how many segments each consumer keeps decoded or
+	// decoding ahead of consumption (default 2).
+	DecodeAhead int
+}
+
+// pfCandidate is one object the prefetcher may fetch ahead of demand.
+type pfCandidate struct {
+	id      segment.ObjectID
+	queryID string // the real upcoming query, disclosed to the scheduler
+	bytes   int64  // nominal transfer size
+}
+
+// pfCmd is the client-to-prefetcher control message.
+type pfCmd struct {
+	stop bool
+	objs []pfCandidate
+}
+
+// prefetcher is the per-client prefetch daemon. All state is touched
+// only from simulated processes (the prefetcher's own proc and the
+// client proc), which the cooperative vtime kernel never runs
+// concurrently, so the maps need no locking.
+type prefetcher struct {
+	tenant int
+	budget int64
+	dev    *csd.CSD
+	assign *layout.Assignment
+	cache  *segcache.Cache
+	stats  *ClientStats
+
+	cmd   *vtime.Chan[pfCmd]
+	reply *vtime.Chan[csd.Delivery]
+
+	queue  []pfCandidate
+	queued map[segment.ObjectID]bool // queue membership, for dedup
+
+	inflight      map[segment.ObjectID]int64 // issued, not yet delivered
+	inflightBytes int64
+	// staged holds deliveries when the client has no segment cache; the
+	// demand path consumes them via takeStaged. With a cache, deliveries
+	// are admitted there instead and staged stays empty.
+	staged      map[segment.ObjectID]*segment.Segment
+	stagedBytes int64
+	// admitted marks cache entries that came from prefetch, so a later
+	// demand cache hit can be attributed (PrefetchUseful).
+	admitted map[segment.ObjectID]bool
+
+	stopped bool
+	// failed is set on the first error delivery (device fail-stop): the
+	// prefetcher stops issuing and lets the demand path surface the error.
+	failed bool
+}
+
+func newPrefetcher(sim *vtime.Sim, dev *csd.CSD, assign *layout.Assignment, cache *segcache.Cache, c *Client) *prefetcher {
+	return &prefetcher{
+		tenant:   c.Tenant,
+		budget:   c.Pipeline.PrefetchBytes,
+		dev:      dev,
+		assign:   assign,
+		cache:    cache,
+		stats:    &c.stats,
+		cmd:      vtime.NewChan[pfCmd](sim, fmt.Sprintf("prefetch.t%d.cmd", c.Tenant), len(c.Queries)+4),
+		reply:    vtime.NewChan[csd.Delivery](sim, fmt.Sprintf("prefetch.t%d.reply", c.Tenant), 1<<20),
+		queued:   make(map[segment.ObjectID]bool),
+		inflight: make(map[segment.ObjectID]int64),
+		staged:   make(map[segment.ObjectID]*segment.Segment),
+		admitted: make(map[segment.ObjectID]bool),
+	}
+}
+
+// enqueue asks the prefetcher to consider the given candidates; called
+// from the client proc. The buffered command channel never blocks for a
+// well-formed client (one enqueue per query plus one stop).
+func (pf *prefetcher) enqueue(p *vtime.Proc, objs []pfCandidate) {
+	pf.cmd.Send(p, pfCmd{objs: objs})
+}
+
+// stop tells the prefetcher to wind down; it exits once its in-flight
+// transfers have been delivered (the device always answers every GET —
+// with data, or with an error after a fail-stop or during shutdown), so
+// the simulation never strands the prefetch process.
+func (pf *prefetcher) stop(p *vtime.Proc) {
+	pf.cmd.Send(p, pfCmd{stop: true})
+}
+
+// run is the prefetch daemon loop. Structure: drain control and
+// delivery channels without blocking, issue what the budget allows,
+// then block on whichever channel can actually wake it — deliveries
+// while transfers are in flight, commands otherwise. Every path makes
+// progress toward exit once stop has been received.
+func (pf *prefetcher) run(p *vtime.Proc) {
+	for {
+		for {
+			cmd, ok := pf.cmd.TryRecv(p)
+			if !ok {
+				break
+			}
+			pf.applyCmd(cmd)
+		}
+		for {
+			d, ok := pf.reply.TryRecv(p)
+			if !ok {
+				break
+			}
+			pf.complete(d)
+		}
+		if pf.stopped && len(pf.inflight) == 0 {
+			return
+		}
+		if !pf.stopped && !pf.failed {
+			pf.issue(p)
+		}
+		if len(pf.inflight) > 0 {
+			pf.complete(pf.reply.Recv(p))
+		} else {
+			pf.applyCmd(pf.cmd.Recv(p))
+		}
+	}
+}
+
+func (pf *prefetcher) applyCmd(cmd pfCmd) {
+	if cmd.stop {
+		pf.stopped = true
+		return
+	}
+	for _, c := range cmd.objs {
+		if pf.queued[c.id] {
+			continue
+		}
+		if _, inf := pf.inflight[c.id]; inf {
+			continue
+		}
+		if _, st := pf.staged[c.id]; st {
+			continue
+		}
+		pf.queued[c.id] = true
+		pf.queue = append(pf.queue, c)
+	}
+}
+
+// issue starts as many prefetch transfers as the byte budget allows,
+// preferring candidates the device can serve without a group switch.
+func (pf *prefetcher) issue(p *vtime.Proc) {
+	for len(pf.queue) > 0 {
+		i := pf.pick()
+		cand := pf.queue[i]
+		// Residency first: a segment already in cache (or staged) needs no
+		// transfer regardless of budget.
+		if pf.cache != nil && pf.cache.Contains(cand.id) {
+			pf.dropQueued(i)
+			continue
+		}
+		if pf.inflightBytes+pf.stagedBytes+cand.bytes > pf.budget {
+			if pf.inflightBytes+pf.stagedBytes > 0 {
+				return // budget busy; retry when something completes or drains
+			}
+			// The object alone exceeds the budget and nothing is
+			// outstanding: it can never fit. Drop it rather than spin.
+			pf.dropQueued(i)
+			continue
+		}
+		pf.dropQueued(i)
+		pf.inflight[cand.id] = cand.bytes
+		pf.inflightBytes += cand.bytes
+		pf.stats.PrefetchIssued++
+		pf.dev.Submit(p, &csd.Request{
+			Object: cand.id, QueryID: cand.queryID, Tenant: pf.tenant, Reply: pf.reply,
+		})
+	}
+}
+
+// pick returns the queue index to issue next: a candidate on the loaded
+// group if any (served without a switch), else one on the scheduler's
+// predicted next group, else the FIFO head.
+func (pf *prefetcher) pick() int {
+	loaded := pf.dev.LoadedGroup()
+	predicted, havePrediction := pf.dev.PredictNextGroup()
+	best := 0
+	for i, cand := range pf.queue {
+		g, err := pf.assign.GroupOf(cand.id)
+		if err != nil {
+			continue
+		}
+		if g == loaded {
+			return i
+		}
+		if havePrediction && g == predicted && best == 0 && i > 0 {
+			best = i
+		}
+	}
+	return best
+}
+
+// dropQueued removes queue[i], preserving order.
+func (pf *prefetcher) dropQueued(i int) {
+	delete(pf.queued, pf.queue[i].id)
+	pf.queue = append(pf.queue[:i], pf.queue[i+1:]...)
+}
+
+// complete folds one delivery into prefetcher state: admit to the
+// segment cache when there is one, stage otherwise. An error delivery
+// (device fail-stop) quiesces the prefetcher — the demand path will
+// observe the same error and abort the query.
+func (pf *prefetcher) complete(d csd.Delivery) {
+	b, ok := pf.inflight[d.Object]
+	if !ok {
+		return
+	}
+	delete(pf.inflight, d.Object)
+	pf.inflightBytes -= b
+	if d.Err != nil {
+		pf.failed = true
+		pf.queue, pf.queued = nil, make(map[segment.ObjectID]bool)
+		return
+	}
+	if pf.cache != nil {
+		pf.cache.Put(d.Object, d.Seg)
+		pf.admitted[d.Object] = true
+		return
+	}
+	pf.staged[d.Object] = d.Seg
+	pf.stagedBytes += b
+}
+
+// takeStaged hands a staged delivery to the demand path, freeing its
+// budget slot. Called from the client proc.
+func (pf *prefetcher) takeStaged(id segment.ObjectID) (*segment.Segment, bool) {
+	seg, ok := pf.staged[id]
+	if !ok {
+		return nil, false
+	}
+	delete(pf.staged, id)
+	pf.stagedBytes -= seg.NominalBytes
+	return seg, true
+}
+
+// markUsed attributes a demand cache hit to prefetch, once per
+// prefetched object. Called from the client proc.
+func (pf *prefetcher) markUsed(id segment.ObjectID) bool {
+	if pf.admitted[id] {
+		delete(pf.admitted, id)
+		return true
+	}
+	return false
+}
+
+// candidatesFor builds the prefetch candidate list of one upcoming
+// query: every segment of every relation, in plan order, minus the
+// segments stats pruning proves result-free (those are never requested
+// by the demand path either).
+func candidatesFor(c *Client, qi int, store map[segment.ObjectID]*segment.Segment) []pfCandidate {
+	spec := c.Queries[qi]
+	queryID := fmt.Sprintf("t%d.%s#%d", c.Tenant, spec.Name, qi)
+	prune := c.statsPruningOn()
+	var out []pfCandidate
+	for _, rel := range spec.Join.Relations {
+		for si, id := range rel.Table.Objects {
+			if prune && rel.Pruner != nil && rel.Pruner.CanSkip(si) {
+				continue
+			}
+			seg, ok := store[id]
+			if !ok {
+				continue
+			}
+			out = append(out, pfCandidate{id: id, queryID: queryID, bytes: seg.NominalBytes})
+		}
+	}
+	return out
+}

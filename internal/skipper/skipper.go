@@ -115,6 +115,26 @@ type ClientStats struct {
 	Rows int64
 	// MJoin aggregates state-manager statistics (skipper mode).
 	MJoin mjoin.Stats
+	// PrefetchIssued counts GETs the prefetcher sent to the device on
+	// this client's behalf; PrefetchServed counts demand requests served
+	// from staged prefetch deliveries instead of the device; and
+	// PrefetchUseful counts distinct prefetched objects a query actually
+	// consumed (staged or via a cache hit on a prefetched entry). The
+	// device-visible GET count of a client is
+	// GetsIssued - CacheHits - PrefetchServed + PrefetchIssued.
+	PrefetchIssued int
+	PrefetchServed int
+	PrefetchUseful int
+	// Pipe is the wall-clock pipeline accounting: real time the client's
+	// consumers spent blocked on fetch and decode versus the decode time
+	// the pipeline hid behind compute. Populated (as the inline baseline,
+	// DecodeStall == DecodeBusy) even with the pipeline off.
+	Pipe engine.PipeStats
+	// WallElapsed is the real (hardware) time between this client's
+	// workload start and finish. Under the cooperative simulation it
+	// includes time other processes ran while this client was blocked;
+	// per-cluster, RunResult.Wall is the headline number.
+	WallElapsed time.Duration
 }
 
 // QueryRun records one query execution.
@@ -176,6 +196,13 @@ type Client struct {
 	// SharedCache for this client. Query results are byte-identical with
 	// and without a cache; only storage traffic and timing change.
 	SegCache *segcache.Cache
+	// Pipeline, when non-nil, enables the asynchronous execution pipeline
+	// for this client: scheduler-aware prefetch (PrefetchBytes) and
+	// concurrent decode workers (DecodeWorkers). Query results are
+	// byte-identical with the pipeline on or off; prefetch changes
+	// storage timing (virtual), decode workers change wall-clock time
+	// (real) only.
+	Pipeline *PipelineConfig
 	// KeepResults retains every query's full result rows in the PerQuery
 	// records — the hook the differential harnesses use to compare runs
 	// byte for byte. Off by default: result sets can be large.
@@ -209,6 +236,10 @@ type proxy struct {
 	reply  *vtime.Chan[csd.Delivery]
 	proc   *vtime.Proc
 	query  string
+	// pf, when non-nil, is the client's prefetch daemon: demand requests
+	// consult its staged deliveries before touching the device, and cache
+	// hits on prefetched entries are attributed to it.
+	pf *prefetcher
 }
 
 func newProxy(sim *vtime.Sim, dev *csd.CSD, tenant int, stats *ClientStats) *proxy {
@@ -232,6 +263,17 @@ func (px *proxy) Request(objs []segment.ObjectID) {
 		if px.cache != nil {
 			if seg, ok := px.cache.Get(id); ok {
 				px.stats.CacheHits++
+				if px.pf != nil && px.pf.markUsed(id) {
+					px.stats.PrefetchUseful++
+				}
+				px.reply.Send(px.proc, csd.Delivery{Object: id, Seg: seg})
+				continue
+			}
+		}
+		if px.pf != nil {
+			if seg, ok := px.pf.takeStaged(id); ok {
+				px.stats.PrefetchServed++
+				px.stats.PrefetchUseful++
 				px.reply.Send(px.proc, csd.Delivery{Object: id, Seg: seg})
 				continue
 			}
@@ -259,6 +301,26 @@ func (px *proxy) NextArrival() (*segment.Segment, error) {
 		px.cache.Put(d.Object, d.Seg)
 	}
 	return d.Seg, nil
+}
+
+// TryNextArrival implements mjoin.TryArrivalSource: a non-blocking
+// NextArrival. An already-enqueued delivery is returned at zero virtual
+// cost (and admitted to the cache like any other); otherwise the caller
+// keeps working and blocks on NextArrival only when truly out of input —
+// which is what keeps the pipelined engine's virtual timing identical to
+// the serial path's.
+func (px *proxy) TryNextArrival() (*segment.Segment, bool, error) {
+	d, ok := px.reply.TryRecv(px.proc)
+	if !ok {
+		return nil, false, nil
+	}
+	if d.Err != nil {
+		return nil, false, d.Err
+	}
+	if px.cache != nil {
+		px.cache.Put(d.Object, d.Seg)
+	}
+	return d.Seg, true, nil
 }
 
 // fetchSync is the vanilla path: one GET, wait, charge FUSE overhead.
@@ -295,4 +357,42 @@ type vanillaFetcher struct {
 
 func (f *vanillaFetcher) Fetch(id segment.ObjectID) (*segment.Segment, error) {
 	return f.px.fetchSync(id, f.fuse)
+}
+
+// TryFetch implements engine.TryFetcher for the pipelined scan: only
+// segments already resident — in the segment cache or staged by the
+// prefetcher — are served, with the same accounting and FUSE charge as
+// the synchronous path; anything that would touch the device reports
+// not-available so the scan falls back to a demand Fetch at exactly the
+// point the serial plan would have issued it. Reordering the (virtually
+// charged) FUSE sleeps ahead of processing charges leaves the client's
+// total virtual time and its device GET instants unchanged.
+func (f *vanillaFetcher) TryFetch(id segment.ObjectID) (*segment.Segment, bool, error) {
+	px := f.px
+	var seg *segment.Segment
+	if px.cache != nil {
+		if s, ok := px.cache.Get(id); ok {
+			px.stats.CacheHits++
+			if px.pf != nil && px.pf.markUsed(id) {
+				px.stats.PrefetchUseful++
+			}
+			seg = s
+		}
+	}
+	if seg == nil && px.pf != nil {
+		if s, ok := px.pf.takeStaged(id); ok {
+			px.stats.PrefetchServed++
+			px.stats.PrefetchUseful++
+			seg = s
+		}
+	}
+	if seg == nil {
+		return nil, false, nil
+	}
+	px.stats.GetsIssued++
+	if f.fuse > 0 {
+		px.proc.Sleep(f.fuse)
+		px.stats.Fuse += f.fuse
+	}
+	return seg, true, nil
 }

@@ -1,0 +1,56 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProcSatisfiesClock pins the virtual substrate of the Clock
+// interface: a process's Now/Sleep advance virtual time deterministically.
+func TestProcSatisfiesClock(t *testing.T) {
+	sim := NewSim()
+	var before, after time.Duration
+	sim.Spawn("p", func(p *Proc) {
+		var c Clock = p
+		before = c.Now()
+		c.Sleep(3 * time.Second)
+		after = c.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 || after != 3*time.Second {
+		t.Fatalf("virtual clock: before=%v after=%v, want 0 and 3s", before, after)
+	}
+}
+
+// TestWallMeasurementMode pins the default Wall behaviour: Now advances
+// with real time, Sleep is free (Scale 0), so wrapping a simulation in a
+// Wall clock measures without perturbing.
+func TestWallMeasurementMode(t *testing.T) {
+	w := NewWall()
+	if w.Now() < 0 {
+		t.Fatalf("wall clock went backwards: %v", w.Now())
+	}
+	start := time.Now()
+	w.Sleep(time.Hour) // must not block
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("Sleep in measurement mode blocked for %v", real)
+	}
+	t0 := w.Now()
+	time.Sleep(time.Millisecond)
+	if t1 := w.Now(); t1 <= t0 {
+		t.Fatalf("wall clock did not advance: %v then %v", t0, t1)
+	}
+}
+
+// TestWallScaledSleep pins the replay mode: a positive Scale makes Sleep
+// actually block, scaled.
+func TestWallScaledSleep(t *testing.T) {
+	w := &Wall{start: time.Now(), Scale: 1e-6} // 1s virtual -> 1µs real
+	start := time.Now()
+	w.Sleep(time.Second)
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("scaled Sleep blocked for %v", real)
+	}
+}
