@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the oracle the sketch is tested against: the
+// nearest-rank (ceil(q·n)-th smallest) element of the sorted data.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles asserts every probed quantile is within the γ
+// relative-error contract of the exact answer.
+func checkQuantiles(t *testing.T, s *LatencySketch, data []time.Duration) {
+	t.Helper()
+	sorted := append([]time.Duration(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		exact := exactQuantile(sorted, q)
+		if q > 0 && q < 1 && exact < time.Nanosecond {
+			// Interior quantiles cannot distinguish sub-nanosecond (or
+			// non-positive) observations: they share bucket 0. The exact
+			// extremes (q=0, q=1) stay exact via min/max.
+			exact = time.Nanosecond
+		}
+		got := s.Quantile(q)
+		tol := time.Duration(math.Ceil(SketchAccuracy * math.Abs(float64(exact))))
+		if got < exact-tol || got > exact+tol {
+			t.Errorf("q=%.2f: got %v, exact %v (tolerance %v)", q, got, exact, tol)
+		}
+	}
+}
+
+// TestSketchExactSmallInputs runs the differential against exact sorted
+// quantiles on assorted small inputs, including the shapes a latency
+// distribution actually takes (clustered with a heavy tail).
+func TestSketchExactSmallInputs(t *testing.T) {
+	cases := map[string][]time.Duration{
+		"single":    {42 * time.Millisecond},
+		"two":       {time.Millisecond, time.Second},
+		"uniform":   nil, // filled below
+		"clustered": nil,
+		"identical": {7 * time.Millisecond, 7 * time.Millisecond, 7 * time.Millisecond, 7 * time.Millisecond},
+		"tiny":      {0, time.Nanosecond, 2 * time.Nanosecond, -time.Nanosecond},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		cases["uniform"] = append(cases["uniform"], time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	for i := 0; i < 95; i++ {
+		cases["clustered"] = append(cases["clustered"], 5*time.Millisecond+time.Duration(rng.Int63n(int64(time.Millisecond))))
+	}
+	for i := 0; i < 5; i++ {
+		cases["clustered"] = append(cases["clustered"], time.Second+time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			var s LatencySketch
+			for _, d := range data {
+				s.Record(d)
+			}
+			if s.Count() != int64(len(data)) {
+				t.Fatalf("count %d, want %d", s.Count(), len(data))
+			}
+			checkQuantiles(t, &s, data)
+		})
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	var s LatencySketch
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty sketch quantile = %v, want 0", got)
+	}
+	snap := s.Snapshot()
+	if snap.Count != 0 || snap.P99 != 0 || snap.Mean() != 0 {
+		t.Errorf("empty snapshot not zero: %+v", snap)
+	}
+}
+
+// TestSketchMergeAssociativity: (a⊕b)⊕c and a⊕(b⊕c) must agree exactly
+// — every bucket, every quantile, count, sum and extremes — and both
+// must equal a sketch that recorded all three streams directly.
+func TestSketchMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	streams := make([][]time.Duration, 3)
+	for i := range streams {
+		for j := 0; j < 50+rng.Intn(100); j++ {
+			streams[i] = append(streams[i], time.Duration(rng.Int63n(int64(10*time.Second))))
+		}
+	}
+	fill := func(idx ...int) *LatencySketch {
+		var s LatencySketch
+		for _, i := range idx {
+			for _, d := range streams[i] {
+				s.Record(d)
+			}
+		}
+		return &s
+	}
+	// left = (a⊕b)⊕c
+	left := fill(0)
+	ab := fill(1)
+	left.Merge(ab)
+	left.Merge(fill(2))
+	// right = a⊕(b⊕c)
+	bc := fill(1)
+	bc.Merge(fill(2))
+	right := fill(0)
+	right.Merge(bc)
+	direct := fill(0, 1, 2)
+
+	for _, pair := range []struct {
+		name string
+		a, b *LatencySketch
+	}{{"left-vs-right", left, right}, {"left-vs-direct", left, direct}} {
+		if pair.a.counts != pair.b.counts {
+			t.Errorf("%s: bucket arrays differ", pair.name)
+		}
+		sa, sb := pair.a.Snapshot(), pair.b.Snapshot()
+		if sa != sb {
+			t.Errorf("%s: snapshots differ: %+v vs %+v", pair.name, sa, sb)
+		}
+	}
+	var all []time.Duration
+	for _, st := range streams {
+		all = append(all, st...)
+	}
+	checkQuantiles(t, left, all)
+}
+
+// TestSketchMergeEdgeCases covers empty and self merges.
+func TestSketchMergeEdgeCases(t *testing.T) {
+	var a, empty LatencySketch
+	a.Record(3 * time.Millisecond)
+	a.Merge(&empty) // no-op
+	a.Merge(nil)    // no-op
+	a.Merge(&a)     // self-merge must not double-count
+	if a.Count() != 1 {
+		t.Fatalf("count after no-op merges = %d, want 1", a.Count())
+	}
+	empty.Merge(&a)
+	if empty.Count() != 1 || empty.Quantile(1) != 3*time.Millisecond {
+		t.Fatalf("merge into empty lost data: count=%d", empty.Count())
+	}
+}
+
+// TestSketchConcurrentRecorders hammers one sketch from many goroutines
+// — the shape the server uses it in — and checks the totals. Run under
+// -race in CI.
+func TestSketchConcurrentRecorders(t *testing.T) {
+	var s LatencySketch
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				s.Record(time.Duration(rng.Int63n(int64(time.Second))))
+				if i%100 == 0 {
+					_ = s.Quantile(0.95) // concurrent reads too
+					_ = s.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := s.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	snap := s.Snapshot()
+	if snap.P50 <= 0 || snap.P95 < snap.P50 || snap.P99 < snap.P95 || snap.Max < snap.P99 {
+		t.Fatalf("quantiles not monotone: %+v", snap)
+	}
+}
+
+// TestAdmissionCounters exercises the serving counters incl. the
+// concurrent path and snapshot totals.
+func TestAdmissionCounters(t *testing.T) {
+	var c AdmissionCounters
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Admitted.Add(1)
+				c.AddQueueWait(time.Millisecond)
+				c.AddQueueWait(0) // ignored
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap.Admitted != 400 || snap.QueueWait != 400*time.Millisecond {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	total := snap.Add(AdmissionSnapshot{Admitted: 1, Rejected: 2})
+	if total.Admitted != 401 || total.Rejected != 2 {
+		t.Fatalf("Add = %+v", total)
+	}
+}

@@ -1,0 +1,245 @@
+// Package server is the long-lived SQL serving front end: a TCP server
+// speaking a newline-delimited JSON protocol over the execution core the
+// earlier layers built. One connection is one session (tenant binding,
+// a persistent segment cache, pipeline knobs); every query passes
+// through an admission controller — bounded in-flight slots, per-tenant
+// quotas with fair queueing, queue-depth backpressure and per-query
+// deadlines — before it reaches a skipper.Cluster run. go-mysql-server's
+// separation of wire protocol / session / execution is the reference
+// shape; the protocol here is deliberately minimal so the serving
+// mechanics, not SQL framing, carry the weight.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultMaxLineBytes bounds one request frame. A line longer than the
+// limit is a protocol error and closes the connection (there is no way
+// to resynchronize mid-line without trusting the peer's framing).
+const DefaultMaxLineBytes = 1 << 20
+
+// ErrProtocol is the root of every malformed-frame error: unparseable
+// JSON, unknown verbs, missing fields, oversized or interleaved frames.
+// The server answers with a typed "protocol" error frame and — for
+// framing-level violations — closes the connection.
+var ErrProtocol = errors.New("protocol error")
+
+// ErrLineTooLong marks a request frame exceeding the line limit. Wraps
+// ErrProtocol.
+var ErrLineTooLong = fmt.Errorf("%w: request line exceeds limit", ErrProtocol)
+
+// Request verbs. A frame without an explicit "op" derives one from its
+// SQL text: the STATS admin verb, an EXPLAIN prefix, or a plain query.
+const (
+	OpQuery   = "query"
+	OpExplain = "explain"
+	OpStats   = "stats"
+	OpHello   = "hello"
+)
+
+// Request is one client frame.
+type Request struct {
+	// ID is an opaque client token echoed on the matching response.
+	ID string `json:"id,omitempty"`
+	// Op selects the verb; empty derives it from SQL (STATS / EXPLAIN
+	// prefix / query).
+	Op string `json:"op,omitempty"`
+	// Tenant binds the session on first use; later frames may repeat the
+	// same tenant but not switch. Nil inherits the session's binding
+	// (tenant 0 if never set).
+	Tenant *int `json:"tenant,omitempty"`
+	// SQL is the statement for query/explain verbs.
+	SQL string `json:"sql,omitempty"`
+	// DeadlineMS bounds this query's total time in the server — queue
+	// wait plus execution — in milliseconds of real time. 0 uses the
+	// server default; negative is a protocol error.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Response is one server frame. Type is "result", "explain", "stats",
+// "hello" or "error"; the other fields are populated per type.
+type Response struct {
+	ID     string `json:"id,omitempty"`
+	Type   string `json:"type"`
+	Tenant int    `json:"tenant"`
+
+	// Result frames: rows rendered exactly as the single-shot tools
+	// print them (tuple.Row.String), so byte-identical comparison against
+	// a skipperql run is a line diff.
+	Rows     []string `json:"rows,omitempty"`
+	RowCount int      `json:"row_count"`
+	// VirtualUS is the simulated storage-hardware time of the run;
+	// WallUS and QueueUS are real service and queue-wait time.
+	VirtualUS int64 `json:"virtual_us,omitempty"`
+	WallUS    int64 `json:"wall_us,omitempty"`
+	QueueUS   int64 `json:"queue_us,omitempty"`
+	Gets      int   `json:"gets,omitempty"`
+	CacheHits int   `json:"cache_hits,omitempty"`
+	Pruned    int   `json:"pruned,omitempty"`
+
+	// Explain frames.
+	Plan string `json:"plan,omitempty"`
+
+	// Error frames: Code is the machine-readable class ("protocol",
+	// "plan", "tenant", "overloaded", "deadline", "canceled", "exec").
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	// Stats frames.
+	Stats *StatsSnapshot `json:"stats,omitempty"`
+}
+
+// Error frame codes.
+const (
+	CodeProtocol   = "protocol"
+	CodePlan       = "plan"
+	CodeTenant     = "tenant"
+	CodeOverloaded = "overloaded"
+	CodeDeadline   = "deadline"
+	CodeCanceled   = "canceled"
+	CodeExec       = "exec"
+)
+
+// StatsSnapshot is the STATS verb's payload: the admission controller's
+// live occupancy plus per-tenant counters and latency percentiles.
+type StatsSnapshot struct {
+	Inflight int                       `json:"inflight"`
+	Queued   int                       `json:"queued"`
+	Tenants  map[int]TenantSnapshot    `json:"tenants"`
+	Total    metrics.AdmissionSnapshot `json:"total"`
+}
+
+// TenantSnapshot is one tenant's serving statistics.
+type TenantSnapshot struct {
+	Admission metrics.AdmissionSnapshot `json:"admission"`
+	Latency   metrics.LatencySnapshot   `json:"latency"`
+}
+
+// ParseRequest parses and normalizes one frame. Every failure wraps
+// ErrProtocol. On success the request is normalized: Op is one of the
+// exported verbs, query/explain frames carry non-empty SQL (with any
+// EXPLAIN prefix stripped), Tenant (if present) is non-negative and
+// DeadlineMS non-negative.
+func ParseRequest(line []byte) (*Request, error) {
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	// A second JSON value on the same line is an interleaved frame: the
+	// peer lost framing; reject rather than guess.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after frame", ErrProtocol)
+	}
+	if req.Tenant != nil && *req.Tenant < 0 {
+		return nil, fmt.Errorf("%w: negative tenant %d", ErrProtocol, *req.Tenant)
+	}
+	if req.DeadlineMS < 0 {
+		return nil, fmt.Errorf("%w: negative deadline_ms %d", ErrProtocol, req.DeadlineMS)
+	}
+	if req.Op == "" {
+		req.Op = deriveOp(req.SQL)
+	}
+	switch req.Op {
+	case OpQuery, OpExplain:
+		if req.Op == OpExplain {
+			// Accept both {"op":"explain","sql":"SELECT..."} and a bare
+			// EXPLAIN prefix; normalize to the statement alone.
+			if rest, ok := stripExplain(req.SQL); ok {
+				req.SQL = rest
+			}
+		}
+		req.SQL = strings.TrimSpace(req.SQL)
+		if req.SQL == "" {
+			return nil, fmt.Errorf("%w: %s frame without sql", ErrProtocol, req.Op)
+		}
+	case OpStats, OpHello:
+		// No SQL required.
+	default:
+		return nil, fmt.Errorf("%w: unknown op %q", ErrProtocol, req.Op)
+	}
+	return &req, nil
+}
+
+// deriveOp classifies a frame without an explicit op by its SQL text.
+func deriveOp(sqlText string) string {
+	trimmed := strings.TrimSpace(sqlText)
+	if strings.EqualFold(trimmed, "STATS") {
+		return OpStats
+	}
+	if _, ok := stripExplain(trimmed); ok {
+		return OpExplain
+	}
+	return OpQuery
+}
+
+// stripExplain recognizes a leading EXPLAIN keyword and returns the
+// statement behind it.
+func stripExplain(stmtText string) (string, bool) {
+	trimmed := strings.TrimSpace(stmtText)
+	if len(trimmed) < 8 || !strings.EqualFold(trimmed[:7], "EXPLAIN") {
+		return "", false
+	}
+	switch trimmed[7] {
+	case ' ', '\t', '\n', '\r':
+		return strings.TrimSpace(trimmed[8:]), true
+	}
+	return "", false
+}
+
+// readFrame returns the next non-empty line, stripped of surrounding
+// whitespace. A line longer than max returns ErrLineTooLong (the
+// stream cannot be resynchronized). A trailing partial line at EOF — a
+// mid-statement disconnect — is dropped, not processed: only frames the
+// peer finished with a newline are ever acted on.
+func readFrame(br *bufio.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxLineBytes
+	}
+	for {
+		var line []byte
+		for {
+			chunk, err := br.ReadSlice('\n')
+			// Cap accumulation before appending: a peer streaming an
+			// endless line must not grow memory with it. max counts the
+			// frame body; +1 admits the terminating newline.
+			if len(line)+len(chunk) > max+1 {
+				return nil, ErrLineTooLong
+			}
+			line = append(line, chunk...)
+			if err == nil {
+				break
+			}
+			if err == bufio.ErrBufferFull {
+				continue
+			}
+			if err == io.EOF {
+				return nil, io.EOF // drop any unterminated tail
+			}
+			return nil, err
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) > 0 {
+			return line, nil
+		}
+	}
+}
+
+// errorResponse builds a typed error frame.
+func errorResponse(id string, tenant int, code string, err error) *Response {
+	return &Response{ID: id, Type: "error", Tenant: tenant, Code: code, Error: err.Error()}
+}
+
+// durUS renders a duration in whole microseconds for the wire.
+func durUS(d time.Duration) int64 { return d.Microseconds() }

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseRequestVerbs(t *testing.T) {
+	tn := 3
+	cases := []struct {
+		name   string
+		line   string
+		want   Request
+		errSub string
+	}{
+		{
+			name: "plain query",
+			line: `{"sql":"SELECT * FROM lineitem"}`,
+			want: Request{Op: OpQuery, SQL: "SELECT * FROM lineitem"},
+		},
+		{
+			name: "explicit op with tenant and deadline",
+			line: `{"id":"q1","op":"query","tenant":3,"sql":"SELECT 1","deadline_ms":500}`,
+			want: Request{ID: "q1", Op: OpQuery, Tenant: &tn, SQL: "SELECT 1", DeadlineMS: 500},
+		},
+		{
+			name: "derived explain",
+			line: `{"sql":"EXPLAIN SELECT * FROM lineitem"}`,
+			want: Request{Op: OpExplain, SQL: "SELECT * FROM lineitem"},
+		},
+		{
+			name: "explain op with bare statement",
+			line: `{"op":"explain","sql":"SELECT 1"}`,
+			want: Request{Op: OpExplain, SQL: "SELECT 1"},
+		},
+		{
+			name: "explain op with redundant prefix",
+			line: `{"op":"explain","sql":"explain\tSELECT 1"}`,
+			want: Request{Op: OpExplain, SQL: "SELECT 1"},
+		},
+		{
+			name: "derived stats ignores case",
+			line: `{"sql":" stats "}`,
+			want: Request{Op: OpStats, SQL: " stats "},
+		},
+		{
+			name: "hello",
+			line: `{"op":"hello","tenant":3}`,
+			want: Request{Op: OpHello, Tenant: &tn},
+		},
+		{
+			name: "explainx is a query, not explain",
+			line: `{"sql":"EXPLAINX"}`,
+			want: Request{Op: OpQuery, SQL: "EXPLAINX"},
+		},
+		{name: "not json", line: `SELECT 1`, errSub: "protocol error"},
+		{name: "unknown field", line: `{"sql":"SELECT 1","bogus":true}`, errSub: "protocol error"},
+		{name: "unknown op", line: `{"op":"insert","sql":"x"}`, errSub: "unknown op"},
+		{name: "query without sql", line: `{"op":"query"}`, errSub: "without sql"},
+		{name: "explain without statement", line: `{"op":"explain","sql":"   "}`, errSub: "without sql"},
+		{
+			// Bare "EXPLAIN" with nothing behind it is not the keyword —
+			// it derives as a plain query and fails later at planning.
+			name: "bare explain word is a query",
+			line: `{"sql":"EXPLAIN   "}`,
+			want: Request{Op: OpQuery, SQL: "EXPLAIN"},
+		},
+		{name: "negative tenant", line: `{"tenant":-1,"sql":"SELECT 1"}`, errSub: "negative tenant"},
+		{name: "negative deadline", line: `{"sql":"SELECT 1","deadline_ms":-5}`, errSub: "negative deadline"},
+		{name: "interleaved frames", line: `{"sql":"SELECT 1"}{"sql":"SELECT 2"}`, errSub: "trailing data"},
+		{name: "wrong type", line: `{"tenant":"zero","sql":"SELECT 1"}`, errSub: "protocol error"},
+		{name: "json array", line: `[1,2,3]`, errSub: "protocol error"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseRequest([]byte(tc.line))
+			if tc.errSub != "" {
+				if err == nil {
+					t.Fatalf("parsed %q as %+v, want error containing %q", tc.line, got, tc.errSub)
+				}
+				if !errors.Is(err, ErrProtocol) {
+					t.Fatalf("error %v does not wrap ErrProtocol", err)
+				}
+				if !strings.Contains(err.Error(), tc.errSub) {
+					t.Fatalf("error %q does not contain %q", err, tc.errSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseRequest(%q): %v", tc.line, err)
+			}
+			if got.ID != tc.want.ID || got.Op != tc.want.Op || got.SQL != tc.want.SQL || got.DeadlineMS != tc.want.DeadlineMS {
+				t.Fatalf("got %+v, want %+v", got, tc.want)
+			}
+			switch {
+			case tc.want.Tenant == nil:
+				if got.Tenant != nil {
+					t.Fatalf("tenant = %d, want unset", *got.Tenant)
+				}
+			case got.Tenant == nil || *got.Tenant != *tc.want.Tenant:
+				t.Fatalf("tenant = %v, want %d", got.Tenant, *tc.want.Tenant)
+			}
+		})
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	// Small bufio buffer forces the ErrBufferFull accumulation path.
+	read := func(input string, max int) ([]byte, error) {
+		return readFrame(bufio.NewReaderSize(strings.NewReader(input), 16), max)
+	}
+
+	if got, err := read("{\"sql\":\"SELECT 1\"}\n", 64); err != nil || string(got) != `{"sql":"SELECT 1"}` {
+		t.Fatalf("simple frame: %q, %v", got, err)
+	}
+	if got, err := read("\n  \r\n{\"op\":\"stats\"}\n", 64); err != nil || string(got) != `{"op":"stats"}` {
+		t.Fatalf("blank lines not skipped: %q, %v", got, err)
+	}
+	// A frame of exactly max bytes passes; max+1 is rejected.
+	exact := strings.Repeat("x", 32)
+	if got, err := read(exact+"\n", 32); err != nil || string(got) != exact {
+		t.Fatalf("max-length frame: %q, %v", got, err)
+	}
+	if _, err := read(strings.Repeat("x", 33)+"\n", 32); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("oversized frame returned %v, want ErrLineTooLong", err)
+	}
+	if !errors.Is(ErrLineTooLong, ErrProtocol) {
+		t.Fatal("ErrLineTooLong must wrap ErrProtocol")
+	}
+	// An endless line (no newline in sight) is cut off at the cap, not
+	// accumulated.
+	if _, err := read(strings.Repeat("y", 4096), 32); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("unterminated flood returned %v, want ErrLineTooLong", err)
+	}
+	// A mid-statement disconnect (partial line, then EOF) is dropped.
+	if _, err := read(`{"sql":"SELECT`, 64); err != io.EOF {
+		t.Fatalf("partial line at EOF returned %v, want io.EOF", err)
+	}
+	// ...even after a complete frame was read first.
+	br := bufio.NewReaderSize(strings.NewReader("{\"op\":\"stats\"}\n{\"sql\":\"SEL"), 16)
+	if got, err := readFrame(br, 64); err != nil || string(got) != `{"op":"stats"}` {
+		t.Fatalf("first frame: %q, %v", got, err)
+	}
+	if _, err := readFrame(br, 64); err != io.EOF {
+		t.Fatalf("trailing partial frame returned %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []string{`{"sql":"SELECT 1"}`, `{"op":"stats"}`, `{"op":"hello"}`}
+	for _, f := range frames {
+		buf.WriteString(f)
+		buf.WriteByte('\n')
+	}
+	br := bufio.NewReaderSize(&buf, 16)
+	for i, want := range frames {
+		got, err := readFrame(br, DefaultMaxLineBytes)
+		if err != nil || string(got) != want {
+			t.Fatalf("frame %d: %q, %v (want %q)", i, got, err, want)
+		}
+	}
+	if _, err := readFrame(br, DefaultMaxLineBytes); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,458 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/segcache"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/sql"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Config assembles a server: the dataset it serves, the execution
+// engine settings every session inherits, and the admission policy.
+type Config struct {
+	// Dataset is the generated (and possibly re-encoded) database every
+	// tenant queries. Required.
+	Dataset *workload.Dataset
+	// Mode selects the execution engine (default ModeSkipper).
+	Mode skipper.Mode
+	// CacheObjects is the MJoin buffer capacity in objects (skipper
+	// mode; default 10).
+	CacheObjects int
+	// SegCacheObjects is each tenant's persistent segment-cache budget
+	// in nominal 1 GB objects (0 = no cache). The cache outlives
+	// sessions: every connection of a tenant shares one instance, so a
+	// dashboard reconnecting re-hits the bytes its last session pulled.
+	SegCacheObjects int
+	// Prune toggles zone-map/Bloom data skipping (default true via
+	// NewConfig; the zero value of this struct disables it).
+	Prune bool
+	// Pipeline, when non-nil, enables the PR 6 async pipeline (prefetch
+	// + decode workers) for every query run.
+	Pipeline *skipper.PipelineConfig
+	// MaxTenants bounds acceptable tenant ids to [0, MaxTenants).
+	// Default 8.
+	MaxTenants int
+	// Admission sizes the admission controller.
+	Admission AdmissionConfig
+	// DefaultDeadline bounds queries that do not carry their own
+	// deadline_ms (0 = unbounded).
+	DefaultDeadline time.Duration
+	// MaxLineBytes bounds one request frame (default 1 MiB).
+	MaxLineBytes int
+}
+
+// NewConfig returns a Config with the serving defaults filled in for
+// the given dataset.
+func NewConfig(ds *workload.Dataset) Config {
+	return Config{
+		Dataset:      ds,
+		Mode:         skipper.ModeSkipper,
+		CacheObjects: 10,
+		Prune:        true,
+		MaxTenants:   8,
+	}
+}
+
+// tenantState is the server's per-tenant serving state: admission
+// counters, the latency sketch behind the STATS percentiles, and the
+// session-persistent segment cache.
+type tenantState struct {
+	counters metrics.AdmissionCounters
+	latency  metrics.LatencySketch
+	cache    *segcache.Cache // nil when SegCacheObjects is 0
+}
+
+// Server is the long-lived serving front end. Construct with New,
+// start with Start, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	planner *sql.Planner
+	store   map[segment.ObjectID]*segment.Segment
+	adm     *Admission
+
+	base   context.Context // canceled on Shutdown: aborts queued and running queries
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	tenants map[int]*tenantState
+	closed  bool
+
+	wg sync.WaitGroup // accept loop + connection handlers
+}
+
+// New builds a server over the dataset. The dataset's store is shared
+// read-only across every concurrent query run (segments are immutable).
+func New(cfg Config) (*Server, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("server: config has no dataset")
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 8
+	}
+	if cfg.CacheObjects <= 0 {
+		cfg.CacheObjects = 10
+	}
+	if cfg.MaxLineBytes <= 0 {
+		cfg.MaxLineBytes = DefaultMaxLineBytes
+	}
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		planner: &sql.Planner{Catalog: cfg.Dataset.Catalog},
+		store:   cfg.Dataset.Store,
+		adm:     NewAdmission(cfg.Admission),
+		base:    base,
+		cancel:  cancel,
+		conns:   make(map[net.Conn]struct{}),
+		tenants: make(map[int]*tenantState),
+	}, nil
+}
+
+// Admission exposes the server's admission controller (read-only use:
+// occupancy and resolved configuration).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Start listens on addr ("host:port", ":0" for an ephemeral port) and
+// serves connections until Shutdown. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown stops accepting, waits for in-flight sessions to drain, and
+// — once ctx expires — cancels running queries and force-closes
+// connections. It returns nil on a clean drain, the ctx error when
+// force-closing was needed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var dirty error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		dirty = ctx.Err()
+		s.cancel() // abort queued and executing queries
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close() // unblock handlers waiting in Read
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.cancel()
+	return dirty
+}
+
+// session is one connection's state, touched only by its handler
+// goroutine. The tenant binds on the first frame that names one (or to
+// tenant 0 on the first query without).
+type session struct {
+	tenant int // -1 until bound
+}
+
+// handleConn runs one session: read frame, dispatch, write response.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sess := &session{tenant: -1}
+	br := bufio.NewReader(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		line, err := readFrame(br, s.cfg.MaxLineBytes)
+		if err != nil {
+			if errors.Is(err, ErrLineTooLong) {
+				// Framing is lost; answer once and hang up.
+				enc.Encode(errorResponse("", sess.tenant, CodeProtocol, err))
+			}
+			return // EOF, peer reset, or force-close
+		}
+		resp := s.dispatch(sess, line)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch routes one parsed frame. Protocol errors answer with a typed
+// frame but keep the session alive: the peer's framing is intact (the
+// line terminated), only its content was bad.
+func (s *Server) dispatch(sess *session, line []byte) *Response {
+	req, err := ParseRequest(line)
+	if err != nil {
+		return errorResponse("", sess.tenant, CodeProtocol, err)
+	}
+	if req.Tenant != nil {
+		t := *req.Tenant
+		if t >= s.cfg.MaxTenants {
+			return errorResponse(req.ID, sess.tenant, CodeTenant,
+				fmt.Errorf("tenant %d out of range [0,%d)", t, s.cfg.MaxTenants))
+		}
+		if sess.tenant >= 0 && sess.tenant != t {
+			return errorResponse(req.ID, sess.tenant, CodeTenant,
+				fmt.Errorf("session is bound to tenant %d; reconnect to switch to %d", sess.tenant, t))
+		}
+		sess.tenant = t
+	}
+	switch req.Op {
+	case OpHello:
+		if sess.tenant < 0 {
+			sess.tenant = 0
+		}
+		return &Response{ID: req.ID, Type: "hello", Tenant: sess.tenant}
+	case OpStats:
+		return s.statsResponse(req.ID, sess.tenant)
+	case OpExplain:
+		if sess.tenant < 0 {
+			sess.tenant = 0
+		}
+		return s.explain(req, sess.tenant)
+	default: // OpQuery
+		if sess.tenant < 0 {
+			sess.tenant = 0
+		}
+		return s.runQuery(req, sess.tenant)
+	}
+}
+
+// tenantState returns (creating on first use) a tenant's serving state.
+func (s *Server) tenantState(tenant int) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[tenant]
+	if !ok {
+		ts = &tenantState{}
+		if s.cfg.SegCacheObjects > 0 {
+			ts.cache = segcache.NewObjects(s.cfg.SegCacheObjects)
+		}
+		s.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// runQuery is the serving path: plan, admit, execute, account.
+func (s *Server) runQuery(req *Request, tenant int) *Response {
+	ts := s.tenantState(tenant)
+	spec, err := s.planner.Plan(req.SQL)
+	if err != nil {
+		return errorResponse(req.ID, tenant, CodePlan, err)
+	}
+	ctx := s.base
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	release, wait, err := s.adm.Acquire(ctx, tenant)
+	if wait > 0 {
+		ts.counters.Queued.Add(1)
+		ts.counters.AddQueueWait(wait)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			ts.counters.Rejected.Add(1)
+			return errorResponse(req.ID, tenant, CodeOverloaded, err)
+		default:
+			ts.counters.Expired.Add(1)
+			return errorResponse(req.ID, tenant, ctxCode(err), err)
+		}
+	}
+	defer release()
+	ts.counters.Admitted.Add(1)
+	res, rows, err := s.execute(ctx, tenant, ts, spec)
+	elapsed := time.Since(start)
+	ts.latency.Record(elapsed)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ts.counters.Expired.Add(1)
+			return errorResponse(req.ID, tenant, ctxCode(err), err)
+		}
+		ts.counters.Failed.Add(1)
+		return errorResponse(req.ID, tenant, CodeExec, err)
+	}
+	ts.counters.Completed.Add(1)
+	cs := res.Clients[0]
+	rendered := make([]string, len(rows))
+	for i, r := range rows {
+		rendered[i] = r.String()
+	}
+	return &Response{
+		ID: req.ID, Type: "result", Tenant: tenant,
+		Rows: rendered, RowCount: len(rows),
+		VirtualUS: durUS(cs.Elapsed()),
+		WallUS:    durUS(elapsed),
+		QueueUS:   durUS(wait),
+		Gets:      cs.GetsIssued,
+		CacheHits: cs.CacheHits,
+		Pruned:    cs.SegmentsSkipped,
+	}
+}
+
+// execute runs one admitted query as a single-client cluster over the
+// server's shared store, wired to the tenant's persistent segment cache
+// and the configured pipeline. ctx bounds the run in real time.
+func (s *Server) execute(ctx context.Context, tenant int, ts *tenantState, spec skipper.QuerySpec) (*skipper.RunResult, []tuple.Row, error) {
+	prune := s.cfg.Prune
+	client := &skipper.Client{
+		Tenant:       tenant,
+		Mode:         s.cfg.Mode,
+		Catalog:      s.cfg.Dataset.Catalog,
+		Queries:      []skipper.QuerySpec{spec},
+		CacheObjects: s.cfg.CacheObjects,
+		StatsPruning: &prune,
+		SegCache:     ts.cache,
+		Pipeline:     s.cfg.Pipeline,
+		KeepResults:  true,
+		Ctx:          ctx,
+	}
+	res, err := (&skipper.Cluster{Clients: []*skipper.Client{client}, Store: s.store}).Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Clients[0].PerQuery[0].Results, nil
+}
+
+// explain plans the statement and renders the pull-engine operator tree
+// with the data-skipping and cache-residency summary — the skipperql
+// EXPLAIN view over the wire.
+func (s *Server) explain(req *Request, tenant int) *Response {
+	spec, err := s.planner.Plan(req.SQL)
+	if err != nil {
+		return errorResponse(req.ID, tenant, CodePlan, err)
+	}
+	it, err := skipper.BuildPullPlanPruned(engine.NewTestCtx(s.store), spec.Join, s.cfg.Prune)
+	if err != nil {
+		return errorResponse(req.ID, tenant, CodePlan, err)
+	}
+	if spec.Shape != nil {
+		it = spec.Shape(it)
+	}
+	plan := engine.Explain(it)
+	total, skipped, resident, fetches := 0, 0, 0, 0
+	cache := s.tenantState(tenant).cache
+	for _, rel := range spec.Join.Relations {
+		total += len(rel.Table.Objects)
+		if s.cfg.Prune {
+			skipped += stats.CountSkipped(rel.Pruner, len(rel.Table.Objects))
+		}
+		for si, id := range rel.Table.Objects {
+			if s.cfg.Prune && rel.Pruner != nil && rel.Pruner.CanSkip(si) {
+				continue
+			}
+			fetches++
+			if cache != nil && cache.Contains(id) {
+				resident++
+			}
+		}
+	}
+	plan += fmt.Sprintf("-- data skipping: %d of %d segment fetches pruned\n", skipped, total)
+	if cache != nil {
+		plan += fmt.Sprintf("-- segcache: %d of %d unpruned segment fetches cache-resident\n", resident, fetches)
+	}
+	return &Response{ID: req.ID, Type: "explain", Tenant: tenant, Plan: plan}
+}
+
+// statsResponse snapshots the serving metrics for the STATS verb.
+func (s *Server) statsResponse(id string, tenant int) *Response {
+	if tenant < 0 {
+		tenant = 0
+	}
+	inflight, queued := s.adm.Occupancy()
+	snap := &StatsSnapshot{
+		Inflight: inflight,
+		Queued:   queued,
+		Tenants:  make(map[int]TenantSnapshot),
+	}
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.tenants))
+	states := make(map[int]*tenantState, len(s.tenants))
+	for t, ts := range s.tenants {
+		ids = append(ids, t)
+		states[t] = ts
+	}
+	s.mu.Unlock()
+	sort.Ints(ids)
+	for _, t := range ids {
+		ts := states[t]
+		adm := ts.counters.Snapshot()
+		snap.Tenants[t] = TenantSnapshot{Admission: adm, Latency: ts.latency.Snapshot()}
+		snap.Total = snap.Total.Add(adm)
+	}
+	return &Response{ID: id, Type: "stats", Tenant: tenant, Stats: snap}
+}
+
+// ctxCode maps a context error to its wire code.
+func ctxCode(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CodeDeadline
+	}
+	return CodeCanceled
+}

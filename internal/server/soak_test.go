@@ -1,0 +1,180 @@
+// Concurrent-clients soak: N goroutine clients across M tenants hammer
+// one server over real sockets. Every result must be byte-identical to
+// a single-shot run of the same statement, the per-tenant admit counts
+// must match the offered load exactly (fair admission loses nothing
+// under saturation), shutdown must drain every goroutine, and the
+// tenant caches must end unpinned. Runs under CI's -race job — the
+// whole serving stack (sessions, admission, shared store, per-tenant
+// caches, pipeline workers) is exercised concurrently.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// soakQueries are deterministic (ORDER BY or global-aggregate)
+// statements so byte comparison needs no canonicalization.
+var soakQueries = []string{
+	"SELECT n_name, r_name FROM nation, region WHERE n_regionkey = r_regionkey ORDER BY n_name LIMIT 8",
+	"SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 1000.0 ORDER BY o_orderkey",
+	"SELECT l_shipmode, COUNT(*) AS n, SUM(l_quantity) AS q FROM lineitem, orders WHERE l_orderkey = o_orderkey GROUP BY l_shipmode ORDER BY l_shipmode",
+	"SELECT COUNT(*) AS n, MIN(l_quantity) AS lo, MAX(l_quantity) AS hi FROM lineitem",
+}
+
+func TestServerSoakConcurrentClients(t *testing.T) {
+	const (
+		tenants        = 3
+		connsPerTenant = 2
+		passes         = 3
+	)
+	baseline := runtime.NumGoroutine()
+
+	cfg := servingConfig(t)
+	// Tight slots against 6 closed-loop clients: queries genuinely queue
+	// and tenants genuinely compete, with queue room for every client.
+	cfg.Admission = AdmissionConfig{Slots: 2, TenantSlots: 1, QueueDepth: 16}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-shot oracle per statement, computed before any load.
+	oracle := make(map[string]string, len(soakQueries))
+	for _, q := range soakQueries {
+		oracle[q] = strings.Join(directRows(t, s, q), "\n")
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*connsPerTenant)
+	for tn := 0; tn < tenants; tn++ {
+		for cn := 0; cn < connsPerTenant; cn++ {
+			wg.Add(1)
+			go func(tn, cn int) {
+				defer wg.Done()
+				errs <- soakClient(addr.String(), tn, cn, passes, oracle)
+			}(tn, cn)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Fairness under saturation: closed-loop clients offered identical
+	// load, so fair admission must complete every tenant's share exactly
+	// — no rejections, no expirations, no tenant starved.
+	perTenant := connsPerTenant * passes * len(soakQueries)
+	for tn := 0; tn < tenants; tn++ {
+		snap := s.tenantState(tn).counters.Snapshot()
+		if snap.Admitted != int64(perTenant) || snap.Completed != int64(perTenant) {
+			t.Errorf("tenant %d: admitted %d completed %d, want %d each", tn, snap.Admitted, snap.Completed, perTenant)
+		}
+		if snap.Rejected != 0 || snap.Expired != 0 || snap.Failed != 0 {
+			t.Errorf("tenant %d lost queries: %+v", tn, snap)
+		}
+		if snap.Queued == 0 {
+			t.Errorf("tenant %d never queued: the soak did not saturate admission", tn)
+		}
+		if lat := s.tenantState(tn).latency.Snapshot(); lat.Count != int64(perTenant) {
+			t.Errorf("tenant %d recorded %d latencies, want %d", tn, lat.Count, perTenant)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown was not clean: %v", err)
+	}
+	for tn := 0; tn < tenants; tn++ {
+		if st := s.tenantState(tn).cache.Stats(); st.PinnedBytes != 0 {
+			t.Errorf("tenant %d: %d bytes pinned after shutdown", tn, st.PinnedBytes)
+		}
+	}
+	requireSettle(t, baseline)
+}
+
+// soakClient is one closed-loop session: bind the tenant, run the
+// statement mix for `passes` rounds, verify every frame against the
+// oracle. Plain error returns — it runs on a goroutine where t.Fatalf
+// is off-limits.
+func soakClient(addr string, tn, cn, passes int, oracle map[string]string) error {
+	conn, err := dialRaw(addr)
+	if err != nil {
+		return fmt.Errorf("client t%d/c%d: %w", tn, cn, err)
+	}
+	defer conn.conn.Close()
+	resp, err := conn.roundTripErr(Request{Op: OpHello, Tenant: &tn})
+	if err != nil {
+		return fmt.Errorf("client t%d/c%d hello: %w", tn, cn, err)
+	}
+	if resp.Type != "hello" || resp.Tenant != tn {
+		return fmt.Errorf("client t%d/c%d hello answered %+v", tn, cn, resp)
+	}
+	for pass := 0; pass < passes; pass++ {
+		// Offset the statement order per client so different statements
+		// contend at the same instant.
+		for i := range soakQueries {
+			q := soakQueries[(i+cn+pass)%len(soakQueries)]
+			id := fmt.Sprintf("t%d/c%d/p%d/q%d", tn, cn, pass, i)
+			resp, err := conn.roundTripErr(Request{ID: id, SQL: q})
+			if err != nil {
+				return fmt.Errorf("client %s: %w", id, err)
+			}
+			if resp.Type != "result" {
+				return fmt.Errorf("client %s: frame %+v", id, resp)
+			}
+			if resp.ID != id || resp.Tenant != tn {
+				return fmt.Errorf("client %s: misrouted frame id=%q tenant=%d", id, resp.ID, resp.Tenant)
+			}
+			if got := strings.Join(resp.Rows, "\n"); got != oracle[q] {
+				return fmt.Errorf("client %s: rows diverge from single-shot run\ngot:  %s\nwant: %s", id, got, oracle[q])
+			}
+		}
+	}
+	return nil
+}
+
+// dialRaw is the non-fataling counterpart of dialServer for soak
+// goroutines.
+func dialRaw(addr string) (*wireClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &wireClient{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(bufio.NewReader(conn))}, nil
+}
+
+// roundTripErr sends one frame and reads one response, with errors
+// returned instead of failing a testing.T.
+func (c *wireClient) roundTripErr(req Request) (*Response, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(60 * time.Second)); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("recv: %w", err)
+	}
+	return &resp, nil
+}

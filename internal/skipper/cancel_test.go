@@ -1,0 +1,107 @@
+// Context-cancellation suite: the serving layer threads per-query
+// deadlines into client runs via skipper.Client.Ctx, so a canceled or
+// deadline-expired workload must abort with an error wrapping the
+// context's error and drain exactly like the PR 6 fail-stop paths — no
+// deadlock, no leaked goroutines, no orphaned cache pins. Runs under
+// CI's -race job.
+package skipper_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/segcache"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/workload"
+)
+
+// runCanceled executes the 2-pass probe workload on one client bound to
+// ctx, with the full pipeline (prefetch + decode workers) and a shared
+// cache so every drain path is armed.
+func runCanceled(t *testing.T, ctx context.Context, mode skipper.Mode) (*skipper.RunResult, *segcache.Cache, error) {
+	t.Helper()
+	ds := sharedDataset(t, segment.FormatV2)
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	shared := segcache.NewObjects(len(ds.Catalog.AllObjects()))
+	cl := &skipper.Cluster{
+		Clients: []*skipper.Client{{
+			Tenant: 0, Mode: mode, Catalog: ds.Catalog,
+			Queries: workload.MultiPass(ds.Catalog, 2), CacheObjects: 6,
+			Pipeline: pipelineOn(), Ctx: ctx, KeepResults: true,
+		}},
+		Layout:      layout.RoundRobinObjects{NumGroups: 3},
+		Store:       store,
+		SharedCache: shared,
+	}
+	res, err := cl.Run()
+	return res, shared, err
+}
+
+// TestClientContextExpiredDrains: a context that is already expired
+// when the run starts must abort before any query executes, with an
+// error wrapping context.DeadlineExceeded, and leave no goroutines or
+// cache pins behind despite the armed prefetcher and decode pool.
+func TestClientContextExpiredDrains(t *testing.T) {
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			defer cancel()
+			_, shared, err := runCanceled(t, ctx, mode)
+			if err == nil {
+				t.Fatal("expired context did not abort the run")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+			}
+			if st := shared.Stats(); st.PinnedBytes != 0 {
+				t.Fatalf("aborted run left %d bytes pinned in the cache", st.PinnedBytes)
+			}
+			requireGoroutinesSettle(t, baseline)
+		})
+	}
+}
+
+// TestClientContextCancelMidRunDrains cancels the context from a timer
+// racing the workload. Whether the cancel lands before, during or after
+// the run, the invariants hold: an error, if any, wraps
+// context.Canceled; results, if any, are complete per query; and the
+// drain leaves no goroutines or cache pins.
+func TestClientContextCancelMidRunDrains(t *testing.T) {
+	for _, delay := range []time.Duration{0, 500 * time.Microsecond, 5 * time.Millisecond} {
+		t.Run(fmt.Sprint(delay), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			timer := time.AfterFunc(delay, cancel)
+			defer timer.Stop()
+			defer cancel()
+			_, shared, err := runCanceled(t, ctx, skipper.ModeSkipper)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			if st := shared.Stats(); st.PinnedBytes != 0 {
+				t.Fatalf("canceled run left %d bytes pinned in the cache", st.PinnedBytes)
+			}
+			requireGoroutinesSettle(t, baseline)
+		})
+	}
+}
+
+// TestClientNilContextUnchanged pins the default: a client without a
+// Ctx runs to completion exactly as before the field existed.
+func TestClientNilContextUnchanged(t *testing.T) {
+	res, _, err := runCanceled(t, nil, skipper.ModeSkipper)
+	if err != nil {
+		t.Fatalf("nil-context run failed: %v", err)
+	}
+	if got := len(res.Clients[0].PerQuery); got != 4 {
+		t.Fatalf("nil-context run executed %d of 4 queries", got)
+	}
+}

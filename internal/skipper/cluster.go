@@ -137,6 +137,7 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 	defer func() { c.stats.WallElapsed = time.Since(wallStart) }()
 	px := newProxy(sim, dev, c.Tenant, &c.stats)
 	px.proc = p
+	px.ctx = c.Ctx
 	if px.cache = c.SegCache; px.cache == nil {
 		px.cache = cl.SharedCache
 	}
@@ -154,6 +155,9 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 	clock := &chargingClock{proc: p, stats: &c.stats}
 	enqueued := 0
 	for qi, spec := range c.Queries {
+		if err := c.ctxErr(); err != nil {
+			return fmt.Errorf("skipper: tenant %d: workload canceled before query %s: %w", c.Tenant, spec.Name, err)
+		}
 		queryID := fmt.Sprintf("t%d.%s#%d", c.Tenant, spec.Name, qi)
 		px.query = queryID
 		if px.pf != nil {

@@ -7,6 +7,7 @@
 package skipper
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -203,6 +204,14 @@ type Client struct {
 	// storage timing (virtual), decode workers change wall-clock time
 	// (real) only.
 	Pipeline *PipelineConfig
+	// Ctx, when non-nil, bounds the client's execution in real time: once
+	// the context is canceled or its deadline passes, the workload aborts
+	// with an error wrapping ctx.Err() at the next query boundary or
+	// segment arrival. The serving layer threads per-query deadlines
+	// through here. Cancellation observes the usual cleanup: prefetchers
+	// are stopped, decode pools closed, and the device drained, exactly
+	// as on any other client error.
+	Ctx context.Context
 	// KeepResults retains every query's full result rows in the PerQuery
 	// records — the hook the differential harnesses use to compare runs
 	// byte for byte. Off by default: result sets can be large.
@@ -215,6 +224,14 @@ type Client struct {
 
 // Stats returns the client's record after the run.
 func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// ctxErr reports the client's cancellation state (nil without a Ctx).
+func (c *Client) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
 
 // statsPruningOn resolves the StatsPruning default.
 func (c *Client) statsPruningOn() bool { return c.StatsPruning == nil || *c.StatsPruning }
@@ -236,6 +253,11 @@ type proxy struct {
 	reply  *vtime.Chan[csd.Delivery]
 	proc   *vtime.Proc
 	query  string
+	// ctx, when non-nil, is the client's real-time cancellation signal:
+	// NextArrival fail-stops the query once it fires, so a canceled or
+	// deadline-expired query releases the engine at its next arrival
+	// instead of running the workload to completion.
+	ctx context.Context
 	// pf, when non-nil, is the client's prefetch daemon: demand requests
 	// consult its staged deliveries before touching the device, and cache
 	// hits on prefetched entries are attributed to it.
@@ -289,6 +311,11 @@ func (px *proxy) Request(objs []segment.ObjectID) {
 // NextArrival implements mjoin.Source: block until one object arrives,
 // recording the stall and admitting device deliveries into the cache.
 func (px *proxy) NextArrival() (*segment.Segment, error) {
+	if px.ctx != nil {
+		if err := px.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tenant %d: query canceled awaiting arrival: %w", px.tenant, err)
+		}
+	}
 	from := px.proc.Now()
 	d := px.reply.Recv(px.proc)
 	if to := px.proc.Now(); to > from {
