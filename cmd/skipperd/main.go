@@ -15,6 +15,13 @@
 // skipperql's exact format (40-row truncation, "(N rows)" footer,
 // diagnostics prefixed "-- "), so a scripted session can be diffed
 // against a skipperql run of the same statements.
+//
+// Observability: -metrics-addr starts an HTTP sidecar serving the
+// Prometheus exposition (/metrics) and runtime profiles (/debug/pprof);
+// -trace captures a span tree for every query (clients may instead opt
+// in per request with trace:true, and retrieve trees with TRACE <id>);
+// -trace-dir writes each completed trace as a Chrome trace-event JSON
+// file; -slow-query logs queries over a wall-time threshold to stderr.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -37,6 +45,7 @@ import (
 	"repro/internal/segment"
 	"repro/internal/server"
 	"repro/internal/skipper"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -69,6 +78,12 @@ func main() {
 	maxTenants := flag.Int("tenants", 8, "acceptable tenant ids: [0, N)")
 	deadline := flag.Duration("deadline", 0, "default per-query deadline (0 = unbounded); queries may override with deadline_ms")
 	maxLine := flag.Int("max-line", server.DefaultMaxLineBytes, "request frame size limit in bytes")
+
+	// Observability flags (serve mode).
+	metricsAddr := flag.String("metrics-addr", "", "HTTP sidecar address serving /metrics (Prometheus) and /debug/pprof (empty = off)")
+	traceAll := flag.Bool("trace", false, "capture a span tree for every query (clients can also opt in per request)")
+	traceDir := flag.String("trace-dir", "", "write every completed query trace as a Chrome trace-event JSON file into this directory")
+	slowQuery := flag.Duration("slow-query", 0, "log queries whose wall time (queue wait included) meets this threshold (0 = off)")
 
 	// Client / loadgen flags.
 	tenant := flag.Int("tenant", -1, "tenant to bind the session to (client/loadgen; -1 = server default)")
@@ -133,6 +148,14 @@ func main() {
 		},
 		DefaultDeadline: *deadline,
 		MaxLineBytes:    *maxLine,
+		Tracing:         *traceAll,
+		SlowQuery:       *slowQuery,
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatalf("trace-dir: %v", err)
+		}
+		cfg.TraceSink = chromeTraceSink(*traceDir)
 	}
 	s, err := server.New(cfg)
 	if err != nil {
@@ -147,6 +170,19 @@ func main() {
 		*wl, len(ds.Catalog.AllObjects()), wireFmt, mode, bound)
 	fmt.Printf("skipperd: admission %d in flight (%d per tenant), queue depth %d, tenants [0,%d)\n",
 		adm.Slots, adm.TenantSlots, adm.QueueDepth, *maxTenants)
+	if *metricsAddr != "" {
+		dbg, err := s.ServeDebug(*metricsAddr)
+		if err != nil {
+			fatalf("metrics-addr: %v", err)
+		}
+		fmt.Printf("skipperd: metrics and pprof on http://%s (/metrics, /debug/pprof)\n", dbg)
+	}
+	if *slowQuery > 0 {
+		fmt.Printf("skipperd: logging queries slower than %s to stderr\n", *slowQuery)
+	}
+	if *traceDir != "" {
+		fmt.Printf("skipperd: writing query traces to %s\n", *traceDir)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -164,6 +200,25 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "skipperd: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// chromeTraceSink writes each completed trace as <dir>/<trace-id>.json
+// in Chrome trace-event format. Trace ids contain no path separators
+// (t<tenant>-<seq>), and failures are reported, not fatal — tracing
+// must never take the server down.
+func chromeTraceSink(dir string) func(*trace.Export) {
+	return func(e *trace.Export) {
+		path := filepath.Join(dir, e.ID+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipperd: trace-dir: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := trace.WriteChrome(f, trace.ClockWall, e); err != nil {
+			fmt.Fprintf(os.Stderr, "skipperd: trace-dir: %s: %v\n", path, err)
+		}
+	}
 }
 
 // dial connects with retries so scripts can start the daemon and the
@@ -288,6 +343,14 @@ func printResponse(resp *server.Response) bool {
 		}
 		fmt.Println(string(out))
 		return true
+	case "trace":
+		if resp.Trace == nil {
+			fmt.Fprintln(os.Stderr, "skipperd: empty trace frame")
+			return false
+		}
+		fmt.Print(resp.Trace.Summary())
+		printSpanTree(resp.Trace)
+		return true
 	case "hello":
 		fmt.Printf("-- bound to tenant %d\n", resp.Tenant)
 		return true
@@ -298,6 +361,30 @@ func printResponse(resp *server.Response) bool {
 		fmt.Fprintf(os.Stderr, "skipperd: unexpected frame type %q\n", resp.Type)
 		return false
 	}
+}
+
+// printSpanTree renders a trace's spans as an indented tree in
+// recording order: wall bounds always, virtual bounds when the span
+// was stamped by the simulation.
+func printSpanTree(e *trace.Export) {
+	children := map[int][]trace.Span{}
+	for _, sp := range e.Spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	var walk func(parent, depth int)
+	walk = func(parent, depth int) {
+		for _, sp := range children[parent] {
+			line := fmt.Sprintf("%*s%s %s  wall %s..%s", 2*depth, "", sp.Cat, sp.Name,
+				sp.WallStart.Round(time.Microsecond), sp.WallEnd.Round(time.Microsecond))
+			if sp.HasVirt {
+				line += fmt.Sprintf("  virt %s..%s",
+					sp.VirtStart.Round(time.Millisecond), sp.VirtEnd.Round(time.Millisecond))
+			}
+			fmt.Println(line)
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 0)
 }
 
 // runLoadgen drives closed-loop load: `workers` connections (spread

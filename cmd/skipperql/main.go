@@ -8,6 +8,7 @@
 //
 //	skipperql [-workload tpch|ssb|mrbench|nref] [-sf N] [-engine skipper|vanilla|local]
 //	          [-cache N] [-segcache N] [-prune=false] [-format mem|v1|v2]
+//	          [-trace] [-trace-out FILE]
 //
 // Example session:
 //
@@ -20,6 +21,16 @@
 // columns the projection decodes; with an encoded store (-format v1/v2)
 // it also reports how many column-block bytes the plan would decode
 // versus skip.
+//
+// EXPLAIN ANALYZE executes the plan with per-operator instrumentation
+// armed and prints the tree annotated with measured rows, batches,
+// logical bytes and inclusive time per operator.
+//
+// -trace records the simulator's structured event log during each run
+// and prints its per-kind summary in the footer; -trace-out FILE
+// additionally captures a hierarchical span tree per statement and
+// writes the session's traces as a Chrome trace-event JSON file
+// (load in chrome://tracing or https://ui.perfetto.dev).
 //
 // -format selects the segment wire format the store serves: v2 (the
 // columnar default — scans decode only referenced column blocks), v1
@@ -48,9 +59,53 @@ import (
 	"repro/internal/skipper"
 	"repro/internal/sql"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
+
+// obs carries the session's observability knobs: the -trace event log
+// (per-statement simulator events, summarized in the run footer) and
+// the -trace-out span capture (accumulated across statements and
+// written as one Chrome trace-event file after each run).
+type obs struct {
+	traceLog bool
+	traceOut string
+	exports  []*trace.Export
+	seq      int
+}
+
+// capture starts a span capture for one statement when -trace-out is
+// set (nil otherwise — tracing-off runs record nothing).
+func (o *obs) capture(stmtText string) *trace.QueryTrace {
+	if o == nil || o.traceOut == "" {
+		return nil
+	}
+	o.seq++
+	return trace.NewQueryTrace(fmt.Sprintf("q%d", o.seq), 0, strings.TrimSpace(stmtText))
+}
+
+// flush archives a finished capture and rewrites the Chrome trace file
+// with everything captured so far, so the file is valid after every
+// statement.
+func (o *obs) flush(qt *trace.QueryTrace) {
+	if qt == nil {
+		return
+	}
+	o.exports = append(o.exports, qt.ExportTrace())
+	f, err := os.Create(o.traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipperql: trace-out: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, trace.ClockWall, o.exports...); err != nil {
+		fmt.Fprintf(os.Stderr, "skipperql: trace-out: %v\n", err)
+		return
+	}
+	e := o.exports[len(o.exports)-1]
+	fmt.Printf("-- trace: %d spans captured (chrome://tracing file %s)\n", len(e.Spans), o.traceOut)
+}
 
 func main() {
 	wl := flag.String("workload", "tpch", "dataset: tpch, ssb, mrbench, nref")
@@ -66,6 +121,8 @@ func main() {
 	decodeWorkers := flag.Int("decode-workers", 2, "background decode workers (with -pipeline)")
 	clustered := flag.Bool("clustered", false, "sort the TPC-H date columns before segmenting (makes date predicates prunable)")
 	command := flag.String("c", "", "run one statement and exit")
+	traceFlag := flag.Bool("trace", false, "record simulator trace events and print a per-statement summary")
+	traceOut := flag.String("trace-out", "", "capture per-statement span trees and write a Chrome trace-event JSON file")
 	flag.Parse()
 
 	var ds *workload.Dataset
@@ -116,8 +173,9 @@ func main() {
 	}
 
 	planner := &sql.Planner{Catalog: ds.Catalog}
+	ob := &obs{traceLog: *traceFlag, traceOut: *traceOut}
 	if *command != "" {
-		execute(planner, ds, *engineName, *cache, *prune, sc, pc, *command)
+		execute(planner, ds, *engineName, *cache, *prune, sc, pc, ob, *command)
 		return
 	}
 
@@ -148,7 +206,7 @@ func main() {
 		}
 		stmtText := buf.String()
 		buf.Reset()
-		execute(planner, ds, *engineName, *cache, *prune, sc, pc, stmtText)
+		execute(planner, ds, *engineName, *cache, *prune, sc, pc, ob, stmtText)
 		fmt.Print("> ")
 	}
 }
@@ -171,8 +229,12 @@ func describe(ds *workload.Dataset, table string) {
 	}
 }
 
-func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, sc *segcache.Cache, pc *skipper.PipelineConfig, stmtText string) {
-	if rest, ok := stripExplain(stmtText); ok {
+func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, sc *segcache.Cache, pc *skipper.PipelineConfig, ob *obs, stmtText string) {
+	if rest, analyze, ok := sql.StripExplain(stmtText); ok {
+		if analyze {
+			explainAnalyzeStmt(planner, ds, prune, rest)
+			return
+		}
 		explainStmt(planner, ds, prune, sc, pc, rest)
 		return
 	}
@@ -196,14 +258,22 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 	}
 	store := make(map[segment.ObjectID]*segment.Segment)
 	ds.MergeInto(store)
+	qt := ob.capture(stmtText)
 	client := &skipper.Client{
 		Tenant: 0, Mode: mode, Catalog: ds.Catalog,
 		Queries: []skipper.QuerySpec{spec}, CacheObjects: cache,
 		StatsPruning: &prune,
 		SegCache:     sc,
 		Pipeline:     pc,
+		QTrace:       qt,
 	}
-	res, err := (&skipper.Cluster{Clients: []*skipper.Client{client}, Store: store}).Run()
+	cluster := &skipper.Cluster{Clients: []*skipper.Client{client}, Store: store}
+	var tl *trace.Log
+	if ob != nil && ob.traceLog {
+		tl = &trace.Log{}
+		cluster.Events = tl
+	}
+	res, err := cluster.Run()
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -237,23 +307,45 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 			pb.Hidden.Round(time.Microsecond), 100*pb.OverlapRatio(),
 			cs.WallElapsed.Round(time.Microsecond))
 	}
+	if tl != nil {
+		fmt.Print("-- trace summary:\n")
+		fmt.Print(tl.Summary())
+	}
+	ob.flush(qt)
+}
+
+// explainAnalyzeStmt executes the pull plan with per-operator
+// instrumentation armed and prints the tree annotated with measured
+// rows/batches/bytes/time — EXPLAIN shows what the planner intends,
+// EXPLAIN ANALYZE what actually flowed.
+func explainAnalyzeStmt(planner *sql.Planner, ds *workload.Dataset, prune bool, stmtText string) {
+	spec, err := planner.Plan(stmtText)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	it, err := skipper.BuildPullPlanPruned(engine.NewTestCtx(ds.Store), spec.Join, prune)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if spec.Shape != nil {
+		it = spec.Shape(it)
+	}
+	engine.EnableAnalyze(it)
+	start := time.Now()
+	rows, err := engine.Collect(it)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(engine.ExplainAnalyze(it))
+	fmt.Printf("-- executed: %d rows in %s\n", len(rows), elapsed.Round(time.Microsecond))
 }
 
 // gb renders a byte count as gigabytes.
 func gb(b int64) string { return fmt.Sprintf("%.0f GB", float64(b)/1e9) }
-
-// stripExplain recognizes a leading EXPLAIN keyword and returns the
-// statement behind it.
-func stripExplain(stmtText string) (string, bool) {
-	trimmed := strings.TrimSpace(stmtText)
-	if len(trimmed) < 8 || !strings.EqualFold(trimmed[:7], "EXPLAIN") {
-		return "", false
-	}
-	if c := trimmed[7]; c != ' ' && c != '\t' && c != '\n' && c != '\r' {
-		return "", false
-	}
-	return trimmed[8:], true
-}
 
 // explainStmt plans the statement and prints the pull-engine operator
 // tree, with per-scan data-skipping detail (pushed-down predicate,

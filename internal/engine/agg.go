@@ -68,9 +68,10 @@ type HashAgg struct {
 	schema *tuple.Schema
 	dop    int
 
-	out []tuple.Row
-	idx int
-	ob  *tuple.Batch
+	out    []tuple.Row
+	idx    int
+	ob     *tuple.Batch
+	ostats *OpStats
 }
 
 // NewHashAgg builds a grouped aggregation. With no group columns it
@@ -312,6 +313,13 @@ func (a *HashAgg) Next() (tuple.Row, bool, error) {
 
 // NextBatch implements BatchIterator, sharing the row cursor with Next.
 func (a *HashAgg) NextBatch() (*tuple.Batch, bool, error) {
+	if a.ostats != nil {
+		return timedBatch(a.ostats, a.nextBatch)
+	}
+	return a.nextBatch()
+}
+
+func (a *HashAgg) nextBatch() (*tuple.Batch, bool, error) {
 	return serveRowSlice(&a.ob, a.schema, a.out, &a.idx)
 }
 

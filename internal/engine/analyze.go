@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// EXPLAIN ANALYZE support: every operator carries a nil-by-default
+// *OpStats pointer; with it nil (the always-on default) NextBatch pays
+// one predictable branch and nothing else — no time.Now calls, no
+// allocations. EnableAnalyze walks a built plan and arms each operator;
+// ExplainAnalyze renders the plan with the measured per-operator
+// rows/batches/bytes/time after the plan has been drained.
+//
+// Per-operator time is inclusive of children (each NextBatch call spans
+// the child pulls it makes), matching what PostgreSQL's EXPLAIN ANALYZE
+// reports as total time. Analyzed plans must run serially: OpStats has
+// no lock, so a morsel-parallel drain of an armed plan would race.
+
+// OpStats accumulates one operator's EXPLAIN ANALYZE measurements.
+type OpStats struct {
+	// Batches and Rows count the operator's output.
+	Batches int64
+	Rows    int64
+	// Bytes is the logical size of the output values (8 bytes per
+	// numeric, string payload length for strings).
+	Bytes int64
+	// Time is total time spent inside NextBatch, inclusive of children.
+	Time time.Duration
+}
+
+// observe folds one NextBatch call into the stats.
+func (o *OpStats) observe(d time.Duration, b *tuple.Batch, ok bool) {
+	o.Time += d
+	if !ok || b == nil {
+		return
+	}
+	o.Batches++
+	o.Rows += int64(b.Len())
+	o.Bytes += batchLogicalBytes(b)
+}
+
+// batchLogicalBytes estimates the logical payload size of a batch.
+func batchLogicalBytes(b *tuple.Batch) int64 {
+	var total int64
+	sc := b.Schema()
+	for c := 0; c < sc.Len(); c++ {
+		col := b.Col(c)
+		if sc.Cols[c].Kind == tuple.KindString {
+			for _, v := range col {
+				total += int64(len(v.S))
+			}
+		} else {
+			total += 8 * int64(len(col))
+		}
+	}
+	return total
+}
+
+// timedBatch runs one armed NextBatch call and records it. Only the
+// analyze path reaches here, so the method-value allocation for fn is
+// never paid when analysis is off.
+func timedBatch(st *OpStats, fn func() (*tuple.Batch, bool, error)) (*tuple.Batch, bool, error) {
+	t0 := time.Now()
+	b, ok, err := fn()
+	st.observe(time.Since(t0), b, ok)
+	return b, ok, err
+}
+
+// analyzable is implemented by every operator that can be armed for
+// EXPLAIN ANALYZE; it exposes the operator's stats slot.
+type analyzable interface {
+	opStats() **OpStats
+}
+
+func (s *SeqScan) opStats() **OpStats  { return &s.ostats }
+func (f *Filter) opStats() **OpStats   { return &f.ostats }
+func (pr *Project) opStats() **OpStats { return &pr.ostats }
+func (l *Limit) opStats() **OpStats    { return &l.ostats }
+func (d *Distinct) opStats() **OpStats { return &d.ostats }
+func (v *Values) opStats() **OpStats   { return &v.ostats }
+func (j *HashJoin) opStats() **OpStats { return &j.ostats }
+func (a *HashAgg) opStats() **OpStats  { return &a.ostats }
+func (s *Sort) opStats() **OpStats     { return &s.ostats }
+
+// EnableAnalyze arms every operator in the plan for measurement. The
+// armed plan must be drained serially (dop=1): OpStats is not locked.
+func EnableAnalyze(it Iterator) {
+	if a, ok := it.(analyzable); ok {
+		slot := a.opStats()
+		if *slot == nil {
+			*slot = &OpStats{}
+		}
+	}
+	if e, ok := it.(explainable); ok {
+		_, children := e.explain()
+		for _, c := range children {
+			EnableAnalyze(c)
+		}
+	}
+}
+
+// ExplainAnalyze renders the plan tree with per-operator measurements —
+// the EXPLAIN ANALYZE output. Operators that were never armed (or a
+// plan rendered before draining) show zeros.
+func ExplainAnalyze(it Iterator) string {
+	var sb strings.Builder
+	var walk func(it Iterator, depth int)
+	walk = func(it Iterator, depth int) {
+		indent := strings.Repeat("  ", depth)
+		label := fmt.Sprintf("%T", it)
+		var children []Iterator
+		if e, ok := it.(explainable); ok {
+			label, children = e.explain()
+		}
+		fmt.Fprintf(&sb, "%s-> %s", indent, label)
+		if a, ok := it.(analyzable); ok {
+			if st := *a.opStats(); st != nil {
+				fmt.Fprintf(&sb, "  (rows=%d batches=%d bytes=%d time=%s)",
+					st.Rows, st.Batches, st.Bytes, st.Time.Round(time.Microsecond))
+			}
+		}
+		sb.WriteByte('\n')
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	walk(it, 0)
+	return sb.String()
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/trace"
+	"repro/internal/tuple"
+)
+
+// analyzePlan builds scan -> filter(k>=3) -> limit(5) over a 10-row,
+// 4-segment table.
+func analyzePlan(t *testing.T) (Iterator, *Ctx) {
+	t.Helper()
+	tm, store := buildTable(t, "t", kvRows(10), 3)
+	ctx := NewTestCtx(store)
+	scan := NewSeqScan(ctx, tm)
+	f := NewFilter(scan, expr.ColGE(tm.Schema, "k", tuple.Int(3)))
+	return NewLimit(f, 5), ctx
+}
+
+func TestEnableAnalyzeMeasuresOperators(t *testing.T) {
+	plan, _ := analyzePlan(t)
+	EnableAnalyze(plan)
+	rows, err := Collect(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	out := ExplainAnalyze(plan)
+	for _, want := range []string{"Limit 5", "Filter", "SeqScan", "rows=5", "time="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainAnalyze missing %q:\n%s", want, out)
+		}
+	}
+	// The limit's output is 5 rows; the filter produced at least 5 (it
+	// feeds the limit) and the scan read whole segments.
+	lim, ok := plan.(*Limit)
+	if !ok {
+		t.Fatal("plan root is not Limit")
+	}
+	if lim.ostats.Rows != 5 || lim.ostats.Batches == 0 || lim.ostats.Time <= 0 {
+		t.Errorf("limit stats = %+v", *lim.ostats)
+	}
+	f := lim.child.(*Filter)
+	if f.ostats.Rows < 5 || f.ostats.Bytes <= 0 {
+		t.Errorf("filter stats = %+v", *f.ostats)
+	}
+	sc := f.child.(*SeqScan)
+	if sc.ostats.Rows < f.ostats.Rows {
+		t.Errorf("scan emitted fewer rows (%d) than filter (%d)", sc.ostats.Rows, f.ostats.Rows)
+	}
+}
+
+// Differential: rows must be byte-identical with analysis armed or not,
+// and an un-armed plan renders without stats annotations.
+func TestAnalyzeDoesNotChangeResults(t *testing.T) {
+	plain, _ := analyzePlan(t)
+	armed, _ := analyzePlan(t)
+	EnableAnalyze(armed)
+	r1, err1 := Collect(plain)
+	r2, err2 := Collect(armed)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("analyze changed results:\n%v\nvs\n%v", r1, r2)
+	}
+	if out := ExplainAnalyze(plain); strings.Contains(out, "rows=") {
+		t.Fatalf("un-armed plan rendered stats:\n%s", out)
+	}
+}
+
+func TestCtxTraceRecordsFetchDecodeSpans(t *testing.T) {
+	tm, store := buildTable(t, "t", kvRows(10), 3) // 4 segments
+	qt := trace.NewQueryTrace("q", 0, "")
+	ctx := NewTestCtx(store)
+	ctx.Trace = qt
+	if _, err := Collect(NewSeqScan(ctx, tm)); err != nil {
+		t.Fatal(err)
+	}
+	var fetches int
+	for _, sp := range qt.Spans() {
+		if sp.Cat == trace.CatFetch {
+			fetches++
+		}
+	}
+	if fetches != 4 {
+		t.Fatalf("recorded %d fetch spans, want 4 (one per segment)", fetches)
+	}
+}

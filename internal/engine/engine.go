@@ -14,6 +14,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/segment"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 )
 
@@ -102,6 +103,11 @@ type Ctx struct {
 	// virtual-time interleaving of fetch charges may shift (reads happen
 	// earlier) while per-segment totals are unchanged.
 	Pipe *Pipeline
+	// Trace, when non-nil, receives per-segment fetch and decode spans
+	// from the scans. Spans carry wall time only: the engine may be
+	// drained from decode workers that do not own a virtual-time proc.
+	// nil (the default) records nothing and costs one branch.
+	Trace *trace.QueryTrace
 }
 
 // NewTestCtx returns a context over an in-memory store with no costs.
@@ -192,6 +198,11 @@ type SeqScan struct {
 	ahead  []*scanAhead
 	freeCD []*segment.ColumnData
 	pstats PipeStats
+
+	ostats *OpStats
+	// tr, when non-nil, receives per-segment fetch/decode spans. Set via
+	// Ctx.Trace at construction; nil keeps the hot path span-free.
+	tr *trace.QueryTrace
 }
 
 // scanAhead is one read-ahead segment: fetched, with its decode (lazy
@@ -232,7 +243,7 @@ func (b *ScanBytes) add(o ScanBytes) {
 
 // NewSeqScan builds a sequential scan over the table.
 func NewSeqScan(ctx *Ctx, table *catalog.TableMeta) *SeqScan {
-	return &SeqScan{ctx: ctx, table: table}
+	return &SeqScan{ctx: ctx, table: table, tr: ctx.Trace}
 }
 
 // Schema implements Iterator.
@@ -297,6 +308,9 @@ func (s *SeqScan) loadSegment() (ok bool, err error) {
 		fetchStart := time.Now()
 		sg, err := s.ctx.Fetch.Fetch(s.table.Objects[s.segIdx])
 		s.pstats.FetchStall += time.Since(fetchStart)
+		if s.tr.Enabled() {
+			s.tr.Emit(trace.CatFetch, s.table.Objects[s.segIdx].String(), fetchStart)
+		}
 		if err != nil {
 			return false, err
 		}
@@ -304,6 +318,9 @@ func (s *SeqScan) loadSegment() (ok bool, err error) {
 		if sg.Lazy() {
 			start := time.Now()
 			cd, err := sg.DecodeColumns(s.table.Schema, s.Project, s.cd)
+			if s.tr.Enabled() {
+				s.tr.Emit(trace.CatDecode, s.table.Objects[s.segIdx-1].String(), start)
+			}
 			if err != nil {
 				return false, err
 			}
@@ -357,6 +374,9 @@ func (s *SeqScan) loadSegmentPipelined() (bool, error) {
 			fetchStart := time.Now()
 			sg, err := s.ctx.Fetch.Fetch(s.table.Objects[s.segIdx])
 			s.pstats.FetchStall += time.Since(fetchStart)
+			if s.tr.Enabled() {
+				s.tr.Emit(trace.CatFetch, s.table.Objects[s.segIdx].String(), fetchStart)
+			}
 			if err != nil {
 				return false, err
 			}
@@ -444,8 +464,18 @@ func (s *SeqScan) submitAhead(sg *segment.Segment) {
 		if n := len(s.freeCD); n > 0 {
 			reuse, s.freeCD = s.freeCD[n-1], s.freeCD[:n-1]
 		}
+		var name string
+		if s.tr.Enabled() {
+			name = sg.ID.String()
+		}
 		job.t = s.ctx.Pipe.Pool.Submit(func() {
+			t0 := time.Now()
 			job.cd, job.err = sg.DecodeColumns(s.table.Schema, s.Project, reuse)
+			// Recording from the pool worker is safe: QueryTrace is
+			// mutex-guarded, and the span carries wall time only.
+			if s.tr.Enabled() {
+				s.tr.Emit(trace.CatDecode, name, t0)
+			}
 		})
 	}
 	s.ahead = append(s.ahead, job)
@@ -478,6 +508,13 @@ func (s *SeqScan) Next() (tuple.Row, bool, error) {
 // boundary, so early termination (e.g. under a LIMIT) fetches exactly the
 // segments the row path would.
 func (s *SeqScan) NextBatch() (*tuple.Batch, bool, error) {
+	if s.ostats != nil {
+		return timedBatch(s.ostats, s.nextBatch)
+	}
+	return s.nextBatch()
+}
+
+func (s *SeqScan) nextBatch() (*tuple.Batch, bool, error) {
 	ok, err := s.loadSegment()
 	if !ok {
 		return nil, false, err

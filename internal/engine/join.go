@@ -58,6 +58,7 @@ type HashJoin struct {
 
 	out    *tuple.Batch
 	outBuf tuple.Row
+	ostats *OpStats
 	cur    rowCursor
 }
 
@@ -244,6 +245,13 @@ func (j *HashJoin) loadProbeRow(i int) {
 
 // NextBatch implements BatchIterator: emits up to a batch of joined rows.
 func (j *HashJoin) NextBatch() (*tuple.Batch, bool, error) {
+	if j.ostats != nil {
+		return timedBatch(j.ostats, j.nextBatch)
+	}
+	return j.nextBatch()
+}
+
+func (j *HashJoin) nextBatch() (*tuple.Batch, bool, error) {
 	if j.dop > 1 {
 		return j.nextBatchParallel()
 	}

@@ -18,6 +18,7 @@ type Filter struct {
 	out    *tuple.Batch
 	rowBuf tuple.Row
 	cur    rowCursor
+	ostats *OpStats
 }
 
 // NewFilter wraps child with predicate pred (bound to child's schema).
@@ -36,6 +37,13 @@ func (f *Filter) Open() error {
 
 // NextBatch implements BatchIterator.
 func (f *Filter) NextBatch() (*tuple.Batch, bool, error) {
+	if f.ostats != nil {
+		return timedBatch(f.ostats, f.nextBatch)
+	}
+	return f.nextBatch()
+}
+
+func (f *Filter) nextBatch() (*tuple.Batch, bool, error) {
 	if f.out == nil {
 		f.out = tuple.NewBatch(f.child.Schema(), DefaultBatchSize)
 	}
@@ -90,6 +98,7 @@ type Project struct {
 	rowBuf tuple.Row
 	outBuf tuple.Row
 	cur    rowCursor
+	ostats *OpStats
 }
 
 // NewProject builds a projection.
@@ -112,6 +121,13 @@ func (pr *Project) Open() error {
 
 // NextBatch implements BatchIterator.
 func (pr *Project) NextBatch() (*tuple.Batch, bool, error) {
+	if pr.ostats != nil {
+		return timedBatch(pr.ostats, pr.nextBatch)
+	}
+	return pr.nextBatch()
+}
+
+func (pr *Project) nextBatch() (*tuple.Batch, bool, error) {
 	in, ok, err := pr.bchild.NextBatch()
 	if err != nil || !ok {
 		return nil, false, err
@@ -154,8 +170,9 @@ type Limit struct {
 	n      int
 	seen   int
 
-	out *tuple.Batch
-	cur rowCursor
+	out    *tuple.Batch
+	cur    rowCursor
+	ostats *OpStats
 }
 
 // NewLimit wraps child with a row cap.
@@ -175,6 +192,13 @@ func (l *Limit) Open() error {
 
 // NextBatch implements BatchIterator.
 func (l *Limit) NextBatch() (*tuple.Batch, bool, error) {
+	if l.ostats != nil {
+		return timedBatch(l.ostats, l.nextBatch)
+	}
+	return l.nextBatch()
+}
+
+func (l *Limit) nextBatch() (*tuple.Batch, bool, error) {
 	if l.seen >= l.n {
 		return nil, false, nil
 	}
@@ -215,6 +239,7 @@ type Distinct struct {
 	out    *tuple.Batch
 	rowBuf tuple.Row
 	cur    rowCursor
+	ostats *OpStats
 }
 
 // NewDistinct wraps child with duplicate elimination.
@@ -234,6 +259,13 @@ func (d *Distinct) Open() error {
 
 // NextBatch implements BatchIterator.
 func (d *Distinct) NextBatch() (*tuple.Batch, bool, error) {
+	if d.ostats != nil {
+		return timedBatch(d.ostats, d.nextBatch)
+	}
+	return d.nextBatch()
+}
+
+func (d *Distinct) nextBatch() (*tuple.Batch, bool, error) {
 	if d.out == nil {
 		d.out = tuple.NewBatch(d.child.Schema(), DefaultBatchSize)
 	}
@@ -287,6 +319,7 @@ type Values struct {
 	rows   []tuple.Row
 	idx    int
 	out    *tuple.Batch
+	ostats *OpStats
 }
 
 // NewValues builds a constant relation.
@@ -312,6 +345,13 @@ func (v *Values) Next() (tuple.Row, bool, error) {
 
 // NextBatch implements BatchIterator.
 func (v *Values) NextBatch() (*tuple.Batch, bool, error) {
+	if v.ostats != nil {
+		return timedBatch(v.ostats, v.nextBatch)
+	}
+	return v.nextBatch()
+}
+
+func (v *Values) nextBatch() (*tuple.Batch, bool, error) {
 	return serveRowSlice(&v.out, v.schema, v.rows, &v.idx)
 }
 

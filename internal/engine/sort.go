@@ -22,9 +22,10 @@ type Sort struct {
 	bchild BatchIterator
 	keys   []SortKey
 
-	out []tuple.Row
-	idx int
-	ob  *tuple.Batch
+	out    []tuple.Row
+	idx    int
+	ob     *tuple.Batch
+	ostats *OpStats
 }
 
 // NewSort wraps child with an ORDER BY.
@@ -103,6 +104,13 @@ func (s *Sort) Next() (tuple.Row, bool, error) {
 
 // NextBatch implements BatchIterator, sharing the row cursor with Next.
 func (s *Sort) NextBatch() (*tuple.Batch, bool, error) {
+	if s.ostats != nil {
+		return timedBatch(s.ostats, s.nextBatch)
+	}
+	return s.nextBatch()
+}
+
+func (s *Sort) nextBatch() (*tuple.Batch, bool, error) {
 	return serveRowSlice(&s.ob, s.child.Schema(), s.out, &s.idx)
 }
 

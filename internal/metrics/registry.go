@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a small Prometheus-compatible metric registry built on
+// the primitives this package already has: counters bridge to values
+// the serving layer maintains anyway (AdmissionCounters, cache stats),
+// and histograms are LatencySketch instances exposed as Prometheus
+// summaries (quantile series + _sum/_count). The registry therefore
+// never double-counts — it reads the same state the STATS frame reports
+// — and registration is the only write path, so exposition is a pure
+// read.
+//
+// Families are exposed in registration order; series within a family in
+// label order. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindSummary
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   familyKind
+	series map[string]*series // keyed by rendered label set
+	order  []string
+}
+
+type series struct {
+	labels string // rendered `{k="v",...}` or ""
+	value  func() float64
+	sketch *LatencySketch
+	own    *atomic.Int64 // backing store for Counter-returned series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// summaryQuantiles are the quantile series a sketch-backed summary
+// exposes. 0.999 is included because tail latency is the whole point of
+// the admission controller.
+var summaryQuantiles = []float64{0.5, 0.95, 0.99, 0.999}
+
+// renderLabels renders a label set in sorted-key order with Prometheus
+// escaping. Returns "" for an empty set.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// withQuantile appends a quantile label to an already-rendered label
+// set.
+func withQuantile(rendered string, q float64) string {
+	qv := fmt.Sprintf(`quantile="%g"`, q)
+	if rendered == "" {
+		return "{" + qv + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + qv + "}"
+}
+
+// register finds or creates a family, enforcing kind consistency, and
+// adds one series under it. Re-registering the same (name, labels) pair
+// replaces the series, so idempotent wiring (e.g. tenant state
+// recreated on reconnect) is safe.
+func (r *Registry) register(name, help string, kind familyKind, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind, kind))
+	}
+	if _, exists := f.series[s.labels]; !exists {
+		f.order = append(f.order, s.labels)
+	}
+	f.series[s.labels] = s
+}
+
+// Counter is a registry-owned monotonic counter for events no existing
+// structure tracks (slow queries, traces dropped, scrapes served).
+type Counter struct{ v *atomic.Int64 }
+
+// Inc adds one. Add adds n (negative deltas are ignored — counters are
+// monotonic). Value returns the current count.
+func (c Counter) Inc() { c.v.Add(1) }
+func (c Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+func (c Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers and returns an owned counter series.
+func (r *Registry) Counter(name, help string, labels map[string]string) Counter {
+	v := new(atomic.Int64)
+	r.register(name, help, kindCounter, &series{
+		labels: renderLabels(labels),
+		value:  func() float64 { return float64(v.Load()) },
+		own:    v,
+	})
+	return Counter{v: v}
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge to counters the serving layer already maintains.
+// fn must be monotonically non-decreasing and safe to call concurrently.
+func (r *Registry) CounterFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.register(name, help, kindCounter, &series{labels: renderLabels(labels), value: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.register(name, help, kindGauge, &series{labels: renderLabels(labels), value: fn})
+}
+
+// Summary registers a LatencySketch as a Prometheus summary: one
+// quantile series per entry of summaryQuantiles plus _sum and _count,
+// all in seconds. The sketch stays owned by the caller; the registry
+// snapshots it at scrape time.
+func (r *Registry) Summary(name, help string, labels map[string]string, sketch *LatencySketch) {
+	r.register(name, help, kindSummary, &series{labels: renderLabels(labels), sketch: sketch})
+}
+
+// seconds converts a duration to the float seconds Prometheus expects.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	// Snapshot the structure so value funcs and sketch snapshots run
+	// outside the registry lock (they take their own locks).
+	type snap struct {
+		f      *family
+		series []*series
+	}
+	snaps := make([]snap, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		ss := make([]*series, 0, len(f.order))
+		for _, key := range f.order {
+			ss = append(ss, f.series[key])
+		}
+		snaps = append(snaps, snap{f: f, series: ss})
+	}
+	r.mu.Unlock()
+
+	for _, sn := range snaps {
+		f := sn.f
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range sn.series {
+			if f.kind == kindSummary {
+				ls := s.sketch.Snapshot()
+				for _, q := range summaryQuantiles {
+					v := s.sketch.Quantile(q)
+					if _, err := fmt.Fprintf(w, "%s%s %g\n", f.name, withQuantile(s.labels, q), seconds(v)); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, s.labels, seconds(ls.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, ls.Count); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.value()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry over HTTP — the /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func expo(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRegistryCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("skipper_scrapes_total", "Scrapes served.", nil)
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	var backing int64 = 42
+	r.GaugeFunc("skipper_queue_depth", "Current depth.", map[string]string{"tenant": "1"},
+		func() float64 { return float64(backing) })
+
+	out := expo(t, r)
+	for _, want := range []string{
+		"# HELP skipper_scrapes_total Scrapes served.",
+		"# TYPE skipper_scrapes_total counter",
+		"skipper_scrapes_total 3",
+		"# TYPE skipper_queue_depth gauge",
+		`skipper_queue_depth{tenant="1"} 42`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 3 {
+		t.Errorf("counter value = %d, want 3", c.Value())
+	}
+}
+
+func TestRegistrySummaryFromSketch(t *testing.T) {
+	r := NewRegistry()
+	var sk LatencySketch
+	for i := 1; i <= 1000; i++ {
+		sk.Record(time.Duration(i) * time.Millisecond)
+	}
+	r.Summary("skipper_query_latency_seconds", "Query latency.", map[string]string{"tenant": "0"}, &sk)
+
+	out := expo(t, r)
+	if !strings.Contains(out, "# TYPE skipper_query_latency_seconds summary") {
+		t.Fatalf("missing summary TYPE line:\n%s", out)
+	}
+	for _, q := range []string{`quantile="0.5"`, `quantile="0.95"`, `quantile="0.99"`, `quantile="0.999"`} {
+		if !strings.Contains(out, q) {
+			t.Errorf("missing %s series:\n%s", q, out)
+		}
+	}
+	if !strings.Contains(out, `skipper_query_latency_seconds_count{tenant="0"} 1000`) {
+		t.Errorf("missing or wrong _count:\n%s", out)
+	}
+	if !strings.Contains(out, `skipper_query_latency_seconds_sum{tenant="0"} 500.5`) {
+		t.Errorf("missing or wrong _sum (1+..+1000 ms = 500.5 s):\n%s", out)
+	}
+}
+
+func TestRegistryLabelOrderingAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", "", map[string]string{"zeta": `va"l`, "alpha": "a\nb", "mid": `c\d`},
+		func() float64 { return 1 })
+	out := expo(t, r)
+	want := `g{alpha="a\nb",mid="c\\d",zeta="va\"l"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("label rendering:\ngot  %s\nwant line %s", out, want)
+	}
+}
+
+// Re-registering the same (name, labels) replaces the series rather
+// than duplicating it — tenant wiring must be idempotent.
+func TestRegistryReRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", "", nil, func() float64 { return 1 })
+	r.GaugeFunc("g", "", nil, func() float64 { return 2 })
+	out := expo(t, r)
+	var sampleLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "g ") {
+			sampleLines = append(sampleLines, line)
+		}
+	}
+	if len(sampleLines) != 1 || sampleLines[0] != "g 2" {
+		t.Fatalf("re-register should leave exactly one series with the new value, got %q in:\n%s", sampleLines, out)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("m", "", nil, func() float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds did not panic")
+		}
+	}()
+	r.CounterFunc("m", "", nil, func() float64 { return 1 })
+}
+
+// Scrapes must be safe while handlers register tenants and bump
+// counters — the sidecar serves /metrics during live traffic.
+func TestRegistryConcurrentScrapeAndRegister(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			label := map[string]string{"tenant": string(rune('a' + i%8))}
+			c := r.Counter("hits_total", "", label)
+			c.Inc()
+			var sk LatencySketch
+			sk.Record(time.Millisecond)
+			r.Summary("lat_seconds", "", label, &sk)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -107,7 +107,12 @@ func (s *LatencySketch) Count() int64 {
 // within SketchAccuracy relative error; exact at q=0 and q=1 (min and
 // max are tracked exactly). Sub-nanosecond and non-positive
 // observations are indistinguishable from 1 ns at interior quantiles
-// (they share bucket 0). An empty sketch returns 0.
+// (they share bucket 0).
+//
+// An empty sketch returns 0 for every q — including q=0 and q=1, where
+// min/max have never been set. Zero is the defined "no observations"
+// value, not a measurement: callers rendering quantiles should check
+// Count first if they need to distinguish "no data" from "0ns".
 func (s *LatencySketch) Quantile(q float64) time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -195,6 +200,7 @@ type LatencySnapshot struct {
 	P50   time.Duration `json:"p50_ns"`
 	P95   time.Duration `json:"p95_ns"`
 	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
 }
 
 // Mean returns the exact mean latency (0 when empty).
@@ -207,9 +213,10 @@ func (l LatencySnapshot) Mean() time.Duration {
 
 // String renders the snapshot for logs and reports.
 func (l LatencySnapshot) String() string {
-	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s p99.9=%s max=%s",
 		l.Count, l.Mean().Round(time.Microsecond), l.P50.Round(time.Microsecond),
-		l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+		l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond),
+		l.P999.Round(time.Microsecond), l.Max.Round(time.Microsecond))
 }
 
 // Snapshot digests the sketch under one lock acquisition.
@@ -224,5 +231,6 @@ func (s *LatencySketch) Snapshot() LatencySnapshot {
 		P50:   s.quantileLocked(0.50),
 		P95:   s.quantileLocked(0.95),
 		P99:   s.quantileLocked(0.99),
+		P999:  s.quantileLocked(0.999),
 	}
 }

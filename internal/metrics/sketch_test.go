@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -223,5 +224,110 @@ func TestAdmissionCounters(t *testing.T) {
 	total := snap.Add(AdmissionSnapshot{Admitted: 1, Rejected: 2})
 	if total.Admitted != 401 || total.Rejected != 2 {
 		t.Fatalf("Add = %+v", total)
+	}
+}
+
+// Regression for the empty-sketch Quantile contract: every q — the
+// interior, and the exactly-tracked endpoints q=0/q=1 where min/max
+// were never set — returns the defined "no observations" value 0.
+func TestSketchEmptyQuantileAllQ(t *testing.T) {
+	var s LatencySketch
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty sketch Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.P999 != 0 || snap.Min != 0 || snap.Max != 0 {
+		t.Errorf("empty snapshot not zero: %+v", snap)
+	}
+	if !strings.Contains(snap.String(), "p99.9=") {
+		t.Errorf("snapshot string missing p99.9 column: %s", snap.String())
+	}
+}
+
+// P999 must sit between P99 and Max and track the tail.
+func TestSketchP999(t *testing.T) {
+	var s LatencySketch
+	for i := 1; i <= 10000; i++ {
+		s.Record(time.Duration(i) * time.Microsecond)
+	}
+	snap := s.Snapshot()
+	if snap.P999 < snap.P99 || snap.P999 > snap.Max {
+		t.Fatalf("p99.9 out of order: p99=%v p99.9=%v max=%v", snap.P99, snap.P999, snap.Max)
+	}
+	exact := 9990 * time.Microsecond
+	if err := math.Abs(float64(snap.P999-exact)) / float64(exact); err > 2*SketchAccuracy {
+		t.Fatalf("p99.9 = %v, want ≈%v (rel err %.4f)", snap.P999, exact, err)
+	}
+}
+
+// AdmissionSnapshot under concurrent recorders: each field is loaded
+// atomically, so a snapshot taken mid-storm must never exceed the
+// totals written so far, and invariants that hold at every quiescent
+// point (admitted ≥ completed+failed counted *for admitted work*)
+// must hold after the storm settles.
+func TestAdmissionCountersConcurrentSnapshot(t *testing.T) {
+	var c AdmissionCounters
+	const workers, perWorker = 8, 1000
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot reader racing the writers: no torn/negative values, and
+	// counts never exceed the final totals.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := c.Snapshot()
+			for name, v := range map[string]int64{
+				"admitted": s.Admitted, "rejected": s.Rejected, "queued": s.Queued,
+				"expired": s.Expired, "completed": s.Completed, "failed": s.Failed,
+			} {
+				if v < 0 || v > workers*perWorker {
+					t.Errorf("snapshot %s = %d out of range", name, v)
+					return
+				}
+			}
+			if s.Completed > s.Admitted {
+				t.Errorf("snapshot shows %d completed > %d admitted", s.Completed, s.Admitted)
+				return
+			}
+			if s.QueueWait < 0 {
+				t.Errorf("negative queue wait %v", s.QueueWait)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				// Admit strictly before completing, so the reader's
+				// completed ≤ admitted invariant holds at every cut.
+				c.Admitted.Add(1)
+				c.AddQueueWait(time.Microsecond)
+				c.Completed.Add(1)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	s := c.Snapshot()
+	if s.Admitted != workers*perWorker || s.Completed != workers*perWorker {
+		t.Fatalf("final snapshot lost updates: %+v", s)
+	}
+	if s.QueueWait != time.Duration(workers*perWorker)*time.Microsecond {
+		t.Fatalf("queue wait = %v, want %v", s.QueueWait, time.Duration(workers*perWorker)*time.Microsecond)
+	}
+	sum := s.Add(s)
+	if sum.Admitted != 2*s.Admitted || sum.QueueWait != 2*s.QueueWait {
+		t.Fatalf("Add not field-wise: %+v", sum)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/segment"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 )
 
@@ -90,6 +91,10 @@ type Config struct {
 	// ahead of the one being processed (default 2). Each slot holds one
 	// reusable decode buffer.
 	DecodeAhead int
+	// Trace, when non-nil, receives per-cycle and per-arrival-decode
+	// spans. Spans carry wall time only: the manager has no virtual-clock
+	// handle of its own (charges go through Clock). nil records nothing.
+	Trace *trace.QueryTrace
 }
 
 // DefaultConfig returns a Config with the paper's defaults for the given
@@ -316,10 +321,15 @@ func (m *manager) loop() error {
 			return fmt.Errorf("mjoin: no progress after %d cycles (%d subplans stuck)", m.stats.Cycles, len(m.pending))
 		}
 		m.stats.Cycles++
+		var cycleSpan int
+		if m.cfg.Trace.Enabled() {
+			cycleSpan = m.cfg.Trace.Begin(trace.CatCycle, fmt.Sprintf("cycle %d", m.stats.Cycles))
+		}
 		toFetch := m.neededObjects()
 		if len(toFetch) == 0 {
 			// Everything needed is cached; finish the runnable work.
 			m.executeAllRunnable()
+			m.cfg.Trace.End(cycleSpan)
 			if len(m.pending) > 0 {
 				return fmt.Errorf("mjoin: %d subplans pending with all objects cached", len(m.pending))
 			}
@@ -332,6 +342,7 @@ func (m *manager) loop() error {
 		}
 		execBefore := m.stats.SubplansExecuted + m.stats.SubplansPruned
 		if err := m.receiveArrivals(len(toFetch)); err != nil {
+			m.cfg.Trace.End(cycleSpan)
 			return err
 		}
 		if m.stats.SubplansExecuted+m.stats.SubplansPruned == execBefore {
@@ -339,6 +350,7 @@ func (m *manager) loop() error {
 		} else {
 			m.pinned = nil
 		}
+		m.cfg.Trace.End(cycleSpan)
 	}
 	return nil
 }
@@ -408,6 +420,9 @@ func (m *manager) processArrival(seg *segment.Segment) error {
 	m.stats.Pipe.DecodeBusy += d
 	m.stats.Pipe.DecodeStall += d
 	m.stats.Pipe.Decodes++
+	if m.cfg.Trace.Enabled() {
+		m.cfg.Trace.Emit(trace.CatDecode, id.String(), start)
+	}
 	if err != nil {
 		return err
 	}

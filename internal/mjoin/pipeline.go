@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/segment"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 )
 
@@ -152,8 +153,18 @@ func (m *manager) submitArrival(seg *segment.Segment) *decodedArrival {
 		}
 	}
 	rel := ref.rel
+	var name string
+	if m.cfg.Trace.Enabled() {
+		name = seg.ID.String()
+	}
 	da.t = m.cfg.DecodePool.Submit(func() {
+		t0 := time.Now()
 		da.batch, da.cd, da.bytes, da.err = m.decodeArrival(rel, seg, reuse)
+		// Recording from the pool worker is safe: the trace is
+		// mutex-guarded, and the span carries wall time only.
+		if m.cfg.Trace.Enabled() {
+			m.cfg.Trace.Emit(trace.CatDecode, name, t0)
+		}
 	})
 	return da
 }

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// This file is the debug/observability sidecar: a plain HTTP listener
+// next to the query port serving the Prometheus exposition of the
+// server's metric registry and the standard pprof profile endpoints.
+// It is a separate listener on purpose — scrapes and profiles must
+// stay reachable while the query port is saturated, and the query
+// protocol itself stays single-transport (newline-delimited JSON).
+
+// DebugHandler returns the sidecar's mux:
+//
+//	/metrics           Prometheus text exposition (version 0.0.4)
+//	/debug/pprof/...   the standard runtime profiles
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the sidecar on addr and returns its bound address.
+// The listener closes when the server's base context is canceled
+// (Shutdown); serving errors after that are expected and discarded.
+func (s *Server) ServeDebug(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.DebugHandler()}
+	go func() {
+		<-s.base.Done()
+		srv.Close()
+	}()
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}

@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sql"
+	"repro/internal/trace"
 )
 
 // DefaultMaxLineBytes bounds one request frame. A line longer than the
@@ -45,6 +47,7 @@ const (
 	OpExplain = "explain"
 	OpStats   = "stats"
 	OpHello   = "hello"
+	OpTrace   = "trace"
 )
 
 // Request is one client frame.
@@ -64,6 +67,17 @@ type Request struct {
 	// wait plus execution — in milliseconds of real time. 0 uses the
 	// server default; negative is a protocol error.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace requests span capture for this query: the response carries a
+	// trace_id whose full span tree the TRACE verb retrieves. The server
+	// may also trace unconditionally (Config.Tracing).
+	Trace bool `json:"trace,omitempty"`
+	// TraceID names the trace to retrieve (op "trace"; the bare form
+	// "TRACE <id>" in the SQL text sets it too).
+	TraceID string `json:"trace_id,omitempty"`
+	// Analyze upgrades an explain frame to EXPLAIN ANALYZE: execute the
+	// plan and annotate each operator with measured rows/batches/bytes/
+	// time. Set implicitly by an "EXPLAIN ANALYZE ..." SQL prefix.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // Response is one server frame. Type is "result", "explain", "stats",
@@ -86,6 +100,10 @@ type Response struct {
 	Gets      int   `json:"gets,omitempty"`
 	CacheHits int   `json:"cache_hits,omitempty"`
 	Pruned    int   `json:"pruned,omitempty"`
+	// TraceID names the span capture of this query (traced queries only;
+	// retrieve with TRACE <id>). Error frames of traced queries carry it
+	// too — a trace of a failed query is exactly what one wants to read.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// Explain frames.
 	Plan string `json:"plan,omitempty"`
@@ -97,6 +115,9 @@ type Response struct {
 
 	// Stats frames.
 	Stats *StatsSnapshot `json:"stats,omitempty"`
+
+	// Trace frames: the retrieved span tree.
+	Trace *trace.Export `json:"trace,omitempty"`
 }
 
 // Error frame codes.
@@ -108,6 +129,7 @@ const (
 	CodeDeadline   = "deadline"
 	CodeCanceled   = "canceled"
 	CodeExec       = "exec"
+	CodeNotFound   = "not_found"
 )
 
 // StatsSnapshot is the STATS verb's payload: the admission controller's
@@ -155,14 +177,26 @@ func ParseRequest(line []byte) (*Request, error) {
 	case OpQuery, OpExplain:
 		if req.Op == OpExplain {
 			// Accept both {"op":"explain","sql":"SELECT..."} and a bare
-			// EXPLAIN prefix; normalize to the statement alone.
-			if rest, ok := stripExplain(req.SQL); ok {
+			// EXPLAIN [ANALYZE] prefix; normalize to the statement alone.
+			if rest, analyze, ok := sql.StripExplain(req.SQL); ok {
 				req.SQL = rest
+				req.Analyze = req.Analyze || analyze
 			}
 		}
 		req.SQL = strings.TrimSpace(req.SQL)
 		if req.SQL == "" {
 			return nil, fmt.Errorf("%w: %s frame without sql", ErrProtocol, req.Op)
+		}
+	case OpTrace:
+		// Accept both {"op":"trace","trace_id":"..."} and the bare form
+		// "TRACE <id>" in the SQL text.
+		if req.TraceID == "" {
+			if id, ok := stripTrace(req.SQL); ok {
+				req.TraceID = id
+			}
+		}
+		if req.TraceID == "" {
+			return nil, fmt.Errorf("%w: trace frame without trace_id", ErrProtocol)
 		}
 	case OpStats, OpHello:
 		// No SQL required.
@@ -178,24 +212,34 @@ func deriveOp(sqlText string) string {
 	if strings.EqualFold(trimmed, "STATS") {
 		return OpStats
 	}
-	if _, ok := stripExplain(trimmed); ok {
+	if _, ok := stripTrace(trimmed); ok {
+		return OpTrace
+	}
+	if _, _, ok := sql.StripExplain(trimmed); ok {
 		return OpExplain
 	}
 	return OpQuery
 }
 
-// stripExplain recognizes a leading EXPLAIN keyword and returns the
-// statement behind it.
-func stripExplain(stmtText string) (string, bool) {
+// stripTrace recognizes the "TRACE <id>" admin verb and returns the
+// trace id. A single bare token follows the keyword; anything more is
+// not a trace frame (it falls through to the query path and fails
+// planning with a clear error).
+func stripTrace(stmtText string) (string, bool) {
 	trimmed := strings.TrimSpace(stmtText)
-	if len(trimmed) < 8 || !strings.EqualFold(trimmed[:7], "EXPLAIN") {
+	if len(trimmed) < 6 || !strings.EqualFold(trimmed[:5], "TRACE") {
 		return "", false
 	}
-	switch trimmed[7] {
+	switch trimmed[5] {
 	case ' ', '\t', '\n', '\r':
-		return strings.TrimSpace(trimmed[8:]), true
+	default:
+		return "", false
 	}
-	return "", false
+	id := strings.TrimSpace(trimmed[6:])
+	if id == "" || strings.ContainsAny(id, " \t\n\r") {
+		return "", false
+	}
+	return id, true
 }
 
 // readFrame returns the next non-empty line, stripped of surrounding

@@ -6,9 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -18,6 +22,7 @@ import (
 	"repro/internal/skipper"
 	"repro/internal/sql"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -54,6 +59,22 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// MaxLineBytes bounds one request frame (default 1 MiB).
 	MaxLineBytes int
+	// Tracing captures a span tree for every query. Off, only queries
+	// that ask (request trace:true) are traced; either way the tracing
+	// machinery costs nothing on untraced queries.
+	Tracing bool
+	// TraceRing bounds the completed traces retained for the TRACE verb
+	// (default 64; the oldest is evicted first).
+	TraceRing int
+	// TraceSink, when non-nil, receives every completed trace — the hook
+	// skipperd's -trace-dir uses to write Chrome trace files. Called
+	// synchronously from the query's handler after the response is built.
+	TraceSink func(*trace.Export)
+	// SlowQuery logs queries whose wall time (queue wait included) meets
+	// the threshold to SlowQueryLog (0 = off).
+	SlowQuery time.Duration
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 // NewConfig returns a Config with the serving defaults filled in for
@@ -84,6 +105,8 @@ type Server struct {
 	planner *sql.Planner
 	store   map[segment.ObjectID]*segment.Segment
 	adm     *Admission
+	reg     *metrics.Registry
+	slow    metrics.Counter // skipper_slow_queries_total
 
 	base   context.Context // canceled on Shutdown: aborts queued and running queries
 	cancel context.CancelFunc
@@ -93,6 +116,15 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	tenants map[int]*tenantState
 	closed  bool
+
+	// Completed traces, retrievable with TRACE <id>, bounded by
+	// cfg.TraceRing (oldest evicted). traceSeq numbers trace ids.
+	traceMu    sync.Mutex
+	traces     map[string]*trace.Export
+	traceOrder []string
+	traceSeq   atomic.Int64
+
+	slowMu sync.Mutex // serializes slow-query log lines
 
 	wg sync.WaitGroup // accept loop + connection handlers
 }
@@ -112,18 +144,54 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxLineBytes <= 0 {
 		cfg.MaxLineBytes = DefaultMaxLineBytes
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 64
+	}
+	if cfg.SlowQueryLog == nil {
+		cfg.SlowQueryLog = os.Stderr
+	}
 	base, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		planner: &sql.Planner{Catalog: cfg.Dataset.Catalog},
 		store:   cfg.Dataset.Store,
 		adm:     NewAdmission(cfg.Admission),
+		reg:     metrics.NewRegistry(),
 		base:    base,
 		cancel:  cancel,
 		conns:   make(map[net.Conn]struct{}),
 		tenants: make(map[int]*tenantState),
-	}, nil
+		traces:  make(map[string]*trace.Export),
+	}
+	s.registerServerMetrics()
+	return s, nil
 }
+
+// registerServerMetrics wires the server-wide series: admission
+// occupancy gauges and the counters no per-tenant structure tracks.
+// Per-tenant series are registered lazily when a tenant first appears
+// (tenantState).
+func (s *Server) registerServerMetrics() {
+	s.reg.GaugeFunc("skipper_inflight_queries",
+		"Queries executing right now, across all tenants.", nil,
+		func() float64 { inflight, _ := s.adm.Occupancy(); return float64(inflight) })
+	s.reg.GaugeFunc("skipper_admission_queued_queries",
+		"Queries waiting for an execution slot right now.", nil,
+		func() float64 { _, queued := s.adm.Occupancy(); return float64(queued) })
+	s.reg.GaugeFunc("skipper_traces_retained",
+		"Completed query traces retrievable with the TRACE verb.", nil,
+		func() float64 {
+			s.traceMu.Lock()
+			defer s.traceMu.Unlock()
+			return float64(len(s.traces))
+		})
+	s.slow = s.reg.Counter("skipper_slow_queries_total",
+		"Queries whose wall time met the slow-query threshold.", nil)
+}
+
+// Metrics exposes the server's metric registry — the /metrics endpoint
+// of the debug listener serves it.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Admission exposes the server's admission controller (read-only use:
 // occupancy and resolved configuration).
@@ -264,6 +332,8 @@ func (s *Server) dispatch(sess *session, line []byte) *Response {
 		return &Response{ID: req.ID, Type: "hello", Tenant: sess.tenant}
 	case OpStats:
 		return s.statsResponse(req.ID, sess.tenant)
+	case OpTrace:
+		return s.traceResponse(req, sess.tenant)
 	case OpExplain:
 		if sess.tenant < 0 {
 			sess.tenant = 0
@@ -280,7 +350,6 @@ func (s *Server) dispatch(sess *session, line []byte) *Response {
 // tenantState returns (creating on first use) a tenant's serving state.
 func (s *Server) tenantState(tenant int) *tenantState {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	ts, ok := s.tenants[tenant]
 	if !ok {
 		ts = &tenantState{}
@@ -289,13 +358,73 @@ func (s *Server) tenantState(tenant int) *tenantState {
 		}
 		s.tenants[tenant] = ts
 	}
+	s.mu.Unlock()
+	if !ok {
+		s.registerTenantMetrics(tenant, ts)
+	}
 	return ts
 }
 
-// runQuery is the serving path: plan, admit, execute, account.
+// registerTenantMetrics bridges one tenant's counters and latency
+// sketch into the registry. The series read the same structures the
+// STATS frame snapshots, so the two views can never disagree;
+// registration is replace-on-rewire, hence idempotent.
+func (s *Server) registerTenantMetrics(tenant int, ts *tenantState) {
+	label := func() map[string]string {
+		return map[string]string{"tenant": strconv.Itoa(tenant)}
+	}
+	bridge := func(outcome string, v *atomic.Int64) {
+		l := label()
+		l["outcome"] = outcome
+		s.reg.CounterFunc("skipper_queries_total",
+			"Queries by admission/execution outcome.", l,
+			func() float64 { return float64(v.Load()) })
+	}
+	c := &ts.counters
+	bridge("admitted", &c.Admitted)
+	bridge("rejected", &c.Rejected)
+	bridge("expired", &c.Expired)
+	bridge("completed", &c.Completed)
+	bridge("failed", &c.Failed)
+	s.reg.CounterFunc("skipper_queued_queries_total",
+		"Admitted queries that had to wait for a slot.", label(),
+		func() float64 { return float64(c.Queued.Load()) })
+	s.reg.CounterFunc("skipper_queue_wait_seconds_total",
+		"Time spent waiting for an execution slot.", label(),
+		func() float64 { return time.Duration(c.QueueWaitNS.Load()).Seconds() })
+	s.reg.Summary("skipper_query_latency_seconds",
+		"Wall latency of served queries, queue wait included.", label(),
+		&ts.latency)
+}
+
+// runQuery is the serving path: plan, admit, execute, account. Traced
+// queries (request trace:true or Config.Tracing) record a span per
+// stage — plan, admission wait, execution (the engine nests its own
+// spans under it), response drain — retrievable afterwards with
+// TRACE <id>; untraced queries take the identical code path with a nil
+// trace, which every recording call treats as a two-instruction no-op.
 func (s *Server) runQuery(req *Request, tenant int) *Response {
 	ts := s.tenantState(tenant)
+	var qt *trace.QueryTrace
+	if s.cfg.Tracing || req.Trace {
+		id := "t" + strconv.Itoa(tenant) + "-" + strconv.FormatInt(s.traceSeq.Add(1), 10)
+		qt = trace.NewQueryTrace(id, tenant, req.SQL)
+	}
+	resp := s.runQueryTraced(req, tenant, ts, qt)
+	if qt != nil {
+		resp.TraceID = qt.ID
+		s.storeTrace(qt.ExportTrace())
+	}
+	return resp
+}
+
+// runQueryTraced is runQuery's body; splitting it out lets the caller
+// attach the trace id and archive the trace on every exit path,
+// error frames included.
+func (s *Server) runQueryTraced(req *Request, tenant int, ts *tenantState, qt *trace.QueryTrace) *Response {
+	planStart := qt.Origin() // zero when untraced; Emit is nil-safe
 	spec, err := s.planner.Plan(req.SQL)
+	qt.Emit(trace.CatPlan, "plan", planStart)
 	if err != nil {
 		return errorResponse(req.ID, tenant, CodePlan, err)
 	}
@@ -311,6 +440,7 @@ func (s *Server) runQuery(req *Request, tenant int) *Response {
 	}
 	start := time.Now()
 	release, wait, err := s.adm.Acquire(ctx, tenant)
+	qt.Emit(trace.CatAdmission, "slot wait", start)
 	if wait > 0 {
 		ts.counters.Queued.Add(1)
 		ts.counters.AddQueueWait(wait)
@@ -327,9 +457,10 @@ func (s *Server) runQuery(req *Request, tenant int) *Response {
 	}
 	defer release()
 	ts.counters.Admitted.Add(1)
-	res, rows, err := s.execute(ctx, tenant, ts, spec)
+	res, rows, err := s.execute(ctx, tenant, ts, spec, qt)
 	elapsed := time.Since(start)
 	ts.latency.Record(elapsed)
+	s.logSlowQuery(req, tenant, qt, elapsed, wait, err)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			ts.counters.Expired.Add(1)
@@ -340,10 +471,12 @@ func (s *Server) runQuery(req *Request, tenant int) *Response {
 	}
 	ts.counters.Completed.Add(1)
 	cs := res.Clients[0]
+	drainStart := time.Now()
 	rendered := make([]string, len(rows))
 	for i, r := range rows {
 		rendered[i] = r.String()
 	}
+	qt.Emit(trace.CatDrain, "render rows", drainStart)
 	return &Response{
 		ID: req.ID, Type: "result", Tenant: tenant,
 		Rows: rendered, RowCount: len(rows),
@@ -356,10 +489,63 @@ func (s *Server) runQuery(req *Request, tenant int) *Response {
 	}
 }
 
+// logSlowQuery writes one line per query meeting the threshold.
+func (s *Server) logSlowQuery(req *Request, tenant int, qt *trace.QueryTrace, elapsed, wait time.Duration, err error) {
+	if s.cfg.SlowQuery <= 0 || elapsed < s.cfg.SlowQuery {
+		return
+	}
+	s.slow.Inc()
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	traceID := "-"
+	if qt.Enabled() {
+		traceID = qt.ID
+	}
+	s.slowMu.Lock()
+	fmt.Fprintf(s.cfg.SlowQueryLog,
+		"slow-query tenant=%d wall=%s queue=%s outcome=%s trace=%s sql=%q\n",
+		tenant, elapsed.Round(time.Microsecond), wait.Round(time.Microsecond),
+		outcome, traceID, req.SQL)
+	s.slowMu.Unlock()
+}
+
+// storeTrace archives a completed trace for the TRACE verb, evicting
+// the oldest past the ring bound, and feeds the configured sink.
+func (s *Server) storeTrace(e *trace.Export) {
+	s.traceMu.Lock()
+	if _, dup := s.traces[e.ID]; !dup {
+		s.traceOrder = append(s.traceOrder, e.ID)
+	}
+	s.traces[e.ID] = e
+	for len(s.traceOrder) > s.cfg.TraceRing {
+		delete(s.traces, s.traceOrder[0])
+		s.traceOrder = s.traceOrder[1:]
+	}
+	s.traceMu.Unlock()
+	if s.cfg.TraceSink != nil {
+		s.cfg.TraceSink(e)
+	}
+}
+
+// traceResponse serves TRACE <id>: the archived span tree of a traced
+// query.
+func (s *Server) traceResponse(req *Request, tenant int) *Response {
+	s.traceMu.Lock()
+	e := s.traces[req.TraceID]
+	s.traceMu.Unlock()
+	if e == nil {
+		return errorResponse(req.ID, tenant, CodeNotFound,
+			fmt.Errorf("trace %q not found (evicted, or the query was not traced)", req.TraceID))
+	}
+	return &Response{ID: req.ID, Type: "trace", Tenant: tenant, Trace: e}
+}
+
 // execute runs one admitted query as a single-client cluster over the
 // server's shared store, wired to the tenant's persistent segment cache
 // and the configured pipeline. ctx bounds the run in real time.
-func (s *Server) execute(ctx context.Context, tenant int, ts *tenantState, spec skipper.QuerySpec) (*skipper.RunResult, []tuple.Row, error) {
+func (s *Server) execute(ctx context.Context, tenant int, ts *tenantState, spec skipper.QuerySpec, qt *trace.QueryTrace) (*skipper.RunResult, []tuple.Row, error) {
 	prune := s.cfg.Prune
 	client := &skipper.Client{
 		Tenant:       tenant,
@@ -372,6 +558,7 @@ func (s *Server) execute(ctx context.Context, tenant int, ts *tenantState, spec 
 		Pipeline:     s.cfg.Pipeline,
 		KeepResults:  true,
 		Ctx:          ctx,
+		QTrace:       qt,
 	}
 	res, err := (&skipper.Cluster{Clients: []*skipper.Client{client}, Store: s.store}).Run()
 	if err != nil {
@@ -387,6 +574,9 @@ func (s *Server) explain(req *Request, tenant int) *Response {
 	spec, err := s.planner.Plan(req.SQL)
 	if err != nil {
 		return errorResponse(req.ID, tenant, CodePlan, err)
+	}
+	if req.Analyze {
+		return s.explainAnalyze(req, tenant, spec)
 	}
 	it, err := skipper.BuildPullPlanPruned(engine.NewTestCtx(s.store), spec.Join, s.cfg.Prune)
 	if err != nil {
@@ -418,6 +608,52 @@ func (s *Server) explain(req *Request, tenant int) *Response {
 		plan += fmt.Sprintf("-- segcache: %d of %d unpruned segment fetches cache-resident\n", resident, fetches)
 	}
 	return &Response{ID: req.ID, Type: "explain", Tenant: tenant, Plan: plan}
+}
+
+// explainAnalyze executes the pull plan with per-operator
+// instrumentation armed and renders the tree annotated with measured
+// rows/batches/bytes/time. It runs real work, so it passes through
+// admission and is accounted like a query. The drain is serial (armed
+// operator stats are unlocked), matching how EXPLAIN ANALYZE plans are
+// built.
+func (s *Server) explainAnalyze(req *Request, tenant int, spec skipper.QuerySpec) *Response {
+	ts := s.tenantState(tenant)
+	release, wait, err := s.adm.Acquire(s.base, tenant)
+	if wait > 0 {
+		ts.counters.Queued.Add(1)
+		ts.counters.AddQueueWait(wait)
+	}
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			ts.counters.Rejected.Add(1)
+			return errorResponse(req.ID, tenant, CodeOverloaded, err)
+		}
+		ts.counters.Expired.Add(1)
+		return errorResponse(req.ID, tenant, ctxCode(err), err)
+	}
+	defer release()
+	ts.counters.Admitted.Add(1)
+	start := time.Now()
+	it, err := skipper.BuildPullPlanPruned(engine.NewTestCtx(s.store), spec.Join, s.cfg.Prune)
+	if err != nil {
+		ts.counters.Failed.Add(1)
+		return errorResponse(req.ID, tenant, CodePlan, err)
+	}
+	if spec.Shape != nil {
+		it = spec.Shape(it)
+	}
+	engine.EnableAnalyze(it)
+	rows, err := engine.Collect(it)
+	elapsed := time.Since(start)
+	ts.latency.Record(elapsed)
+	if err != nil {
+		ts.counters.Failed.Add(1)
+		return errorResponse(req.ID, tenant, CodeExec, err)
+	}
+	ts.counters.Completed.Add(1)
+	plan := engine.ExplainAnalyze(it)
+	plan += fmt.Sprintf("-- executed: %d rows in %s\n", len(rows), elapsed.Round(time.Microsecond))
+	return &Response{ID: req.ID, Type: "explain", Tenant: tenant, Plan: plan, WallUS: durUS(elapsed)}
 }
 
 // statsResponse snapshots the serving metrics for the STATS verb.

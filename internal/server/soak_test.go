@@ -42,6 +42,9 @@ func TestServerSoakConcurrentClients(t *testing.T) {
 	// Tight slots against 6 closed-loop clients: queries genuinely queue
 	// and tenants genuinely compete, with queue room for every client.
 	cfg.Admission = AdmissionConfig{Slots: 2, TenantSlots: 1, QueueDepth: 16}
+	// Trace every query: the soak doubles as the race/overhead gate for
+	// the span layer — results must still match the untraced oracle.
+	cfg.Tracing = true
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +100,22 @@ func TestServerSoakConcurrentClients(t *testing.T) {
 		if lat := s.tenantState(tn).latency.Snapshot(); lat.Count != int64(perTenant) {
 			t.Errorf("tenant %d recorded %d latencies, want %d", tn, lat.Count, perTenant)
 		}
+	}
+
+	// Every query was traced; the ring holds the most recent up to its
+	// bound and each archived trace closed its root span.
+	s.traceMu.Lock()
+	retained := len(s.traces)
+	for id, e := range s.traces {
+		for _, sp := range e.Spans {
+			if sp.Cat == "query" && sp.WallEnd == 0 {
+				t.Errorf("trace %s: query root never closed", id)
+			}
+		}
+	}
+	s.traceMu.Unlock()
+	if want := tenants * connsPerTenant * passes * len(soakQueries); retained != min(want, s.cfg.TraceRing) {
+		t.Errorf("ring retained %d traces, want %d", retained, min(want, s.cfg.TraceRing))
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

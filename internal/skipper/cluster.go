@@ -138,6 +138,7 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 	px := newProxy(sim, dev, c.Tenant, &c.stats)
 	px.proc = p
 	px.ctx = c.Ctx
+	px.tr = c.QTrace
 	if px.cache = c.SegCache; px.cache == nil {
 		px.cache = cl.SharedCache
 	}
@@ -160,15 +161,25 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 		}
 		queryID := fmt.Sprintf("t%d.%s#%d", c.Tenant, spec.Name, qi)
 		px.query = queryID
+		qspan := c.QTrace.BeginPhaseVirt(trace.CatQuery, queryID, p.Now())
 		if px.pf != nil {
 			// Disclose this query's and the next query's demand to the
 			// prefetcher (and, through its tagged GETs, to the scheduler).
+			var pfWall time.Time
+			pfVirt := p.Now()
+			if c.QTrace.Enabled() {
+				pfWall = time.Now()
+			}
 			for ; enqueued <= qi+1 && enqueued < len(c.Queries); enqueued++ {
 				px.pf.enqueue(p, candidatesFor(c, enqueued, cl.Store))
+			}
+			if c.QTrace.Enabled() {
+				c.QTrace.EmitVirt(trace.CatPrefetch, "disclose", pfWall, pfVirt, p.Now())
 			}
 		}
 		qStart := p.Now()
 		cl.Events.Add(trace.Event{At: qStart, Kind: trace.KindQueryStart, Tenant: c.Tenant, Query: queryID, Group: -1})
+		espan := c.QTrace.BeginPhaseVirt(trace.CatExecute, c.Mode.String(), qStart)
 		var rows []tuple.Row
 		var err error
 		switch c.Mode {
@@ -179,7 +190,9 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 		default:
 			err = fmt.Errorf("skipper: unknown mode %d", c.Mode)
 		}
+		c.QTrace.EndPhaseVirt(espan, p.Now())
 		if err != nil {
+			c.QTrace.EndPhaseVirt(qspan, p.Now())
 			return fmt.Errorf("skipper: tenant %d query %s: %w", c.Tenant, spec.Name, err)
 		}
 		qr := QueryRun{
@@ -191,6 +204,7 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 		}
 		c.stats.PerQuery = append(c.stats.PerQuery, qr)
 		cl.Events.Add(trace.Event{At: p.Now(), Kind: trace.KindQueryEnd, Tenant: c.Tenant, Query: queryID, Group: -1})
+		c.QTrace.EndPhaseVirt(qspan, p.Now())
 		c.stats.Rows += int64(len(rows))
 		if c.Think > 0 && qi < len(c.Queries)-1 {
 			p.Sleep(c.Think)
@@ -213,6 +227,7 @@ func (cl *Cluster) runVanilla(clock engine.Clock, px *proxy, c *Client, spec Que
 		Fetch: &vanillaFetcher{px: px, fuse: cl.Costs.FusePerObject},
 		Costs: engine.Costs{ProcessPerObject: cl.Costs.VanillaPerObject},
 		Pipe:  pipe,
+		Trace: c.QTrace,
 	}
 	it, err := BuildPullPlanPruned(ctx, spec.Join, c.statsPruningOn())
 	if err != nil {
@@ -262,6 +277,7 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 		cfg.DecodePool = pipe.Pool
 		cfg.DecodeAhead = pipe.Depth
 	}
+	cfg.Trace = c.QTrace
 	if c.Pruning != nil {
 		cfg.Pruning = *c.Pruning
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mjoin"
 	"repro/internal/segcache"
 	"repro/internal/segment"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 	"repro/internal/vtime"
 )
@@ -212,6 +213,12 @@ type Client struct {
 	// are stopped, decode pools closed, and the device drained, exactly
 	// as on any other client error.
 	Ctx context.Context
+	// QTrace, when non-nil, receives hierarchical spans for this client's
+	// queries: a root span per query with execute, prefetch-disclosure,
+	// per-segment fetch/decode and stall spans nested under it, stamped
+	// with both wall and virtual clocks where the code owns a vtime proc.
+	// nil (the default) records nothing and costs one branch per hook.
+	QTrace *trace.QueryTrace
 	// KeepResults retains every query's full result rows in the PerQuery
 	// records — the hook the differential harnesses use to compare runs
 	// byte for byte. Off by default: result sets can be large.
@@ -262,6 +269,9 @@ type proxy struct {
 	// consult its staged deliveries before touching the device, and cache
 	// hits on prefetched entries are attributed to it.
 	pf *prefetcher
+	// tr, when non-nil, receives stall spans from NextArrival. The proxy
+	// always runs on its owning proc, so spans carry both clocks.
+	tr *trace.QueryTrace
 }
 
 func newProxy(sim *vtime.Sim, dev *csd.CSD, tenant int, stats *ClientStats) *proxy {
@@ -317,9 +327,16 @@ func (px *proxy) NextArrival() (*segment.Segment, error) {
 		}
 	}
 	from := px.proc.Now()
+	var wallFrom time.Time
+	if px.tr.Enabled() {
+		wallFrom = time.Now()
+	}
 	d := px.reply.Recv(px.proc)
 	if to := px.proc.Now(); to > from {
 		px.stats.StallIntervals = append(px.stats.StallIntervals, csd.Interval{From: from, To: to})
+		if px.tr.Enabled() {
+			px.tr.EmitVirt(trace.CatStall, px.query, wallFrom, from, to)
+		}
 	}
 	if d.Err != nil {
 		return nil, d.Err

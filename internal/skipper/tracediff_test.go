@@ -1,0 +1,155 @@
+// Tracing differential suite: the span layer must be an observer, never
+// a participant. The same workload runs with tracing off and on — across
+// engine modes, segment formats, DOP and the async pipeline (decode
+// workers record spans concurrently, so CI's -race job exercises that
+// path) — and results must be byte-identical, with the traced run
+// producing a structurally sound span tree.
+package skipper_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/layout"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runTraced executes the 2-pass workload on one tenant, returning the
+// run result and the query trace (nil when tracing is off).
+func runTraced(t *testing.T, ds *workload.Dataset, mode skipper.Mode, dop int, pipe bool, traced bool) (*skipper.RunResult, *trace.QueryTrace) {
+	t.Helper()
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	var qt *trace.QueryTrace
+	if traced {
+		qt = trace.NewQueryTrace("diff", 0, "")
+	}
+	client := &skipper.Client{
+		Tenant:       0,
+		Mode:         mode,
+		Catalog:      ds.Catalog,
+		Queries:      workload.MultiPass(ds.Catalog, 2),
+		CacheObjects: 6,
+		Parallelism:  dop,
+		KeepResults:  true,
+		QTrace:       qt,
+	}
+	if pipe {
+		client.Pipeline = &skipper.PipelineConfig{DecodeWorkers: 2, DecodeAhead: 2, PrefetchBytes: 8 << 30}
+	}
+	cl := &skipper.Cluster{
+		Clients: []*skipper.Client{client},
+		Layout:  layout.RoundRobinObjects{NumGroups: 3},
+		Store:   store,
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatalf("mode=%v dop=%d pipe=%v traced=%v: %v", mode, dop, pipe, traced, err)
+	}
+	return res, qt
+}
+
+func TestTracingDifferential(t *testing.T) {
+	for _, format := range []segment.Format{segment.FormatV1, segment.FormatV2} {
+		ds := sharedDataset(t, format)
+		for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+			for _, dop := range []int{1, 4} {
+				for _, pipe := range []bool{false, true} {
+					name := fmt.Sprintf("%v/%v/dop%d/pipe=%v", format, mode, dop, pipe)
+					t.Run(name, func(t *testing.T) {
+						off, _ := runTraced(t, ds, mode, dop, pipe, false)
+						on, qt := runTraced(t, ds, mode, dop, pipe, true)
+						// Byte-identical results, query by query.
+						qa, qb := on.Clients[0].PerQuery, off.Clients[0].PerQuery
+						if len(qa) != len(qb) {
+							t.Fatalf("ran %d vs %d queries", len(qa), len(qb))
+						}
+						for j := range qa {
+							ra, rb := qa[j].Results, qb[j].Results
+							if len(ra) != len(rb) {
+								t.Fatalf("query %s: %d vs %d rows", qa[j].Name, len(ra), len(rb))
+							}
+							for k := range ra {
+								if ra[k].String() != rb[k].String() {
+									t.Fatalf("query %s row %d: %s vs %s", qa[j].Name, k, ra[k], rb[k])
+								}
+							}
+						}
+						// Tracing is an observer of timing too: virtual-clock
+						// quantities must match exactly (wall time may differ).
+						if on.Makespan != off.Makespan {
+							t.Fatalf("tracing changed the makespan: %v vs %v", on.Makespan, off.Makespan)
+						}
+						if on.CSD.GetsReceived != off.CSD.GetsReceived {
+							t.Fatalf("tracing changed device traffic: %d vs %d GETs",
+								on.CSD.GetsReceived, off.CSD.GetsReceived)
+						}
+						// The traced run must have produced a sound span tree:
+						// one root per query, well-formed bounds, and fetch or
+						// decode activity under the execute phases.
+						checkSpanTree(t, qt, len(qa))
+					})
+				}
+			}
+		}
+	}
+}
+
+// checkSpanTree asserts structural soundness of a recorded trace.
+func checkSpanTree(t *testing.T, qt *trace.QueryTrace, queries int) {
+	t.Helper()
+	spans := qt.Spans()
+	if len(spans) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	byID := map[int]trace.Span{}
+	var roots, execs, work int
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range spans {
+		if sp.WallEnd < sp.WallStart {
+			t.Fatalf("span %d (%s %s) has inverted wall bounds", sp.ID, sp.Cat, sp.Name)
+		}
+		if sp.HasVirt && sp.VirtEnd < sp.VirtStart {
+			t.Fatalf("span %d (%s %s) has inverted virtual bounds", sp.ID, sp.Cat, sp.Name)
+		}
+		if sp.Parent != 0 {
+			if _, ok := byID[sp.Parent]; !ok {
+				t.Fatalf("span %d has unknown parent %d", sp.ID, sp.Parent)
+			}
+		}
+		switch sp.Cat {
+		case trace.CatQuery:
+			roots++
+			if sp.Parent != 0 {
+				t.Fatalf("query span %d nested under %d", sp.ID, sp.Parent)
+			}
+			if !sp.HasVirt {
+				t.Fatalf("query span %d missing virtual stamps", sp.ID)
+			}
+		case trace.CatExecute:
+			execs++
+		case trace.CatFetch, trace.CatDecode, trace.CatStall, trace.CatCycle:
+			work++
+		}
+	}
+	if roots != queries {
+		t.Fatalf("recorded %d query roots, want %d", roots, queries)
+	}
+	if execs != queries {
+		t.Fatalf("recorded %d execute phases, want %d", execs, queries)
+	}
+	if work == 0 && qt.Dropped() == 0 {
+		t.Fatal("no fetch/decode/stall/cycle spans recorded")
+	}
+}
+
+// Ensure the engine-level guard holds here too: tracing off leaves
+// Ctx.Trace nil all the way down, so the hot path never sees a span
+// call with a receiver (compile-time usage check of the nil contract).
+var _ = engine.Ctx{Trace: (*trace.QueryTrace)(nil)}

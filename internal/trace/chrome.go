@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export: completed traces render as "X" (complete)
+// events in the JSON array format that chrome://tracing and Perfetto
+// load directly. One traced query becomes one process (pid = a
+// per-trace index, labeled with tenant and trace id); categories map to
+// threads (tid), so fetches, decodes, stalls and operator work each get
+// their own lane under the query's root span.
+
+// ChromeClock selects which clock the exported timestamps use.
+type ChromeClock int
+
+const (
+	// ClockWall exports wall-time offsets — what the hardware did.
+	ClockWall ChromeClock = iota
+	// ClockVirtual exports simulation-time offsets; spans without
+	// virtual stamps (recorded outside a simulated run) are skipped.
+	ClockVirtual
+)
+
+// chromeEvent is one trace-event JSON object.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata event (process/thread naming).
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid,omitempty"`
+	Args map[string]any `json:"args"`
+}
+
+// laneOrder fixes the tid per category so every trace renders with the
+// same lane layout.
+var laneOrder = []string{CatQuery, CatAdmission, CatPlan, CatExecute, CatCycle, CatPrefetch, CatFetch, CatDecode, CatStall, CatOp, CatDrain}
+
+func laneOf(cat string) int {
+	for i, c := range laneOrder {
+		if c == cat {
+			return i
+		}
+	}
+	return len(laneOrder)
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChrome renders the traces as one Chrome trace-event JSON array.
+// Load the output in chrome://tracing or https://ui.perfetto.dev.
+func WriteChrome(w io.Writer, clock ChromeClock, traces ...*Export) error {
+	var events []any
+	for pid, e := range traces {
+		if e == nil {
+			continue
+		}
+		events = append(events, chromeMeta{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": fmt.Sprintf("t%d %s", e.Tenant, e.ID)},
+		})
+		seen := map[int]bool{}
+		for _, sp := range e.Spans {
+			if clock == ClockVirtual && !sp.HasVirt {
+				continue
+			}
+			tid := laneOf(sp.Cat)
+			if !seen[tid] {
+				seen[tid] = true
+				events = append(events, chromeMeta{
+					Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+					Args: map[string]any{"name": sp.Cat},
+				})
+				events = append(events, chromeMeta{
+					Name: "thread_sort_index", Ph: "M", PID: pid, TID: tid,
+					Args: map[string]any{"sort_index": tid},
+				})
+			}
+			ts, end := sp.WallStart, sp.WallEnd
+			if clock == ClockVirtual {
+				ts, end = sp.VirtStart, sp.VirtEnd
+			}
+			ev := chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "X",
+				TS: us(ts), Dur: us(end - ts), PID: pid, TID: tid,
+			}
+			if sp.HasVirt && clock == ClockWall {
+				ev.Args = map[string]any{"virt_start_s": sp.VirtStart.Seconds(), "virt_end_s": sp.VirtEnd.Seconds()}
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the production tracing layer: hierarchical spans over one
+// query's life in the serving stack, with both clocks the system runs on
+// — wall time (what the hardware did) and virtual time (what the
+// simulated storage did). The event Log above is the simulation's flat
+// chronicle; QueryTrace is the per-request view a person debugging one
+// slow query needs: admission queue wait, planning, prefetch, every
+// segment fetch and decode, operator execution and the response drain,
+// nested under one root.
+//
+// Tracing is pay-for-use. Every recording method is safe — and a
+// near-free two-instruction exit — on a nil *QueryTrace, so the hot
+// path carries no allocations and no time.Now calls when tracing is
+// off; call sites that would build a label string guard on Enabled
+// first. Recording is mutex-guarded, so decode workers and the prefetch
+// proc may record concurrently with the query's own goroutine.
+
+// Span categories, used as Chrome trace-event categories and for lane
+// assignment in the viewer.
+const (
+	CatQuery     = "query"     // root: one per traced query
+	CatAdmission = "admission" // queue wait for an execution slot
+	CatPlan      = "plan"      // SQL text -> executable spec
+	CatExecute   = "execute"   // the engine run, parent of the spans below
+	CatPrefetch  = "prefetch"  // demand disclosure to the prefetcher
+	CatFetch     = "fetch"     // one segment GET (demand path)
+	CatDecode    = "decode"    // one segment decode
+	CatStall     = "stall"     // client blocked awaiting an arrival
+	CatCycle     = "cycle"     // one MJoin request/arrival cycle
+	CatOp        = "op"        // operator execution (shaping, drain)
+	CatDrain     = "drain"     // response rendering and write-back
+)
+
+// Span is one timed piece of a traced query. Wall offsets are measured
+// from the trace origin (the moment the request entered the server);
+// virtual offsets are simulation time and present only when HasVirt is
+// set — spans recorded outside a simulated run carry wall time alone.
+type Span struct {
+	// ID is unique within the trace; Parent is the enclosing span's ID
+	// (0 for the root).
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"`
+	Cat    string `json:"cat"`
+	Name   string `json:"name"`
+	// WallStart/WallEnd are offsets from the trace origin.
+	WallStart time.Duration `json:"wall_start_ns"`
+	WallEnd   time.Duration `json:"wall_end_ns"`
+	// VirtStart/VirtEnd are simulation-clock offsets, valid iff HasVirt.
+	VirtStart time.Duration `json:"virt_start_ns,omitempty"`
+	VirtEnd   time.Duration `json:"virt_end_ns,omitempty"`
+	HasVirt   bool          `json:"has_virt,omitempty"`
+}
+
+// DefaultSpanLimit bounds one trace: a query over a large dataset
+// records a span per segment fetch and decode, and an unbounded trace
+// would turn a scan into an allocation storm. Past the limit spans are
+// counted, not stored.
+const DefaultSpanLimit = 8192
+
+// QueryTrace accumulates the spans of one traced query. Construct with
+// NewQueryTrace; a nil *QueryTrace ignores every call, which is how
+// tracing-off paths stay free.
+type QueryTrace struct {
+	// ID is the trace identifier returned to the client (response
+	// trace_id; retrievable with the TRACE verb).
+	ID string
+	// Tenant and SQL identify the traced request.
+	Tenant int
+	SQL    string
+
+	mu      sync.Mutex
+	origin  time.Time
+	spans   []Span
+	nextID  int
+	phase   int // current parent for new spans
+	limit   int
+	dropped int
+}
+
+// NewQueryTrace starts a trace; the origin (wall zero) is now.
+func NewQueryTrace(id string, tenant int, sqlText string) *QueryTrace {
+	return &QueryTrace{
+		ID:     id,
+		Tenant: tenant,
+		SQL:    sqlText,
+		origin: time.Now(),
+		limit:  DefaultSpanLimit,
+	}
+}
+
+// Enabled reports whether spans are being recorded — the guard hot
+// paths use before building label strings.
+func (t *QueryTrace) Enabled() bool { return t != nil }
+
+// Origin returns the trace's wall-clock zero.
+func (t *QueryTrace) Origin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.origin
+}
+
+// alloc appends a span under the current phase and returns its ID.
+// Caller holds mu.
+func (t *QueryTrace) alloc(cat, name string) int {
+	if len(t.spans) >= t.limit {
+		t.dropped++
+		return 0
+	}
+	t.nextID++
+	t.spans = append(t.spans, Span{ID: t.nextID, Parent: t.phase, Cat: cat, Name: name})
+	return t.nextID
+}
+
+// span returns the slot of an open span id (nil when dropped/unknown).
+// Caller holds mu.
+func (t *QueryTrace) span(id int) *Span {
+	for i := len(t.spans) - 1; i >= 0; i-- {
+		if t.spans[i].ID == id {
+			return &t.spans[i]
+		}
+	}
+	return nil
+}
+
+// Begin opens a span under the current phase and returns its handle.
+// Safe on nil (returns 0; End(0) is a no-op).
+func (t *QueryTrace) Begin(cat, name string) int {
+	if t == nil {
+		return 0
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.alloc(cat, name)
+	if id != 0 {
+		t.span(id).WallStart = now.Sub(t.origin)
+	}
+	return id
+}
+
+// BeginVirt is Begin with a virtual-clock start stamp.
+func (t *QueryTrace) BeginVirt(cat, name string, virt time.Duration) int {
+	if t == nil {
+		return 0
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.alloc(cat, name)
+	if id != 0 {
+		sp := t.span(id)
+		sp.WallStart = now.Sub(t.origin)
+		sp.VirtStart, sp.HasVirt = virt, true
+	}
+	return id
+}
+
+// End closes a span opened by Begin/BeginVirt. Safe on nil and on id 0.
+func (t *QueryTrace) End(id int) { t.EndVirt(id, -1) }
+
+// EndVirt is End with a virtual-clock end stamp (virt < 0 leaves the
+// virtual end at its start value).
+func (t *QueryTrace) EndVirt(id int, virt time.Duration) {
+	if t == nil || id == 0 {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sp := t.span(id); sp != nil {
+		sp.WallEnd = now.Sub(t.origin)
+		if sp.HasVirt {
+			if virt >= 0 {
+				sp.VirtEnd = virt
+			} else {
+				sp.VirtEnd = sp.VirtStart
+			}
+		}
+	}
+}
+
+// BeginPhase opens a span and makes it the parent of subsequently
+// recorded spans until EndPhase. Phases nest: EndPhase restores the
+// phase that was current when BeginPhase ran.
+func (t *QueryTrace) BeginPhase(cat, name string) int {
+	if t == nil {
+		return 0
+	}
+	id := t.Begin(cat, name)
+	t.mu.Lock()
+	if id != 0 {
+		t.phase = id
+	}
+	t.mu.Unlock()
+	return id
+}
+
+// BeginPhaseVirt is BeginPhase with a virtual-clock start stamp.
+func (t *QueryTrace) BeginPhaseVirt(cat, name string, virt time.Duration) int {
+	if t == nil {
+		return 0
+	}
+	id := t.BeginVirt(cat, name, virt)
+	t.mu.Lock()
+	if id != 0 {
+		t.phase = id
+	}
+	t.mu.Unlock()
+	return id
+}
+
+// EndPhase closes a phase span and restores its parent as the current
+// phase.
+func (t *QueryTrace) EndPhase(id int) { t.EndPhaseVirt(id, -1) }
+
+// EndPhaseVirt is EndPhase with a virtual-clock end stamp.
+func (t *QueryTrace) EndPhaseVirt(id int, virt time.Duration) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	if sp := t.span(id); sp != nil && t.phase == id {
+		t.phase = sp.Parent
+	}
+	t.mu.Unlock()
+	t.EndVirt(id, virt)
+}
+
+// Emit records a completed wall-only span that started at wallStart —
+// the one-call form for work that was timed anyway. Safe on nil, but
+// call sites that build name strings should guard on Enabled first.
+func (t *QueryTrace) Emit(cat, name string, wallStart time.Time) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id := t.alloc(cat, name); id != 0 {
+		sp := t.span(id)
+		sp.WallStart = wallStart.Sub(t.origin)
+		sp.WallEnd = now.Sub(t.origin)
+	}
+}
+
+// EmitVirt records a completed span with explicit virtual bounds.
+func (t *QueryTrace) EmitVirt(cat, name string, wallStart time.Time, virtFrom, virtTo time.Duration) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id := t.alloc(cat, name); id != 0 {
+		sp := t.span(id)
+		sp.WallStart = wallStart.Sub(t.origin)
+		sp.WallEnd = now.Sub(t.origin)
+		sp.VirtStart, sp.VirtEnd, sp.HasVirt = virtFrom, virtTo, true
+	}
+}
+
+// Spans returns a copy of the recorded spans, in recording order.
+func (t *QueryTrace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped reports how many spans the limit discarded.
+func (t *QueryTrace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SetLimit overrides the span cap (tests; 0 keeps the default).
+func (t *QueryTrace) SetLimit(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Export is the wire shape of one completed trace: the TRACE verb's
+// payload and the unit of Chrome export.
+type Export struct {
+	ID      string `json:"id"`
+	Tenant  int    `json:"tenant"`
+	SQL     string `json:"sql,omitempty"`
+	Spans   []Span `json:"spans"`
+	Dropped int    `json:"dropped,omitempty"`
+}
+
+// ExportTrace snapshots the trace for the wire.
+func (t *QueryTrace) ExportTrace() *Export {
+	if t == nil {
+		return nil
+	}
+	return &Export{ID: t.ID, Tenant: t.Tenant, SQL: t.SQL, Spans: t.Spans(), Dropped: t.Dropped()}
+}
+
+// Summary renders a one-level accounting of the trace: per category,
+// span count and total wall time — the quick look before opening the
+// Chrome view.
+func (e *Export) Summary() string {
+	type agg struct {
+		n    int
+		wall time.Duration
+	}
+	byCat := map[string]*agg{}
+	var cats []string
+	for _, sp := range e.Spans {
+		a := byCat[sp.Cat]
+		if a == nil {
+			a = &agg{}
+			byCat[sp.Cat] = a
+			cats = append(cats, sp.Cat)
+		}
+		a.n++
+		a.wall += sp.WallEnd - sp.WallStart
+	}
+	out := fmt.Sprintf("trace %s (tenant %d, %d spans", e.ID, e.Tenant, len(e.Spans))
+	if e.Dropped > 0 {
+		out += fmt.Sprintf(", %d dropped", e.Dropped)
+	}
+	out += ")\n"
+	for _, c := range cats {
+		a := byCat[c]
+		out += fmt.Sprintf("  %-10s %4d spans  %12s wall\n", c, a.n, a.wall.Round(time.Microsecond))
+	}
+	return out
+}

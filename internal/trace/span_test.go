@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil trace must accept every recording call without panicking or
+// allocating observable state — tracing-off paths lean on this.
+func TestNilQueryTraceIsInert(t *testing.T) {
+	var qt *QueryTrace
+	if qt.Enabled() {
+		t.Fatal("nil trace reports Enabled")
+	}
+	id := qt.Begin(CatFetch, "x")
+	qt.End(id)
+	ph := qt.BeginPhase(CatExecute, "run")
+	qt.EndPhase(ph)
+	qt.Emit(CatDecode, "y", time.Now())
+	qt.EmitVirt(CatStall, "z", time.Now(), 0, time.Second)
+	qt.SetLimit(1)
+	if qt.Spans() != nil || qt.Dropped() != 0 || qt.ExportTrace() != nil {
+		t.Fatal("nil trace returned state")
+	}
+}
+
+func TestSpanHierarchyAndClocks(t *testing.T) {
+	qt := NewQueryTrace("q1", 3, "SELECT 1")
+	root := qt.BeginPhase(CatQuery, "q1")
+	adm := qt.Begin(CatAdmission, "wait")
+	qt.End(adm)
+	exec := qt.BeginPhase(CatExecute, "run")
+	qt.EmitVirt(CatFetch, "obj-1", time.Now(), 2*time.Second, 5*time.Second)
+	qt.EndPhaseVirt(exec, 5*time.Second)
+	qt.EndPhase(root)
+
+	spans := qt.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["wait"].Parent != byName["q1"].ID {
+		t.Errorf("admission parent = %d, want root %d", byName["wait"].Parent, byName["q1"].ID)
+	}
+	if byName["run"].Parent != byName["q1"].ID {
+		t.Errorf("execute parent = %d, want root %d", byName["run"].Parent, byName["q1"].ID)
+	}
+	if byName["obj-1"].Parent != byName["run"].ID {
+		t.Errorf("fetch parent = %d, want execute %d", byName["obj-1"].Parent, byName["run"].ID)
+	}
+	fetch := byName["obj-1"]
+	if !fetch.HasVirt || fetch.VirtStart != 2*time.Second || fetch.VirtEnd != 5*time.Second {
+		t.Errorf("fetch virtual bounds = %v..%v (HasVirt=%v), want 2s..5s", fetch.VirtStart, fetch.VirtEnd, fetch.HasVirt)
+	}
+	if fetch.WallEnd < fetch.WallStart {
+		t.Errorf("fetch wall bounds inverted: %v..%v", fetch.WallStart, fetch.WallEnd)
+	}
+	// Root has no virtual stamps; the phase-closing virt on exec sticks.
+	if ex := byName["run"]; ex.HasVirt {
+		t.Errorf("wall-only phase acquired virtual stamps: %+v", ex)
+	}
+}
+
+// The span cap must count, not store, overflow — a scan over thousands
+// of segments cannot balloon a trace.
+func TestSpanLimitDropsAndCounts(t *testing.T) {
+	qt := NewQueryTrace("q", 0, "")
+	qt.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		qt.Emit(CatFetch, "seg", time.Now())
+	}
+	if n := len(qt.Spans()); n != 3 {
+		t.Fatalf("stored %d spans, want 3", n)
+	}
+	if d := qt.Dropped(); d != 7 {
+		t.Fatalf("dropped = %d, want 7", d)
+	}
+	// End of a dropped span (id 0) must be harmless.
+	qt.End(0)
+}
+
+// Decode workers and the prefetch proc record concurrently with the
+// query goroutine; the trace must stay consistent under -race.
+func TestConcurrentRecording(t *testing.T) {
+	qt := NewQueryTrace("q", 0, "")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := qt.Begin(CatDecode, "d")
+				qt.End(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(qt.Spans()); n != 400 {
+		t.Fatalf("recorded %d spans, want 400", n)
+	}
+	for _, sp := range qt.Spans() {
+		if sp.WallEnd < sp.WallStart {
+			t.Fatalf("span %d has inverted bounds", sp.ID)
+		}
+	}
+}
+
+func TestWriteChromeProducesValidJSON(t *testing.T) {
+	qt := NewQueryTrace("q7", 2, "SELECT 1")
+	root := qt.BeginPhase(CatQuery, "q7")
+	qt.EmitVirt(CatFetch, "lineitem/3", time.Now(), time.Second, 3*time.Second)
+	qt.Emit(CatDecode, "lineitem/3", time.Now())
+	qt.EndPhase(root)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, ClockWall, qt.ExportTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 3 {
+		t.Errorf("wall export has %d complete events, want 3", complete)
+	}
+	if meta == 0 {
+		t.Error("no metadata (process/thread naming) events")
+	}
+
+	// The virtual-clock view drops the wall-only decode span.
+	buf.Reset()
+	if err := WriteChrome(&buf, ClockVirtual, qt.ExportTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	complete = 0
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			complete++
+		}
+	}
+	if complete != 1 {
+		t.Errorf("virtual export has %d complete events, want 1 (only the fetch carries virtual stamps)", complete)
+	}
+}
+
+func TestExportSummary(t *testing.T) {
+	qt := NewQueryTrace("q9", 1, "")
+	qt.Emit(CatFetch, "a", time.Now())
+	qt.Emit(CatFetch, "b", time.Now())
+	qt.Emit(CatDecode, "a", time.Now())
+	s := qt.ExportTrace().Summary()
+	if !strings.Contains(s, "q9") || !strings.Contains(s, "3 spans") {
+		t.Fatalf("summary missing header: %q", s)
+	}
+	if !strings.Contains(s, "fetch") || !strings.Contains(s, "decode") {
+		t.Fatalf("summary missing categories: %q", s)
+	}
+}

@@ -93,3 +93,39 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+// Interleaved spans: two tenants in flight at once, and one tenant
+// re-running the same query id with the first run still open — the
+// end event must close the most recent open span with that id.
+func TestSummaryInterleavedSpans(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: secAt(0), Kind: KindQueryStart, Tenant: 0, Query: "qa"})
+	l.Add(Event{At: secAt(2), Kind: KindQueryStart, Tenant: 1, Query: "qb"})
+	l.Add(Event{At: secAt(4), Kind: KindQueryStart, Tenant: 0, Query: "qa"}) // retry, first still open
+	l.Add(Event{At: secAt(6), Kind: KindQueryEnd, Tenant: 0, Query: "qa"})   // closes the retry
+	l.Add(Event{At: secAt(9), Kind: KindQueryEnd, Tenant: 1, Query: "qb"})
+	s := l.Summary()
+	if !strings.Contains(s, "4.0s .. 6.0s (2.0s)") {
+		t.Fatalf("retry span not closed last-open-first: %s", s)
+	}
+	if !strings.Contains(s, "0.0s .. (unfinished)") {
+		t.Fatalf("original open span should stay unfinished: %s", s)
+	}
+	if !strings.Contains(s, "2.0s .. 9.0s (7.0s)") {
+		t.Fatalf("cross-tenant interleaved span missing: %s", s)
+	}
+}
+
+// An end without a matching start (e.g. the log was attached mid-run)
+// must not invent a span or panic.
+func TestSummaryOrphanEnd(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: secAt(3), Kind: KindQueryEnd, Tenant: 2, Query: "qz"})
+	s := l.Summary()
+	if strings.Contains(s, "qz ") && strings.Contains(s, "..") && strings.Contains(s, "(") && strings.Contains(s, "t2 qz") {
+		t.Fatalf("orphan end produced a span: %s", s)
+	}
+	if !strings.Contains(s, "query-end") {
+		t.Fatalf("kind count for orphan end missing: %s", s)
+	}
+}

@@ -9,6 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:7878
+METRICS=127.0.0.1:7879
 DATASET=(-workload tpch -sf 4 -rows 4 -clustered -format v2)
 QUERIES=(
   "SELECT n_name, r_name FROM nation, region WHERE n_regionkey = r_regionkey ORDER BY n_name LIMIT 8"
@@ -22,7 +23,9 @@ go build -o "$workdir/skipperd" ./cmd/skipperd
 go build -o "$workdir/skipperql" ./cmd/skipperql
 
 "$workdir/skipperd" "${DATASET[@]}" -addr "$ADDR" -pipeline \
-  -inflight 2 -tenant-slots 1 -queue-depth 16 > "$workdir/skipperd.log" 2>&1 &
+  -inflight 2 -tenant-slots 1 -queue-depth 16 \
+  -metrics-addr "$METRICS" -trace -trace-dir "$workdir/traces" \
+  > "$workdir/skipperd.log" 2>&1 &
 daemon=$!
 cleanup() {
   kill "$daemon" 2>/dev/null || true
@@ -55,9 +58,59 @@ echo "skipperd smoke: $((3 * ${#QUERIES[@]})) served results byte-identical to s
 
 # The admission path must reject, not stall, when saturated: run brief
 # closed-loop load and require a clean exit (failures are fatal inside
-# loadgen; overload rejections are not).
-"$workdir/skipperd" -loadgen -addr "$ADDR" -workers 6 -duration 2s
+# loadgen; overload rejections are not). The soak runs in the
+# background so the metrics sidecar can be scraped mid-soak — the
+# observability plane must answer while the query plane is saturated.
+"$workdir/skipperd" -loadgen -addr "$ADDR" -workers 6 -duration 4s \
+  > "$workdir/loadgen.txt" 2>&1 &
+loadgen=$!
+sleep 2
+curl -sf "http://$METRICS/metrics" > "$workdir/metrics-midsoak.txt"
+# Scrape to a file, then grep: `curl | grep -q` under pipefail races —
+# grep exits at the first match and curl dies on the closed pipe.
+curl -sf "http://$METRICS/debug/pprof/goroutine?debug=1" > "$workdir/pprof-goroutine.txt"
+grep -q goroutine "$workdir/pprof-goroutine.txt"
+wait "$loadgen"
+cat "$workdir/loadgen.txt"
+grep -q 'p99.9=' "$workdir/loadgen.txt" \
+  || { echo "loadgen output lacks the p99.9 column" >&2; exit 1; }
+
+# The mid-soak scrape must expose every required metric family, with
+# the serving counters live (non-zero: the scripted session above
+# already completed queries before the soak began).
+check_metric() {
+  pattern=$1
+  grep -Eq "$pattern" "$workdir/metrics-midsoak.txt" \
+    || { echo "metrics scrape missing: $pattern" >&2; exit 1; }
+}
+check_metric '^# TYPE skipper_queries_total counter$'
+check_metric '^skipper_queries_total\{outcome="completed",tenant="0"\} [1-9]'
+check_metric '^# TYPE skipper_query_latency_seconds summary$'
+check_metric '^skipper_query_latency_seconds_count\{tenant="0"\} [1-9]'
+check_metric '^skipper_query_latency_seconds\{tenant="0",quantile="0\.999"\} [0-9]'
+check_metric '^skipper_queue_wait_seconds_total\{tenant="0"\} [0-9]'
+check_metric '^# TYPE skipper_inflight_queries gauge$'
+check_metric '^# TYPE skipper_admission_queued_queries gauge$'
+check_metric '^# TYPE skipper_slow_queries_total counter$'
+check_metric '^# TYPE skipper_traces_retained gauge$'
+check_metric '^skipper_traces_retained [1-9]'
+echo "skipperd smoke: metrics exposition and pprof answered mid-soak"
+
+# Every query was traced (-trace): the trace directory holds Chrome
+# trace files, and the TRACE verb serves a span tree over the wire.
+# Retrieve the newest trace — the ring evicts old ones under load.
+# (No `ls -t | head` here: early-exiting pipe readers SIGPIPE the
+# writer, which pipefail turns into a spurious smoke failure.)
+ls "$workdir/traces"/t0-*.json > /dev/null
+newest=
+for f in "$workdir/traces"/*.json; do
+  if [ -z "$newest" ] || [ "$f" -nt "$newest" ]; then newest=$f; fi
+done
+latest=$(basename "$newest" .json)
+"$workdir/skipperd" -client -addr "$ADDR" -c "TRACE $latest" \
+  | grep 'query' > /dev/null
 
 # STATS must report the traffic the smoke produced.
-"$workdir/skipperd" -client -addr "$ADDR" -c STATS | grep -q '"completed"'
+"$workdir/skipperd" -client -addr "$ADDR" -c STATS \
+  | grep '"completed"' > /dev/null
 echo "skipperd smoke: OK"
