@@ -44,6 +44,15 @@
 // overlap decode with compute). Exits non-zero on any divergence — the
 // CI gate for the pipeline. -rows raises per-object decode work.
 //
+// -faults runs the fault-injection report: first the chaos gate —
+// a retryable-only fault plan (transient failures, stalls, corrupt
+// payloads, per-object cap) must leave results byte-identical to the
+// clean run across both engines, the v1/v2 formats, DOP {1,4} and the
+// pipeline off/on, with GET conservation extended to retries — then a
+// fault-rate sweep plus a crash/restart scenario reporting the measured
+// degradation (makespan, extra device GETs, retries, backoff). Exits
+// non-zero on any divergence — the CI gate for the fault layer.
+//
 // -format selects the wire format the CSD store serves for figure runs:
 // mem (in-memory segments, no decode work — the default), v1, or v2.
 // Simulated timings are format-independent; real runtime and the byte
@@ -75,6 +84,7 @@ func main() {
 	proj := flag.Bool("proj", false, "run the projection/format report (v1 vs v2 decode bytes and time) and exit non-zero on result divergence")
 	cacheSweep := flag.Bool("cache", false, "run the shared segment cache sweep (budgets × repeated-query multi-tenant workload) and exit non-zero on any cache-on/off result divergence")
 	pipeline := flag.Bool("pipeline", false, "run the async-pipeline report (prefetch + decode workers, on/off, both engines; simulated and wall-clock time) and exit non-zero on any result divergence")
+	faultsReport := flag.Bool("faults", false, "run the fault-injection report (chaos gate: clean vs faulted byte-identical results; then a fault-rate sweep plus crash/restart with measured degradation) and exit non-zero on any divergence")
 	rows := flag.Int("rows", 0, "override rows per 1 GB object (more rows = more decode work per object)")
 	segFormat := flag.String("format", "mem", "segment wire format served by the CSD store: mem, v1 or v2")
 	flag.Parse()
@@ -151,6 +161,20 @@ func main() {
 		f, err := p.PipelineReport()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skipperbench: pipeline report: %v\n", err)
+			os.Exit(1)
+		}
+		if *outFmt == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f)
+		}
+		return
+	}
+
+	if *faultsReport {
+		f, err := p.FaultReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipperbench: fault report: %v\n", err)
 			os.Exit(1)
 		}
 		if *outFmt == "csv" {

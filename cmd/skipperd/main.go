@@ -40,6 +40,7 @@ import (
 
 	"context"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/objstore"
 	"repro/internal/segment"
@@ -70,6 +71,21 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "enable the async execution pipeline: scheduler-aware prefetch plus concurrent decode workers")
 	prefetchGB := flag.Int("prefetch", 4, "prefetch budget in 1 GB objects ahead of demand (with -pipeline)")
 	decodeWorkers := flag.Int("decode-workers", 2, "background decode workers (with -pipeline)")
+
+	// Fault-injection flags (serve mode): a deterministic chaos schedule
+	// applied to every query's device run — the serving twin of
+	// `skipperbench -faults`. Rates of zero (the defaults) disable
+	// injection entirely.
+	faultTransient := flag.Float64("fault-transient", 0, "probability a device transfer fails transiently and is retried, in [0,1]")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability a transfer delivers a corrupt payload — caught by checksum, quarantined and re-requested — in [0,1]")
+	faultStall := flag.Float64("fault-stall", 0, "probability a transfer stalls for -fault-stall-dur extra simulated time, in [0,1]")
+	faultStallDur := flag.Duration("fault-stall-dur", 3*time.Second, "extra simulated latency of a stalled transfer")
+	faultCap := flag.Int("fault-cap", 3, "max transient+corrupt faults charged per object (negative = unlimited; retries may exhaust)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+	crashAt := flag.Duration("crash-at", 0, "crash the device this far into each query's simulated run (0 = never)")
+	crashDowntime := flag.Duration("crash-downtime", 0, "restart the device this long after -crash-at (0 with -crash-at set = permanent crash)")
+	retryAttempts := flag.Int("retry-attempts", 0, "max transfer attempts per object before the query fails (0 = default 12)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base retry backoff, doubling per attempt up to 8s with deterministic jitter (0 = default 250ms)")
 
 	// Serving flags.
 	inflight := flag.Int("inflight", 4, "queries executing concurrently, across all tenants")
@@ -151,6 +167,29 @@ func main() {
 		Tracing:         *traceAll,
 		SlowQuery:       *slowQuery,
 	}
+	plan := faults.Plan{
+		Seed:               *faultSeed,
+		TransientRate:      *faultTransient,
+		StallRate:          *faultStall,
+		Stall:              *faultStallDur,
+		CorruptRate:        *faultCorrupt,
+		MaxFaultsPerObject: *faultCap,
+		CrashAt:            *crashAt,
+		CrashDowntime:      *crashDowntime,
+	}
+	if plan.Enabled() {
+		cfg.Faults = &plan
+	}
+	if *retryAttempts > 0 || *retryBackoff > 0 {
+		rp := skipper.DefaultRetryPolicy()
+		if *retryAttempts > 0 {
+			rp.MaxAttempts = *retryAttempts
+		}
+		if *retryBackoff > 0 {
+			rp.BaseBackoff = *retryBackoff
+		}
+		cfg.Retry = rp
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fatalf("trace-dir: %v", err)
@@ -170,6 +209,11 @@ func main() {
 		*wl, len(ds.Catalog.AllObjects()), wireFmt, mode, bound)
 	fmt.Printf("skipperd: admission %d in flight (%d per tenant), queue depth %d, tenants [0,%d)\n",
 		adm.Slots, adm.TenantSlots, adm.QueueDepth, *maxTenants)
+	if cfg.Faults != nil {
+		fmt.Printf("skipperd: fault injection on (seed %d): transient %.2f, stall %.2f×%s, corrupt %.2f, cap %d, crash %s+%s\n",
+			plan.Seed, plan.TransientRate, plan.StallRate, plan.Stall, plan.CorruptRate,
+			plan.MaxFaultsPerObject, plan.CrashAt, plan.CrashDowntime)
+	}
 	if *metricsAddr != "" {
 		dbg, err := s.ServeDebug(*metricsAddr)
 		if err != nil {

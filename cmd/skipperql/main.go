@@ -51,7 +51,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/csd"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/objstore"
 	"repro/internal/segcache"
@@ -120,6 +122,16 @@ func main() {
 	prefetchGB := flag.Int("prefetch", 4, "prefetch budget in 1 GB objects ahead of demand (with -pipeline)")
 	decodeWorkers := flag.Int("decode-workers", 2, "background decode workers (with -pipeline)")
 	clustered := flag.Bool("clustered", false, "sort the TPC-H date columns before segmenting (makes date predicates prunable)")
+	faultTransient := flag.Float64("fault-transient", 0, "probability a device transfer fails transiently and is retried, in [0,1]")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability a transfer delivers a corrupt payload — caught by checksum and re-requested — in [0,1]")
+	faultStall := flag.Float64("fault-stall", 0, "probability a transfer stalls for -fault-stall-dur extra simulated time, in [0,1]")
+	faultStallDur := flag.Duration("fault-stall-dur", 3*time.Second, "extra simulated latency of a stalled transfer")
+	faultCap := flag.Int("fault-cap", 3, "max transient+corrupt faults charged per object (negative = unlimited; retries may exhaust)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+	crashAt := flag.Duration("crash-at", 0, "crash the device this far into each statement's simulated run (0 = never)")
+	crashDowntime := flag.Duration("crash-downtime", 0, "restart the device this long after -crash-at (0 with -crash-at set = permanent crash)")
+	retryAttempts := flag.Int("retry-attempts", 0, "max transfer attempts per object before the statement fails (0 = default 12)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base retry backoff, doubling per attempt up to 8s with deterministic jitter (0 = default 250ms)")
 	command := flag.String("c", "", "run one statement and exit")
 	traceFlag := flag.Bool("trace", false, "record simulator trace events and print a per-statement summary")
 	traceOut := flag.String("trace-out", "", "capture per-statement span trees and write a Chrome trace-event JSON file")
@@ -172,10 +184,41 @@ func main() {
 		}
 	}
 
+	// Chaos knobs: a deterministic fault schedule applied afresh to each
+	// statement's device run, plus the recovery policy that rides it out.
+	var fs faultSetup
+	plan := faults.Plan{
+		Seed:               *faultSeed,
+		TransientRate:      *faultTransient,
+		StallRate:          *faultStall,
+		Stall:              *faultStallDur,
+		CorruptRate:        *faultCorrupt,
+		MaxFaultsPerObject: *faultCap,
+		CrashAt:            *crashAt,
+		CrashDowntime:      *crashDowntime,
+	}
+	if plan.Enabled() {
+		if err := plan.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "skipperql: %v\n", err)
+			os.Exit(2)
+		}
+		fs.plan = &plan
+	}
+	if *retryAttempts > 0 || *retryBackoff > 0 {
+		rp := skipper.DefaultRetryPolicy()
+		if *retryAttempts > 0 {
+			rp.MaxAttempts = *retryAttempts
+		}
+		if *retryBackoff > 0 {
+			rp.BaseBackoff = *retryBackoff
+		}
+		fs.retry = rp
+	}
+
 	planner := &sql.Planner{Catalog: ds.Catalog}
 	ob := &obs{traceLog: *traceFlag, traceOut: *traceOut}
 	if *command != "" {
-		execute(planner, ds, *engineName, *cache, *prune, sc, pc, ob, *command)
+		execute(planner, ds, *engineName, *cache, *prune, sc, pc, ob, fs, *command)
 		return
 	}
 
@@ -206,7 +249,7 @@ func main() {
 		}
 		stmtText := buf.String()
 		buf.Reset()
-		execute(planner, ds, *engineName, *cache, *prune, sc, pc, ob, stmtText)
+		execute(planner, ds, *engineName, *cache, *prune, sc, pc, ob, fs, stmtText)
 		fmt.Print("> ")
 	}
 }
@@ -229,7 +272,14 @@ func describe(ds *workload.Dataset, table string) {
 	}
 }
 
-func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, sc *segcache.Cache, pc *skipper.PipelineConfig, ob *obs, stmtText string) {
+// faultSetup carries the session's chaos configuration: the fault plan
+// (nil = clean device) and the retry-policy override (nil = defaults).
+type faultSetup struct {
+	plan  *faults.Plan
+	retry *skipper.RetryPolicy
+}
+
+func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, sc *segcache.Cache, pc *skipper.PipelineConfig, ob *obs, fs faultSetup, stmtText string) {
 	if rest, analyze, ok := sql.StripExplain(stmtText); ok {
 		if analyze {
 			explainAnalyzeStmt(planner, ds, prune, rest)
@@ -266,8 +316,14 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 		SegCache:     sc,
 		Pipeline:     pc,
 		QTrace:       qt,
+		Retry:        fs.retry,
 	}
 	cluster := &skipper.Cluster{Clients: []*skipper.Client{client}, Store: store}
+	if fs.plan != nil {
+		// A fresh injector per statement: every statement sees the same
+		// deterministic fault schedule on its own virtual clock.
+		cluster.CSD = csd.Config{Faults: faults.MustNew(*fs.plan)}
+	}
 	var tl *trace.Log
 	if ob != nil && ob.traceLog {
 		tl = &trace.Log{}
@@ -288,6 +344,10 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 	fmt.Printf("-- %s: %.1fs virtual (processing %.1fs, stalled %.1fs), %d GETs (%d from cache, %d pruned), %d switches\n",
 		mode, cs.Elapsed().Seconds(), cs.Processing.Seconds(), cs.Stalled().Seconds(),
 		cs.GetsIssued, cs.CacheHits, cs.SegmentsSkipped, res.CSD.GroupSwitches)
+	if cs.Retries > 0 || cs.TransientFaults > 0 || cs.CorruptDeliveries > 0 || res.CSD.Crashes > 0 {
+		fmt.Printf("-- faults: %d transient, %d corrupt, %d crashes; recovered with %d retries (%.1fs backoff)\n",
+			cs.TransientFaults, cs.CorruptDeliveries, res.CSD.Crashes, cs.Retries, cs.RetryBackoff.Seconds())
+	}
 	if sc != nil {
 		st := sc.Stats()
 		fmt.Printf("-- segcache: %d objects resident (%s of %s budget), %.0f%% lifetime hit ratio\n",

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/segment"
 	"repro/internal/trace"
@@ -103,6 +104,22 @@ type Stats struct {
 	// harness fills the field in after a run so device traffic and
 	// avoided traffic can be reported together.
 	GetsAvoided int
+	// TransientFaults / StalledTransfers / CorruptDeliveries count what
+	// the fault injector actually surfaced: transfers failed with a
+	// TransientError (no byte charge), transfers delayed by a stall, and
+	// deliveries served with a bit-flipped payload (charged — the bytes
+	// did travel). A corrupt fault against an in-memory segment degrades
+	// to a transient failure (there are no wire bytes to flip) and counts
+	// there.
+	TransientFaults   int
+	StalledTransfers  int
+	CorruptDeliveries int
+	// Crashes / Restarts count whole-device crash windows entered and
+	// exited. DownErrors counts requests refused (or in-flight transfers
+	// voided) because the device was down.
+	Crashes    int
+	Restarts   int
+	DownErrors int
 }
 
 // Config parametrizes the device.
@@ -126,6 +143,12 @@ type Config struct {
 	// Events, when non-nil, receives structured trace events (GETs,
 	// deliveries, switches).
 	Events *trace.Log
+	// Faults, when non-nil, injects the configured fault plan into every
+	// transfer: transient failures, stalls, corrupt payloads and the
+	// crash window. Nil means a perfect device. Note that a plan with a
+	// crash schedule keeps the virtual clock running at least to the
+	// crash (and restart) time — the timers are simulated processes.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns the paper's defaults: 10 s switch, 100 MB/s
@@ -161,6 +184,8 @@ type event struct {
 	doneID   int      // tenant whose stream finished a transfer (when req == nil and !shutdown)
 	done     bool
 	shutdown bool
+	crash    bool // fault plan: the device crash-stops now
+	restart  bool // fault plan: the downtime window ended
 }
 
 // CSD is the emulated device. Create with New, then Start it on a
@@ -194,6 +219,10 @@ type CSD struct {
 	// fatal, once set, fail-stops the device: every pending and future
 	// request is answered with an error delivery instead of data.
 	fatal error
+	// down marks a crash window: pending and in-flight work fails with a
+	// DeviceDownError and new requests are refused until restart (if the
+	// plan has one — otherwise the window lasts the rest of the run).
+	down bool
 
 	stats Stats
 }
@@ -294,9 +323,57 @@ func (c *CSD) Shutdown(p *vtime.Proc) {
 	c.evCh.Send(p, event{shutdown: true})
 }
 
-// Start spawns the controller process. Call once before Sim.Run.
+// Start spawns the controller process — and, when the fault plan has a
+// crash schedule, the crash and restart timers. Call once before
+// Sim.Run.
 func (c *CSD) Start() {
 	c.sim.Spawn("csd.controller", c.controller)
+	if c.cfg.Faults == nil {
+		return
+	}
+	plan := c.cfg.Faults.Plan()
+	if plan.CrashAt <= 0 {
+		return
+	}
+	c.sim.Spawn("csd.crashtimer", func(p *vtime.Proc) {
+		p.Sleep(plan.CrashAt)
+		c.evCh.Send(p, event{crash: true})
+	})
+	if plan.CrashDowntime > 0 {
+		c.sim.Spawn("csd.restarttimer", func(p *vtime.Proc) {
+			p.Sleep(plan.CrashAt + plan.CrashDowntime)
+			c.evCh.Send(p, event{restart: true})
+		})
+	}
+}
+
+// willRestart reports whether the fault plan brings a crashed device
+// back.
+func (c *CSD) willRestart() bool {
+	return c.cfg.Faults != nil && c.cfg.Faults.Plan().CrashDowntime > 0
+}
+
+// crash enters the crash window: every pending request fails with a
+// DeviceDownError, and apply refuses new ones until restart. Transfers
+// already in flight fail at their completion instant (the stream worker
+// checks c.down) — the device forgot them when it went down.
+func (c *CSD) crash(p *vtime.Proc) {
+	if c.down || c.fatal != nil {
+		return
+	}
+	c.down = true
+	c.stats.Crashes++
+	restarting := c.willRestart()
+	c.sim.Tracef("csd: crash (restarting=%v, %d pending)", restarting, len(c.pending))
+	c.cfg.Events.Add(trace.Event{
+		At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: -1,
+		Note: fmt.Sprintf("crash restarting=%v", restarting),
+	})
+	for _, r := range c.pending {
+		c.stats.DownErrors++
+		r.Reply.Send(p, Delivery{Object: r.Object, Err: &DeviceDownError{Object: r.Object, Restarting: restarting}})
+	}
+	c.pending = nil
 }
 
 func (c *CSD) controller(p *vtime.Proc) {
@@ -346,11 +423,30 @@ func (c *CSD) apply(p *vtime.Proc, ev event) bool {
 	switch {
 	case ev.shutdown:
 		return true
+	case ev.crash:
+		c.crash(p)
+	case ev.restart:
+		if c.down {
+			c.down = false
+			c.stats.Restarts++
+			c.sim.Tracef("csd: restarted")
+			c.cfg.Events.Add(trace.Event{
+				At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: c.loaded,
+				Note: "restart",
+			})
+		}
 	case ev.req != nil:
 		r := ev.req
 		if c.fatal != nil {
 			// Fail-stopped device: answer immediately with the error.
 			r.Reply.Send(p, Delivery{Object: r.Object, Err: c.fatal})
+			return false
+		}
+		if c.down {
+			// Crashed device: refuse rather than queue, so clients see the
+			// window and back off instead of waiting on a dead box.
+			c.stats.DownErrors++
+			r.Reply.Send(p, Delivery{Object: r.Object, Err: &DeviceDownError{Object: r.Object, Restarting: c.willRestart()}})
 			return false
 		}
 		r.seq = c.arrivalSeq
@@ -501,24 +597,78 @@ func (c *CSD) tenantStream(tenant int) *stream {
 				}
 				seg := c.store[r.Object]
 				d := time.Duration(float64(seg.NominalBytes) / c.cfg.Bandwidth * float64(time.Second))
-				p.Sleep(d)
+				var out faults.Outcome
+				if c.cfg.Faults != nil {
+					out = c.cfg.Faults.Transfer(r.Object.String())
+				}
+				if out.Stall > 0 {
+					c.stats.StalledTransfers++
+				}
+				p.Sleep(d + out.Stall)
 				// Close the ride-along window before fanning out: from here
 				// on a new same-object request must pay its own transfer.
 				// This sequence runs without yielding (see the inflight
 				// field), so no follower can be attached after delivery.
 				delete(c.inflight, r.Object)
-				// One transfer, one byte charge; the delivery fans out to
-				// the carrier and every coalesced follower at the same
-				// completion instant.
-				c.stats.BytesServed += seg.NominalBytes
-				c.stats.PayloadBytesServed += seg.EncodedSize()
-				for _, rr := range append([]*Request{r}, r.followers...) {
-					rr.Reply.Send(p, Delivery{Object: rr.Object, Seg: seg})
-					c.stats.ObjectsServed++
-					c.cfg.Events.Add(trace.Event{
-						At: p.Now(), Kind: trace.KindDelivery, Tenant: rr.Tenant,
-						Query: rr.QueryID, Object: rr.Object.String(), Group: -1,
-					})
+				switch {
+				case c.down:
+					// The device crashed while this transfer was in flight:
+					// the carrier and every coalesced follower get the same
+					// error delivery — no partial fan-out, no byte charge.
+					restarting := c.willRestart()
+					for _, rr := range append([]*Request{r}, r.followers...) {
+						c.stats.DownErrors++
+						rr.Reply.Send(p, Delivery{Object: rr.Object, Err: &DeviceDownError{Object: rr.Object, Restarting: restarting}})
+					}
+				case out.Fail:
+					// Transient failure: the transfer time was spent but no
+					// data arrived, so nothing is charged. Every requester
+					// sees the error and may retry.
+					c.stats.TransientFaults++
+					err := &TransientError{Object: r.Object, Attempt: c.cfg.Faults.Attempts(r.Object.String())}
+					for _, rr := range append([]*Request{r}, r.followers...) {
+						rr.Reply.Send(p, Delivery{Object: rr.Object, Err: err})
+						c.cfg.Events.Add(trace.Event{
+							At: p.Now(), Kind: trace.KindDelivery, Tenant: rr.Tenant,
+							Query: rr.QueryID, Object: rr.Object.String(), Group: -1,
+							Note: "transient-fault",
+						})
+					}
+				default:
+					served := seg
+					note := ""
+					if out.Corrupt {
+						if bad := seg.CorruptedCopy(); bad != nil {
+							served, note = bad, "corrupt"
+							c.stats.CorruptDeliveries++
+						} else {
+							// In-memory segments carry no wire bytes to flip;
+							// degrade the fault to a transient failure so the
+							// plan still exercises the retry path.
+							c.stats.TransientFaults++
+							err := &TransientError{Object: r.Object, Attempt: c.cfg.Faults.Attempts(r.Object.String())}
+							for _, rr := range append([]*Request{r}, r.followers...) {
+								rr.Reply.Send(p, Delivery{Object: rr.Object, Err: err})
+							}
+							c.evCh.Send(p, event{done: true, doneID: s.tenant})
+							continue
+						}
+					}
+					// One transfer, one byte charge; the delivery fans out to
+					// the carrier and every coalesced follower at the same
+					// completion instant. Corrupt bytes traveled, so they are
+					// charged like clean ones.
+					c.stats.BytesServed += seg.NominalBytes
+					c.stats.PayloadBytesServed += seg.EncodedSize()
+					for _, rr := range append([]*Request{r}, r.followers...) {
+						rr.Reply.Send(p, Delivery{Object: rr.Object, Seg: served})
+						c.stats.ObjectsServed++
+						c.cfg.Events.Add(trace.Event{
+							At: p.Now(), Kind: trace.KindDelivery, Tenant: rr.Tenant,
+							Query: rr.QueryID, Object: rr.Object.String(), Group: -1,
+							Note: note,
+						})
+					}
 				}
 				c.evCh.Send(p, event{done: true, doneID: s.tenant})
 			}

@@ -1,0 +1,68 @@
+package csd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/segment"
+)
+
+// TransientError reports a GET the device failed transiently: the
+// transfer consumed its time and then broke (the emulated analogue of a
+// dropped connection or a read error the device's own retry gave up
+// on). The object is intact; re-requesting it is expected to succeed —
+// the fault plan bounds how many times one object may fail.
+type TransientError struct {
+	Object segment.ObjectID
+	// Attempt is how many transfers of this object the device has
+	// attempted so far, this failure included.
+	Attempt int
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("csd: transient GET failure for %v (attempt %d)", e.Object, e.Attempt)
+}
+
+// DeviceDownError reports a GET that hit a crashed device: requests
+// issued while the device is down, and transfers in flight when it went
+// down, all fail with it. Restarting tells the client whether waiting
+// is useful: true means the fault plan restarts the device after its
+// downtime window, false means the crash is permanent for this run.
+type DeviceDownError struct {
+	Object segment.ObjectID
+	// Restarting reports whether the device will come back.
+	Restarting bool
+}
+
+func (e *DeviceDownError) Error() string {
+	if e.Restarting {
+		return fmt.Sprintf("csd: device down (restarting) for %v", e.Object)
+	}
+	return fmt.Sprintf("csd: device crashed (no restart) for %v", e.Object)
+}
+
+// IsRetryable classifies a delivery error: transient failures and
+// down-but-restarting windows are worth retrying; a permanent crash or
+// a *SchedulerContractError-class fatal fault is not. Corruption is not
+// classified here — it surfaces as a checksum failure on the payload,
+// not as a delivery error.
+//
+// An error whose chain carries a RetriesExhausted marker (the retry
+// layer's exhaustion wrapper) is never retryable, even though the final
+// fault it wraps usually is: recovery has already been spent, and
+// re-classifying the wrapper by its cause would invite a retry loop.
+func IsRetryable(err error) bool {
+	var fin interface{ RetriesExhausted() }
+	if errors.As(err, &fin) {
+		return false
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var de *DeviceDownError
+	if errors.As(err, &de) {
+		return de.Restarting
+	}
+	return false
+}

@@ -1,0 +1,250 @@
+// Package faults is the deterministic fault-injection plan for the cold
+// storage device emulator. A Plan describes what can go wrong — transient
+// GET failures, stalled transfers, bit-flipped payloads, a whole-device
+// crash window — and an Injector turns the plan into per-transfer
+// decisions. Every decision is a pure function of (seed, object id,
+// attempt number), so a faulty run replays exactly under the virtual
+// clock: the same seed yields the same faults in the same places, no
+// matter how requests interleave. That determinism is what makes the
+// chaos differential gate possible — a transient-only plan must produce
+// byte-identical query results to the clean run, because every injected
+// failure is retried to completion.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultMaxFaultsPerObject bounds how many times one object's transfers
+// may be failed or corrupted when the plan does not say. The bound keeps
+// any bounded-attempt retry policy convergent: an object can be unlucky,
+// but not unlucky forever.
+const DefaultMaxFaultsPerObject = 3
+
+// Plan is one device's fault schedule. The zero value injects nothing.
+type Plan struct {
+	// Seed keys every per-transfer decision. Two injectors with the same
+	// plan make identical decisions.
+	Seed int64
+	// TransientRate is the probability a transfer fails with a retryable
+	// TransientError after consuming its transfer time, in [0, 1].
+	TransientRate float64
+	// StallRate is the probability a transfer stalls for Stall extra
+	// virtual time before completing, in [0, 1]. Stalls deliver correct
+	// data; they model the latency spikes of a disk group spinning up
+	// under contention.
+	StallRate float64
+	// Stall is the extra transfer latency of a stalled delivery.
+	Stall time.Duration
+	// CorruptRate is the probability a transfer delivers a bit-flipped
+	// payload, in [0, 1]. The client detects it by checksum and re-requests.
+	CorruptRate float64
+	// MaxFaultsPerObject caps the transient + corrupt injections charged
+	// to any single object. 0 means DefaultMaxFaultsPerObject; negative
+	// means unlimited (retry policies will exhaust — useful for testing
+	// the exhaustion path, fatal for differential gates).
+	MaxFaultsPerObject int
+	// CrashAt, when positive, crash-stops the whole device at that
+	// virtual time: in-flight and queued transfers fail with a
+	// DeviceDownError, and new requests are refused while down.
+	CrashAt time.Duration
+	// CrashDowntime is how long the device stays down after CrashAt
+	// before restarting. 0 with CrashAt set means the crash is permanent
+	// for the run.
+	CrashDowntime time.Duration
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p Plan) Enabled() bool {
+	return p.TransientRate > 0 || p.StallRate > 0 || p.CorruptRate > 0 || p.CrashAt > 0
+}
+
+// Validate rejects rates outside [0, 1] and negative durations.
+func (p Plan) Validate() error {
+	check := func(name string, r float64) error {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("faults: %s %v outside [0, 1]", name, r)
+		}
+		return nil
+	}
+	if err := check("transient rate", p.TransientRate); err != nil {
+		return err
+	}
+	if err := check("stall rate", p.StallRate); err != nil {
+		return err
+	}
+	if err := check("corrupt rate", p.CorruptRate); err != nil {
+		return err
+	}
+	if p.Stall < 0 {
+		return fmt.Errorf("faults: negative stall %v", p.Stall)
+	}
+	if p.CrashAt < 0 {
+		return fmt.Errorf("faults: negative crash time %v", p.CrashAt)
+	}
+	if p.CrashDowntime < 0 {
+		return fmt.Errorf("faults: negative crash downtime %v", p.CrashDowntime)
+	}
+	if p.StallRate > 0 && p.Stall == 0 {
+		return fmt.Errorf("faults: stall rate %v with zero stall duration", p.StallRate)
+	}
+	return nil
+}
+
+// Outcome is the injector's verdict for one transfer.
+type Outcome struct {
+	// Fail delivers a TransientError instead of the payload.
+	Fail bool
+	// Stall adds extra virtual latency before the delivery (faulty or
+	// not) completes.
+	Stall time.Duration
+	// Corrupt delivers a bit-flipped copy of the payload.
+	Corrupt bool
+}
+
+// Stats counts injected faults. Snapshot via Injector.Stats.
+type Stats struct {
+	Transient int64
+	Stalls    int64
+	Corrupt   int64
+}
+
+// Injected sums the retry-forcing faults (transient + corrupt; stalls
+// only delay).
+func (s Stats) Injected() int64 { return s.Transient + s.Corrupt }
+
+// Injector makes per-transfer fault decisions for one device. Safe for
+// concurrent use; decisions depend only on the plan and each object's
+// own attempt counter, never on cross-object interleaving.
+type Injector struct {
+	plan Plan
+
+	mu      sync.Mutex
+	tries   map[string]int // transfers seen per object (roll index)
+	faulted map[string]int // transient+corrupt charged per object
+	stats   Stats
+}
+
+// New builds an injector for the plan. An invalid plan errors.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		plan:    plan,
+		tries:   make(map[string]int),
+		faulted: make(map[string]int),
+	}, nil
+}
+
+// MustNew is New for plans known valid (tests, default configs).
+func MustNew(plan Plan) *Injector {
+	in, err := New(plan)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// maxFaults resolves the per-object fault cap.
+func (in *Injector) maxFaults() int {
+	switch {
+	case in.plan.MaxFaultsPerObject == 0:
+		return DefaultMaxFaultsPerObject
+	case in.plan.MaxFaultsPerObject < 0:
+		return int(^uint(0) >> 1)
+	default:
+		return in.plan.MaxFaultsPerObject
+	}
+}
+
+// Transfer decides the fate of one transfer of the named object. Each
+// call advances the object's attempt counter, so a retry of a failed
+// transfer rolls fresh dice — and the per-object fault cap guarantees
+// the dice eventually come up clean.
+func (in *Injector) Transfer(object string) Outcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	k := in.tries[object]
+	in.tries[object] = k + 1
+	var out Outcome
+	if in.plan.StallRate > 0 && in.roll(object, k, saltStall) < in.plan.StallRate {
+		out.Stall = in.plan.Stall
+		in.stats.Stalls++
+	}
+	if in.faulted[object] >= in.maxFaults() {
+		return out
+	}
+	switch {
+	case in.plan.TransientRate > 0 && in.roll(object, k, saltTransient) < in.plan.TransientRate:
+		out.Fail = true
+		in.faulted[object]++
+		in.stats.Transient++
+	case in.plan.CorruptRate > 0 && in.roll(object, k, saltCorrupt) < in.plan.CorruptRate:
+		out.Corrupt = true
+		in.faulted[object]++
+		in.stats.Corrupt++
+	}
+	return out
+}
+
+// Attempts returns how many transfers of the object the injector has
+// judged — the retry count plus one once the object finally lands.
+func (in *Injector) Attempts(object string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.tries[object]
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Decision salts keep the three roll streams independent: a transfer can
+// stall and fail, and raising the stall rate never shifts which
+// transfers go on to fail.
+const (
+	saltTransient = 0x74726e73 // "trns"
+	saltStall     = 0x73746c6c // "stll"
+	saltCorrupt   = 0x63727074 // "crpt"
+)
+
+// roll maps (seed, object, attempt, salt) to a uniform float in [0, 1)
+// via an FNV-1a accumulation finished with a splitmix64 avalanche. No
+// shared state: the same arguments always roll the same number.
+func (in *Injector) roll(object string, attempt int, salt uint64) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(in.plan.Seed))
+	for i := 0; i < len(object); i++ {
+		h ^= uint64(object[i])
+		h *= prime64
+	}
+	mix(uint64(attempt))
+	mix(salt)
+	// splitmix64 finalizer: FNV alone is too linear in its low bits.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}

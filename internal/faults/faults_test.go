@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// A zero plan must never inject.
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := MustNew(Plan{})
+	for i := 0; i < 1000; i++ {
+		out := in.Transfer(fmt.Sprintf("t0/table/%04d", i%7))
+		if out.Fail || out.Corrupt || out.Stall != 0 {
+			t.Fatalf("zero plan injected %+v on transfer %d", out, i)
+		}
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("zero plan counted faults: %+v", st)
+	}
+}
+
+// Two injectors with the same plan must make identical decisions for the
+// same (object, attempt) sequence — the replay property every
+// differential gate relies on.
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{Seed: 42, TransientRate: 0.3, StallRate: 0.2, Stall: 5 * time.Millisecond, CorruptRate: 0.1}
+	a, b := MustNew(plan), MustNew(plan)
+	for i := 0; i < 500; i++ {
+		obj := fmt.Sprintf("t%d/lineitem/%04d", i%3, i%11)
+		oa, ob := a.Transfer(obj), b.Transfer(obj)
+		if oa != ob {
+			t.Fatalf("transfer %d of %s diverged: %+v vs %+v", i, obj, oa, ob)
+		}
+	}
+	if sa, sb := a.Stats(), b.Stats(); sa != sb {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+}
+
+// Decisions are per-object: interleaving transfers of other objects must
+// not shift an object's own fault schedule.
+func TestInterleavingIndependence(t *testing.T) {
+	plan := Plan{Seed: 7, TransientRate: 0.5, CorruptRate: 0.2}
+	solo := MustNew(plan)
+	mixed := MustNew(plan)
+	var soloOut, mixedOut []Outcome
+	for i := 0; i < 40; i++ {
+		soloOut = append(soloOut, solo.Transfer("t0/orders/0001"))
+	}
+	for i := 0; i < 40; i++ {
+		mixed.Transfer(fmt.Sprintf("t0/noise/%04d", i))
+		mixedOut = append(mixedOut, mixed.Transfer("t0/orders/0001"))
+		mixed.Transfer("t1/noise/0000")
+	}
+	for i := range soloOut {
+		if soloOut[i] != mixedOut[i] {
+			t.Fatalf("attempt %d shifted under interleaving: %+v vs %+v", i, soloOut[i], mixedOut[i])
+		}
+	}
+}
+
+// The per-object cap bounds transient+corrupt injections so bounded
+// retries always converge, even at rate 1.0.
+func TestFaultCapConverges(t *testing.T) {
+	in := MustNew(Plan{Seed: 1, TransientRate: 1.0, MaxFaultsPerObject: 2})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if in.Transfer("t0/part/0000").Fail {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("cap 2 allowed %d failures", fails)
+	}
+	// Other objects have their own budgets.
+	if !in.Transfer("t0/part/0001").Fail {
+		t.Fatalf("fresh object should still fault at rate 1.0")
+	}
+}
+
+// Negative cap means unlimited — the exhaustion-path testing knob.
+func TestUnlimitedFaults(t *testing.T) {
+	in := MustNew(Plan{Seed: 1, TransientRate: 1.0, MaxFaultsPerObject: -1})
+	for i := 0; i < 50; i++ {
+		if !in.Transfer("t0/part/0000").Fail {
+			t.Fatalf("unlimited plan stopped failing at attempt %d", i)
+		}
+	}
+}
+
+// Injection rates should land near the configured probability (loose
+// bounds — this guards against degenerate hashing, not statistics).
+func TestRatesRoughlyHold(t *testing.T) {
+	const n = 5000
+	in := MustNew(Plan{Seed: 99, TransientRate: 0.25, MaxFaultsPerObject: -1})
+	fails := 0
+	for i := 0; i < n; i++ {
+		if in.Transfer(fmt.Sprintf("obj/%06d", i)).Fail {
+			fails++
+		}
+	}
+	frac := float64(fails) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("transient rate 0.25 measured %.3f over %d transfers", frac, n)
+	}
+}
+
+// Raising the stall rate must not shift which transfers fail: the roll
+// streams are salted apart.
+func TestIndependentStreams(t *testing.T) {
+	base := MustNew(Plan{Seed: 5, TransientRate: 0.3, MaxFaultsPerObject: -1})
+	noisy := MustNew(Plan{Seed: 5, TransientRate: 0.3, StallRate: 0.9, Stall: time.Millisecond, MaxFaultsPerObject: -1})
+	for i := 0; i < 300; i++ {
+		obj := fmt.Sprintf("obj/%04d", i)
+		if base.Transfer(obj).Fail != noisy.Transfer(obj).Fail {
+			t.Fatalf("stall stream perturbed the transient stream at %s", obj)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{TransientRate: -0.1},
+		{TransientRate: 1.5},
+		{StallRate: 0.5},              // stall rate without duration
+		{Stall: -time.Second},         // negative stall
+		{CrashAt: -time.Second},       // negative crash time
+		{CrashDowntime: -time.Second}, // negative downtime
+		{CorruptRate: 2},              // over 1
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d (%+v) validated", i, p)
+		}
+	}
+	good := Plan{Seed: 3, TransientRate: 0.1, StallRate: 0.1, Stall: time.Millisecond, CorruptRate: 0.1, CrashAt: time.Second, CrashDowntime: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if !good.Enabled() {
+		t.Errorf("plan with rates not Enabled")
+	}
+	if (Plan{}).Enabled() {
+		t.Errorf("zero plan Enabled")
+	}
+}

@@ -434,6 +434,14 @@ func (m *manager) processArrival(seg *segment.Segment) error {
 // objects, evicting under pressure — and runs the subplans it makes
 // runnable. Shared tail of the serial and pipelined receive paths.
 func (m *manager) admitArrival(id segment.ObjectID, rel int, batch *tuple.Batch) {
+	if _, cached := m.cache[id]; cached {
+		// Redelivery of a resident object — a fault-recovery re-request
+		// racing a coalesced transfer can hand the proxy the same object
+		// twice. Admitting it again would append a duplicate cacheOrder
+		// slot and corrupt eviction; just (re)run whatever it unblocks.
+		m.executeRunnableWith(id)
+		return
+	}
 	if m.cfg.Pruning && batch.Len() == 0 {
 		m.pruneObject(id)
 		return

@@ -1,0 +1,55 @@
+package mjoin
+
+import (
+	"testing"
+
+	"repro/internal/segment"
+)
+
+// dupSource wraps scriptSource and delivers the first object of every
+// request batch twice — the shape a fault-recovery re-request racing a
+// coalesced transfer hands the state manager: a duplicate arrival of an
+// object that is already resident. The manager consumes exactly one
+// arrival per requested object, so the extra delivery stays queued and
+// shifts the next cycle's arrivals — each cycle's tail object then
+// arrives at the head of the following cycle, which is also legal.
+type dupSource struct {
+	scriptSource
+	dups int
+}
+
+func (s *dupSource) Request(objs []segment.ObjectID) {
+	if len(objs) >= 1 {
+		objs = append([]segment.ObjectID{objs[0]}, objs...)
+		s.dups++
+	}
+	s.scriptSource.Request(objs)
+}
+
+// TestRedeliveredArrivalNotDoubleAdmitted pins the double-admit guard:
+// before it, a duplicate arrival of a cached object appended a second
+// cacheOrder slot, and the stale slot later surfaced as a non-cached
+// eviction victim (panic) or broke the cache-size accounting. With the
+// guard, redeliveries are folded in as no-ops and results still match
+// the pull-engine baseline, with and without cache pressure.
+func TestRedeliveredArrivalNotDoubleAdmitted(t *testing.T) {
+	cat, store := buildDB(t, []relSpec{
+		{name: "a", col: "ak", keys: seqKeys(40), perSeg: 5}, // 8 segments
+		{name: "b", col: "bk", keys: seqKeys(40), perSeg: 5}, // 8 segments
+	})
+	q := twoWayQuery(cat)
+	want := baselineJoin(t, q, store)
+	for _, cache := range []int{3, 100} {
+		src := &dupSource{scriptSource: scriptSource{store: store}}
+		res, err := Run(q, DefaultConfig(cache), src)
+		if err != nil {
+			t.Fatalf("cache %d: %v", cache, err)
+		}
+		if src.dups == 0 {
+			t.Fatalf("cache %d: source injected no duplicate deliveries — test is vacuous", cache)
+		}
+		if !equalMultisets(res.Rows, want) {
+			t.Fatalf("cache %d: result mismatch with duplicate deliveries (%d vs %d rows)", cache, len(res.Rows), len(want))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package segcache
+
+import "testing"
+
+// Invalidating an unpinned entry removes it immediately and reclaims its
+// budget share.
+func TestInvalidateUnpinned(t *testing.T) {
+	c := New(3)
+	c.Put(oid(1), seg(1, 1))
+	c.Put(oid(2), seg(2, 1))
+	if !c.Invalidate(oid(1)) {
+		t.Fatalf("resident entry not invalidated")
+	}
+	if _, ok := c.Get(oid(1)); ok {
+		t.Fatalf("invalidated entry still served")
+	}
+	if c.Contains(oid(1)) {
+		t.Fatalf("invalidated entry still resident")
+	}
+	st := c.Stats()
+	if st.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want 1", st.Invalidated)
+	}
+	if st.BytesCached != 1 || st.Entries != 1 {
+		t.Fatalf("budget not reclaimed: %+v", st)
+	}
+	// The freed space is usable again.
+	if !c.Put(oid(3), seg(3, 2)) {
+		t.Fatalf("freed space not admitting")
+	}
+}
+
+// Invalidating a missing entry reports false.
+func TestInvalidateMissing(t *testing.T) {
+	c := New(2)
+	if c.Invalidate(oid(9)) {
+		t.Fatalf("missing entry reported invalidated")
+	}
+	if st := c.Stats(); st.Invalidated != 0 {
+		t.Fatalf("Invalidated = %d, want 0", st.Invalidated)
+	}
+}
+
+// A pinned entry is doomed, not removed: Gets miss at once, the budget
+// share stays charged until the last Unpin, then the removal completes.
+func TestInvalidatePinnedDefersRemoval(t *testing.T) {
+	c := New(2)
+	c.Put(oid(1), seg(1, 1))
+	if !c.Pin(oid(1)) {
+		t.Fatalf("pin failed")
+	}
+	if !c.Pin(oid(1)) { // pins nest
+		t.Fatalf("second pin failed")
+	}
+	if !c.Invalidate(oid(1)) {
+		t.Fatalf("pinned entry not acknowledged")
+	}
+	if _, ok := c.Get(oid(1)); ok {
+		t.Fatalf("doomed entry still served")
+	}
+	if c.Contains(oid(1)) {
+		t.Fatalf("doomed entry reported resident")
+	}
+	// New pins must not attach to doomed data.
+	if c.Pin(oid(1)) {
+		t.Fatalf("pinned a doomed entry")
+	}
+	// The budget share is still charged while pinned.
+	if st := c.Stats(); st.BytesCached != 1 || st.PinnedBytes != 1 || st.Invalidated != 0 {
+		t.Fatalf("doomed accounting wrong: %+v", st)
+	}
+	// Re-putting while doomed is a rejection, not a refresh.
+	if c.Put(oid(1), seg(1, 1)) {
+		t.Fatalf("Put refreshed a doomed entry")
+	}
+	c.Unpin(oid(1))
+	if st := c.Stats(); st.Invalidated != 0 {
+		t.Fatalf("removal completed with a pin still held: %+v", st)
+	}
+	c.Unpin(oid(1))
+	st := c.Stats()
+	if st.Invalidated != 1 || st.BytesCached != 0 || st.PinnedBytes != 0 || st.Entries != 0 {
+		t.Fatalf("deferred removal did not complete: %+v", st)
+	}
+	// The slot is free again.
+	if !c.Put(oid(1), seg(1, 1)) {
+		t.Fatalf("slot not reusable after deferred removal")
+	}
+	if _, ok := c.Get(oid(1)); !ok {
+		t.Fatalf("fresh entry not served after re-put")
+	}
+}
+
+// Invalidate twice: the second call on a doomed entry stays acknowledged
+// without double-counting once removal completes.
+func TestInvalidateIdempotentOnDoomed(t *testing.T) {
+	c := New(2)
+	c.Put(oid(1), seg(1, 1))
+	c.Pin(oid(1))
+	if !c.Invalidate(oid(1)) || !c.Invalidate(oid(1)) {
+		t.Fatalf("doomed entry not acknowledged")
+	}
+	c.Unpin(oid(1))
+	if st := c.Stats(); st.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want 1", st.Invalidated)
+	}
+}
+
+// Invalidation is not eviction: the byte counters stay distinct.
+func TestInvalidateNotCountedAsEviction(t *testing.T) {
+	c := New(1)
+	c.Put(oid(1), seg(1, 1))
+	c.Invalidate(oid(1))
+	st := c.Stats()
+	if st.Evicted != 0 || st.BytesEvicted != 0 {
+		t.Fatalf("invalidation charged to eviction: %+v", st)
+	}
+}

@@ -38,6 +38,10 @@ type Stats struct {
 	// victims dropped for space, and inserts refused because the budget
 	// could not be met by evicting unpinned entries.
 	Inserted, Evicted, Rejected int64
+	// Invalidated counts entries dropped through Invalidate — the corrupt
+	// quarantine path. A pinned entry counts when its deferred removal
+	// completes at the last Unpin.
+	Invalidated int64
 	// BytesEvicted sums the nominal sizes of evicted entries.
 	BytesEvicted int64
 	// Entries / BytesCached describe the current contents.
@@ -57,6 +61,9 @@ type entry struct {
 	size int64
 	elem *list.Element
 	pins int
+	// doomed marks an invalidated entry that pins kept alive: it serves
+	// no further Gets and is removed when the last pin drops.
+	doomed bool
 }
 
 // Cache is the shared segment cache. Create with New; the zero value is
@@ -103,7 +110,7 @@ func (c *Cache) Get(id segment.ObjectID) (*segment.Segment, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[id]
-	if !ok {
+	if !ok || e.doomed {
 		c.stats.Misses++
 		return nil, false
 	}
@@ -118,8 +125,8 @@ func (c *Cache) Get(id segment.ObjectID) (*segment.Segment, bool) {
 func (c *Cache) Contains(id segment.ObjectID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.entries[id]
-	return ok
+	e, ok := c.entries[id]
+	return ok && !e.doomed
 }
 
 // Put admits the segment, evicting least-recently-used unpinned entries
@@ -130,6 +137,12 @@ func (c *Cache) Put(id segment.ObjectID, seg *segment.Segment) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[id]; ok {
+		if e.doomed {
+			// A doomed entry occupies the slot until its pins drop; the
+			// fresh payload is simply not cached this round.
+			c.stats.Rejected++
+			return false
+		}
 		c.lru.MoveToFront(e.elem)
 		return true
 	}
@@ -167,18 +180,20 @@ func (c *Cache) makeRoom(sz int64) bool {
 		if el == nil {
 			return false // unreachable given the precheck
 		}
-		c.removeLocked(el.Value.(*entry))
+		victim := el.Value.(*entry)
+		c.removeLocked(victim)
 		c.stats.Evicted++
+		c.stats.BytesEvicted += victim.size
 	}
 	return true
 }
 
-// removeLocked drops an entry. Caller holds c.mu.
+// removeLocked drops an entry. Caller holds c.mu and accounts the drop
+// (eviction vs invalidation) itself.
 func (c *Cache) removeLocked(e *entry) {
 	c.lru.Remove(e.elem)
 	delete(c.entries, e.id)
 	c.used -= e.size
-	c.stats.BytesEvicted += e.size
 }
 
 // Pin marks a resident object unevictable until a matching Unpin. Pins
@@ -188,7 +203,7 @@ func (c *Cache) Pin(id segment.ObjectID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[id]
-	if !ok {
+	if !ok || e.doomed {
 		return false
 	}
 	if e.pins == 0 {
@@ -210,7 +225,35 @@ func (c *Cache) Unpin(id segment.ObjectID) {
 	e.pins--
 	if e.pins == 0 {
 		c.pinned -= e.size
+		if e.doomed {
+			// Complete the invalidation the pins deferred.
+			c.removeLocked(e)
+			c.stats.Invalidated++
+		}
 	}
+}
+
+// Invalidate drops the cached entry for id — the quarantine hook for
+// segments that failed their checksum. An unpinned entry is removed
+// immediately; a pinned entry is doomed instead: it stops serving Gets
+// and Contains at once (readers holding the segment pointer are
+// unaffected — segments are immutable from the cache's point of view)
+// and its budget share is reclaimed when the last pin drops. Returns
+// whether an entry was resident.
+func (c *Cache) Invalidate(id segment.ObjectID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	if e.pins > 0 {
+		e.doomed = true
+		return true
+	}
+	c.removeLocked(e)
+	c.stats.Invalidated++
+	return true
 }
 
 // Stats returns a snapshot of the counters.

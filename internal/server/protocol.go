@@ -100,6 +100,10 @@ type Response struct {
 	Gets      int   `json:"gets,omitempty"`
 	CacheHits int   `json:"cache_hits,omitempty"`
 	Pruned    int   `json:"pruned,omitempty"`
+	// Retries counts GET re-requests the proxy issued after retryable
+	// faults (transient failures, crash windows, corrupt deliveries);
+	// zero — and absent from the frame — on a clean device.
+	Retries int `json:"retries,omitempty"`
 	// TraceID names the span capture of this query (traced queries only;
 	// retrieve with TRACE <id>). Error frames of traced queries carry it
 	// too — a trace of a failed query is exactly what one wants to read.

@@ -15,7 +15,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/csd"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/segcache"
 	"repro/internal/segment"
@@ -49,6 +51,17 @@ type Config struct {
 	// Pipeline, when non-nil, enables the PR 6 async pipeline (prefetch
 	// + decode workers) for every query run.
 	Pipeline *skipper.PipelineConfig
+	// Faults, when non-nil, runs every query against a device injecting
+	// this fault plan. Each query run builds a fresh injector from the
+	// plan — fault decisions are a pure function of (seed, object,
+	// attempt), so every query sees the same deterministic schedule on
+	// its own virtual clock regardless of serving concurrency, and a
+	// crash window hits each affected query at the same point of its own
+	// run while other queries and tenants keep serving.
+	Faults *faults.Plan
+	// Retry overrides the per-query fault-recovery policy (nil uses
+	// skipper.DefaultRetryPolicy).
+	Retry *skipper.RetryPolicy
 	// MaxTenants bounds acceptable tenant ids to [0, MaxTenants).
 	// Default 8.
 	MaxTenants int
@@ -96,6 +109,12 @@ type tenantState struct {
 	counters metrics.AdmissionCounters
 	latency  metrics.LatencySketch
 	cache    *segcache.Cache // nil when SegCacheObjects is 0
+	// Fault/recovery accounting, aggregated across the tenant's queries:
+	// faults the device injected, retries the proxy issued, corrupt
+	// deliveries the checksum caught.
+	faultsInjected  atomic.Int64
+	retries         atomic.Int64
+	corruptSegments atomic.Int64
 }
 
 // Server is the long-lived serving front end. Construct with New,
@@ -134,6 +153,11 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.Dataset == nil {
 		return nil, fmt.Errorf("server: config has no dataset")
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	if cfg.MaxTenants <= 0 {
 		cfg.MaxTenants = 8
@@ -395,6 +419,15 @@ func (s *Server) registerTenantMetrics(tenant int, ts *tenantState) {
 	s.reg.Summary("skipper_query_latency_seconds",
 		"Wall latency of served queries, queue wait included.", label(),
 		&ts.latency)
+	s.reg.CounterFunc("skipper_faults_injected",
+		"Faults the device's fault plan injected into this tenant's queries.", label(),
+		func() float64 { return float64(ts.faultsInjected.Load()) })
+	s.reg.CounterFunc("skipper_retries",
+		"GET re-requests the client proxy issued after retryable faults.", label(),
+		func() float64 { return float64(ts.retries.Load()) })
+	s.reg.CounterFunc("skipper_corrupt_segments",
+		"Deliveries the end-to-end checksum rejected as corrupt.", label(),
+		func() float64 { return float64(ts.corruptSegments.Load()) })
 }
 
 // runQuery is the serving path: plan, admit, execute, account. Traced
@@ -486,6 +519,7 @@ func (s *Server) runQueryTraced(req *Request, tenant int, ts *tenantState, qt *t
 		Gets:      cs.GetsIssued,
 		CacheHits: cs.CacheHits,
 		Pruned:    cs.SegmentsSkipped,
+		Retries:   cs.Retries,
 	}
 }
 
@@ -556,11 +590,26 @@ func (s *Server) execute(ctx context.Context, tenant int, ts *tenantState, spec 
 		StatsPruning: &prune,
 		SegCache:     ts.cache,
 		Pipeline:     s.cfg.Pipeline,
+		Retry:        s.cfg.Retry,
 		KeepResults:  true,
 		Ctx:          ctx,
 		QTrace:       qt,
 	}
-	res, err := (&skipper.Cluster{Clients: []*skipper.Client{client}, Store: s.store}).Run()
+	cl := &skipper.Cluster{Clients: []*skipper.Client{client}, Store: s.store}
+	var inj *faults.Injector
+	if s.cfg.Faults != nil {
+		inj = faults.MustNew(*s.cfg.Faults) // fresh per query: deterministic schedule on its own virtual clock
+		cl.CSD = csd.Config{Faults: inj}
+	}
+	res, err := cl.Run()
+	// Fault accounting covers failed runs too — a query that exhausted
+	// its retries still observed every one of them.
+	cs := client.Stats()
+	ts.retries.Add(int64(cs.Retries))
+	ts.corruptSegments.Add(int64(cs.CorruptDeliveries))
+	if inj != nil {
+		ts.faultsInjected.Add(inj.Stats().Injected())
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -68,7 +68,9 @@ func (cl *Cluster) Run() (*RunResult, error) {
 		cl.Costs = DefaultCosts()
 	}
 	if cl.CSD.Scheduler == nil {
-		cl.CSD = csd.DefaultConfig()
+		def := csd.DefaultConfig()
+		def.Events, def.Faults = cl.CSD.Events, cl.CSD.Faults
+		cl.CSD = def
 	}
 	if cl.Events != nil && cl.CSD.Events == nil {
 		cl.CSD.Events = cl.Events
@@ -139,6 +141,9 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 	px.proc = p
 	px.ctx = c.Ctx
 	px.tr = c.QTrace
+	if c.Retry != nil {
+		px.retry = newRetryState(c.Retry)
+	}
 	if px.cache = c.SegCache; px.cache == nil {
 		px.cache = cl.SharedCache
 	}
@@ -160,7 +165,7 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 			return fmt.Errorf("skipper: tenant %d: workload canceled before query %s: %w", c.Tenant, spec.Name, err)
 		}
 		queryID := fmt.Sprintf("t%d.%s#%d", c.Tenant, spec.Name, qi)
-		px.query = queryID
+		px.beginQuery(queryID)
 		qspan := c.QTrace.BeginPhaseVirt(trace.CatQuery, queryID, p.Now())
 		if px.pf != nil {
 			// Disclose this query's and the next query's demand to the

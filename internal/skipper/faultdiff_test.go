@@ -1,0 +1,298 @@
+// Chaos differential suite: the same workloads the cache/pipeline
+// differentials run, executed against a device injecting retryable
+// faults — transient GET failures, stalls and corrupt payloads — must
+// produce byte-identical results to the clean run, across engine modes,
+// wire formats, DOP and pipeline on/off, while the GET accounting
+// extends to retries (every re-request is a device-visible GET). Crash
+// windows with a scheduled restart must also be survived; a permanent
+// crash must surface as a typed, non-retryable fault. Runs under CI's
+// -race job.
+package skipper_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/csd"
+	"repro/internal/faults"
+	"repro/internal/layout"
+	"repro/internal/segcache"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/workload"
+)
+
+// chaosPlan is the retryable-only fault plan of the differential: no
+// crash window, every injected fault recoverable by the retry policy
+// (the per-object cap guarantees convergence under MaxAttempts).
+func chaosPlan(seed int64) faults.Plan {
+	// Rates are high because the probe dataset is small (a handful of
+	// objects, further deduplicated by transfer coalescing): at paper-
+	// scale rates a run would roll the dice a dozen times and usually
+	// inject nothing, making the differential vacuous.
+	return faults.Plan{
+		Seed:               seed,
+		TransientRate:      0.40,
+		StallRate:          0.20,
+		Stall:              3 * time.Second,
+		CorruptRate:        0.25,
+		MaxFaultsPerObject: 3,
+	}
+}
+
+// runChaos executes the 2-pass probe workload on two tenants sharing
+// the dataset and one segment cache, against a device running the given
+// fault plan (zero plan = clean oracle).
+func runChaos(t *testing.T, ds *workload.Dataset, mode skipper.Mode, dop int,
+	pc *skipper.PipelineConfig, plan faults.Plan, retry *skipper.RetryPolicy) (*skipper.RunResult, *faults.Injector) {
+	t.Helper()
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	var inj *faults.Injector
+	if plan.Enabled() {
+		inj = faults.MustNew(plan)
+	}
+	clients := make([]*skipper.Client, 2)
+	for tn := range clients {
+		clients[tn] = &skipper.Client{
+			Tenant:       tn,
+			Mode:         mode,
+			Catalog:      ds.Catalog,
+			Queries:      workload.MultiPass(ds.Catalog, 2),
+			CacheObjects: 6,
+			Parallelism:  dop,
+			KeepResults:  true,
+			Pipeline:     pc,
+			Retry:        retry,
+		}
+	}
+	cl := &skipper.Cluster{
+		Clients:     clients,
+		Layout:      layout.RoundRobinObjects{NumGroups: 3},
+		Store:       store,
+		SharedCache: segcache.NewObjects(len(ds.Catalog.AllObjects())),
+		CSD:         csd.Config{Faults: inj},
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatalf("mode=%v dop=%d pipeline=%v faults=%v: %v", mode, dop, pc != nil, plan.Enabled(), err)
+	}
+	return res, inj
+}
+
+func TestChaosDifferential(t *testing.T) {
+	for _, format := range []segment.Format{segment.FormatV1, segment.FormatV2} {
+		ds := sharedDataset(t, format)
+		for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+			for _, dop := range []int{1, 4} {
+				for _, pipe := range []bool{false, true} {
+					name := fmt.Sprintf("%v/%v/dop%d/pipe=%v", format, mode, dop, pipe)
+					t.Run(name, func(t *testing.T) {
+						var pc *skipper.PipelineConfig
+						if pipe {
+							pc = pipelineOn()
+						}
+						clean, _ := runChaos(t, ds, mode, dop, pc, faults.Plan{}, nil)
+						chaotic, inj := runChaos(t, ds, mode, dop, pc, chaosPlan(42), nil)
+						// Anti-vacuous: the plan must actually have fired, and the
+						// clients must actually have recovered.
+						st := inj.Stats()
+						if st.Injected() == 0 {
+							t.Fatal("fault plan injected nothing — differential is vacuous")
+						}
+						retries, faultsSeen := 0, 0
+						for _, cs := range chaotic.Clients {
+							retries += cs.Retries
+							faultsSeen += cs.TransientFaults + cs.CorruptDeliveries
+						}
+						if st.Transient+st.Corrupt > 0 && faultsSeen == 0 {
+							t.Fatalf("injector reports %d transient + %d corrupt but clients observed nothing",
+								st.Transient, st.Corrupt)
+						}
+						// Without a prefetcher every observed fault lands on the
+						// demand path, which must recover by retrying. (With the
+						// pipeline on, a fault on a prefetch transfer is instead
+						// recovered by dropping the candidate — the demand refetch
+						// only retries if it faults again.)
+						if !pipe && faultsSeen > 0 && retries == 0 {
+							t.Fatalf("%d demand-path faults recovered without a retry", faultsSeen)
+						}
+						requireSameResults(t, chaotic, clean)
+						// GET conservation extends to retries: every re-request is a
+						// device-visible GET, so per tenant the device's received
+						// count must equal issued - cache hits - prefetch-served +
+						// prefetch-issued, exactly as in the clean accounting.
+						for _, cs := range chaotic.Clients {
+							device := chaotic.CSD.GetsByTenant[cs.Tenant]
+							want := cs.GetsIssued - cs.CacheHits - cs.PrefetchServed + cs.PrefetchIssued
+							if device != want {
+								t.Fatalf("tenant %d: device saw %d GETs, accounting says %d (issued %d, hits %d, pf served %d, pf issued %d, retries %d)",
+									cs.Tenant, device, want, cs.GetsIssued, cs.CacheHits, cs.PrefetchServed, cs.PrefetchIssued, cs.Retries)
+							}
+						}
+						// Nothing pinned once the run is over.
+						if chaotic.Cache.PinnedBytes != 0 {
+							t.Fatalf("run left %d bytes pinned", chaotic.Cache.PinnedBytes)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestCrashRestartSurvived: a crash window in the middle of the run
+// with a scheduled restart must be survived by both engines — refused
+// and failed GETs are retried with backoff until the device returns,
+// and results still match the clean oracle.
+func TestCrashRestartSurvived(t *testing.T) {
+	ds := sharedDataset(t, segment.FormatV2)
+	// Backoff sums must be able to outlast the downtime; unlimited budget
+	// because a crash fails every outstanding object at once.
+	retry := &skipper.RetryPolicy{MaxAttempts: 40, BaseBackoff: 500 * time.Millisecond, MaxBackoff: 8 * time.Second, Budget: -1}
+	plan := faults.Plan{Seed: 7, CrashAt: 15 * time.Second, CrashDowntime: 20 * time.Second}
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		for _, pipe := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/pipe=%v", mode, pipe), func(t *testing.T) {
+				var pc *skipper.PipelineConfig
+				if pipe {
+					pc = pipelineOn()
+				}
+				clean, _ := runChaos(t, ds, mode, 1, pc, faults.Plan{}, nil)
+				crashed, _ := runChaos(t, ds, mode, 1, pc, plan, retry)
+				if crashed.CSD.Crashes != 1 || crashed.CSD.Restarts != 1 {
+					t.Fatalf("crashes=%d restarts=%d, want 1/1", crashed.CSD.Crashes, crashed.CSD.Restarts)
+				}
+				retries := 0
+				for _, cs := range crashed.Clients {
+					retries += cs.Retries
+				}
+				if retries == 0 {
+					t.Fatal("crash window survived without a single retry — schedule missed the run")
+				}
+				requireSameResults(t, crashed, clean)
+			})
+		}
+	}
+}
+
+// TestPermanentCrashTyped: a crash with no restart is not retryable —
+// the run must fail promptly with the typed DeviceDownError (wrapped in
+// the query error chain), not burn the retry policy against a dead box.
+func TestPermanentCrashTyped(t *testing.T) {
+	ds := sharedDataset(t, segment.FormatV2)
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	inj := faults.MustNew(faults.Plan{Seed: 7, CrashAt: 15 * time.Second})
+	cl := &skipper.Cluster{
+		Clients: []*skipper.Client{{
+			Tenant: 0, Mode: skipper.ModeSkipper, Catalog: ds.Catalog,
+			Queries: workload.MultiPass(ds.Catalog, 2), CacheObjects: 6,
+		}},
+		Layout: layout.RoundRobinObjects{NumGroups: 3},
+		Store:  store,
+		CSD:    csd.Config{Faults: inj},
+	}
+	_, err := cl.Run()
+	if err == nil {
+		t.Fatal("run over a permanently crashed device succeeded")
+	}
+	var de *csd.DeviceDownError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v does not carry a DeviceDownError", err)
+	}
+	if de.Restarting {
+		t.Fatal("permanent crash reported Restarting=true")
+	}
+	if !skipper.IsFaultError(err) {
+		t.Fatalf("IsFaultError(%v) = false, want true", err)
+	}
+}
+
+// TestCancelDuringRetryBackoff: a context that expires while the proxy
+// is in fault recovery (an endless transient storm keeps it in the
+// backoff loop) must abort the run with the context error, drain the
+// pipeline machinery and leave no cache pins or goroutines behind.
+func TestCancelDuringRetryBackoff(t *testing.T) {
+	ds := sharedDataset(t, segment.FormatV2)
+	// Every transfer fails, forever: without cancellation this plan can
+	// only end in retry exhaustion, so an unlimited policy pins the run
+	// inside the recovery loop until the deadline fires.
+	plan := faults.Plan{Seed: 3, TransientRate: 1.0, MaxFaultsPerObject: -1}
+	retry := &skipper.RetryPolicy{MaxAttempts: 1 << 20, BaseBackoff: 250 * time.Millisecond, MaxBackoff: 8 * time.Second, Budget: -1}
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			store := make(map[segment.ObjectID]*segment.Segment)
+			ds.MergeInto(store)
+			shared := segcache.NewObjects(len(ds.Catalog.AllObjects()))
+			cl := &skipper.Cluster{
+				Clients: []*skipper.Client{{
+					Tenant: 0, Mode: mode, Catalog: ds.Catalog,
+					Queries: workload.MultiPass(ds.Catalog, 2), CacheObjects: 6,
+					Pipeline: pipelineOn(), Ctx: ctx, Retry: retry,
+				}},
+				Layout:      layout.RoundRobinObjects{NumGroups: 3},
+				Store:       store,
+				SharedCache: shared,
+				CSD:         csd.Config{Faults: faults.MustNew(plan)},
+			}
+			_, err := cl.Run()
+			if err == nil {
+				t.Fatal("canceled retry storm completed successfully")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+			}
+			if st := shared.Stats(); st.PinnedBytes != 0 {
+				t.Fatalf("aborted run left %d bytes pinned", st.PinnedBytes)
+			}
+			requireGoroutinesSettle(t, baseline)
+		})
+	}
+}
+
+// TestRetryExhaustionTyped: when the per-object fault cap exceeds what
+// the policy will spend, the query must fail with RetryExhaustedError —
+// carrying the object and attempt count — rather than loop forever.
+func TestRetryExhaustionTyped(t *testing.T) {
+	ds := sharedDataset(t, segment.FormatV2)
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	plan := faults.Plan{Seed: 3, TransientRate: 1.0, MaxFaultsPerObject: -1}
+	retry := &skipper.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond, Budget: -1}
+	cl := &skipper.Cluster{
+		Clients: []*skipper.Client{{
+			Tenant: 0, Mode: skipper.ModeSkipper, Catalog: ds.Catalog,
+			Queries: workload.MultiPass(ds.Catalog, 1), CacheObjects: 6,
+			Retry: retry,
+		}},
+		Layout: layout.RoundRobinObjects{NumGroups: 3},
+		Store:  store,
+		CSD:    csd.Config{Faults: faults.MustNew(plan)},
+	}
+	_, err := cl.Run()
+	if err == nil {
+		t.Fatal("unrecoverable transient storm completed successfully")
+	}
+	var re *skipper.RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v does not carry a RetryExhaustedError", err)
+	}
+	if re.Attempts != retry.MaxAttempts {
+		t.Fatalf("exhausted after %d attempts, policy allows %d", re.Attempts, retry.MaxAttempts)
+	}
+	var te *csd.TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("exhaustion error %v does not wrap the last TransientError", err)
+	}
+	if !skipper.IsFaultError(err) {
+		t.Fatalf("IsFaultError(%v) = false, want true", err)
+	}
+}

@@ -90,8 +90,11 @@ type prefetcher struct {
 	admitted map[segment.ObjectID]bool
 
 	stopped bool
-	// failed is set on the first error delivery (device fail-stop): the
-	// prefetcher stops issuing and lets the demand path surface the error.
+	// failed is set on the first fatal error delivery (device fail-stop
+	// or permanent crash): the prefetcher stops issuing and lets the
+	// demand path surface the error. Retryable faults do not set it —
+	// the affected object is simply dropped and left to the demand path,
+	// whose retry policy owns recovery.
 	failed bool
 }
 
@@ -242,9 +245,12 @@ func (pf *prefetcher) dropQueued(i int) {
 }
 
 // complete folds one delivery into prefetcher state: admit to the
-// segment cache when there is one, stage otherwise. An error delivery
-// (device fail-stop) quiesces the prefetcher — the demand path will
-// observe the same error and abort the query.
+// segment cache when there is one, stage otherwise. A fatal error
+// delivery (device fail-stop) quiesces the prefetcher — the demand path
+// will observe the same error and abort the query. A retryable fault or
+// a checksum-failed payload just releases the slot: prefetch is an
+// optimization, so the object is left for the demand path, whose retry
+// policy owns recovery; nothing corrupt is ever admitted or staged.
 func (pf *prefetcher) complete(d csd.Delivery) {
 	b, ok := pf.inflight[d.Object]
 	if !ok {
@@ -253,8 +259,16 @@ func (pf *prefetcher) complete(d csd.Delivery) {
 	delete(pf.inflight, d.Object)
 	pf.inflightBytes -= b
 	if d.Err != nil {
+		if csd.IsRetryable(d.Err) {
+			pf.stats.TransientFaults++
+			return
+		}
 		pf.failed = true
 		pf.queue, pf.queued = nil, make(map[segment.ObjectID]bool)
+		return
+	}
+	if err := d.Seg.VerifyChecksum(); err != nil {
+		pf.stats.CorruptDeliveries++
 		return
 	}
 	if pf.cache != nil {

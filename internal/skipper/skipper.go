@@ -127,6 +127,16 @@ type ClientStats struct {
 	PrefetchIssued int
 	PrefetchServed int
 	PrefetchUseful int
+	// TransientFaults and CorruptDeliveries count the retryable faults
+	// this client observed on the demand path; Retries counts the
+	// re-requests the proxy issued in response (each also counts in
+	// GetsIssued — GET conservation holds per attempt); RetryBackoff is
+	// the virtual time spent waiting between attempts. All zero when the
+	// device runs without a fault plan.
+	TransientFaults   int
+	CorruptDeliveries int
+	Retries           int
+	RetryBackoff      time.Duration
 	// Pipe is the wall-clock pipeline accounting: real time the client's
 	// consumers spent blocked on fetch and decode versus the decode time
 	// the pipeline hid behind compute. Populated (as the inline baseline,
@@ -205,6 +215,11 @@ type Client struct {
 	// storage timing (virtual), decode workers change wall-clock time
 	// (real) only.
 	Pipeline *PipelineConfig
+	// Retry overrides the proxy's fault-recovery policy; nil uses
+	// DefaultRetryPolicy. The policy only engages when a delivery carries
+	// a retryable fault or a checksum failure — against a clean device it
+	// never runs, so the default is always safe.
+	Retry *RetryPolicy
 	// Ctx, when non-nil, bounds the client's execution in real time: once
 	// the context is canceled or its deadline passes, the workload aborts
 	// with an error wrapping ctx.Err() at the next query boundary or
@@ -272,6 +287,13 @@ type proxy struct {
 	// tr, when non-nil, receives stall spans from NextArrival. The proxy
 	// always runs on its owning proc, so spans carry both clocks.
 	tr *trace.QueryTrace
+	// retry is the fault-recovery bookkeeping: the active policy plus the
+	// per-query attempt counts and budget (reset by beginQuery).
+	retry *retryState
+	// deferred holds retryable-fault deliveries TryNextArrival set aside:
+	// recovery blocks (backoff sleeps on the virtual clock), which the
+	// non-blocking path must not do, so NextArrival drains these first.
+	deferred []csd.Delivery
 }
 
 func newProxy(sim *vtime.Sim, dev *csd.CSD, tenant int, stats *ClientStats) *proxy {
@@ -281,7 +303,15 @@ func newProxy(sim *vtime.Sim, dev *csd.CSD, tenant int, stats *ClientStats) *pro
 		tenant: tenant,
 		stats:  stats,
 		reply:  vtime.NewChan[csd.Delivery](sim, fmt.Sprintf("proxy.t%d.reply", tenant), 1<<20),
+		retry:  newRetryState(nil),
 	}
+}
+
+// beginQuery names the query for request tagging and resets the
+// per-query retry caps.
+func (px *proxy) beginQuery(queryID string) {
+	px.query = queryID
+	px.retry.beginQuery()
 }
 
 // Request implements mjoin.Source: issue tagged GETs for a batch,
@@ -320,31 +350,53 @@ func (px *proxy) Request(objs []segment.ObjectID) {
 
 // NextArrival implements mjoin.Source: block until one object arrives,
 // recording the stall and admitting device deliveries into the cache.
+// This is also where fault recovery lives: a retryable error delivery or
+// a checksum-failed payload triggers backoff and a re-request (see
+// retry.go), and the loop keeps receiving — the replacement arrives on
+// the same reply channel, possibly after other objects, so callers still
+// see exactly one clean arrival per requested object. Deliveries the
+// non-blocking path set aside are drained first.
 func (px *proxy) NextArrival() (*segment.Segment, error) {
-	if px.ctx != nil {
-		if err := px.ctx.Err(); err != nil {
-			return nil, fmt.Errorf("tenant %d: query canceled awaiting arrival: %w", px.tenant, err)
+	for {
+		if px.ctx != nil {
+			if err := px.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("tenant %d: query canceled awaiting arrival: %w", px.tenant, err)
+			}
+		}
+		var d csd.Delivery
+		if len(px.deferred) > 0 {
+			d = px.deferred[0]
+			px.deferred = px.deferred[1:]
+		} else {
+			from := px.proc.Now()
+			var wallFrom time.Time
+			if px.tr.Enabled() {
+				wallFrom = time.Now()
+			}
+			d = px.reply.Recv(px.proc)
+			if to := px.proc.Now(); to > from {
+				px.stats.StallIntervals = append(px.stats.StallIntervals, csd.Interval{From: from, To: to})
+				if px.tr.Enabled() {
+					px.tr.EmitVirt(trace.CatStall, px.query, wallFrom, from, to)
+				}
+			}
+		}
+		class, cause := classify(d)
+		switch class {
+		case deliveryOK:
+			if px.cache != nil {
+				px.cache.Put(d.Object, d.Seg)
+			}
+			return d.Seg, nil
+		case deliveryFatal:
+			return nil, cause
+		default:
+			if err := px.retryDelivery(d, class, cause); err != nil {
+				return nil, err
+			}
+			// Retry in flight; keep receiving.
 		}
 	}
-	from := px.proc.Now()
-	var wallFrom time.Time
-	if px.tr.Enabled() {
-		wallFrom = time.Now()
-	}
-	d := px.reply.Recv(px.proc)
-	if to := px.proc.Now(); to > from {
-		px.stats.StallIntervals = append(px.stats.StallIntervals, csd.Interval{From: from, To: to})
-		if px.tr.Enabled() {
-			px.tr.EmitVirt(trace.CatStall, px.query, wallFrom, from, to)
-		}
-	}
-	if d.Err != nil {
-		return nil, d.Err
-	}
-	if px.cache != nil {
-		px.cache.Put(d.Object, d.Seg)
-	}
-	return d.Seg, nil
 }
 
 // TryNextArrival implements mjoin.TryArrivalSource: a non-blocking
@@ -352,19 +404,29 @@ func (px *proxy) NextArrival() (*segment.Segment, error) {
 // cost (and admitted to the cache like any other); otherwise the caller
 // keeps working and blocks on NextArrival only when truly out of input —
 // which is what keeps the pipelined engine's virtual timing identical to
-// the serial path's.
+// the serial path's. A retryable-fault delivery is set aside rather than
+// recovered here: recovery backs off on the virtual clock, and this path
+// must not block, so the delivery waits in px.deferred for the next
+// blocking NextArrival (the engine always falls back to one when out of
+// work, so a deferred fault cannot strand the query).
 func (px *proxy) TryNextArrival() (*segment.Segment, bool, error) {
 	d, ok := px.reply.TryRecv(px.proc)
 	if !ok {
 		return nil, false, nil
 	}
-	if d.Err != nil {
-		return nil, false, d.Err
+	class, cause := classify(d)
+	switch class {
+	case deliveryOK:
+		if px.cache != nil {
+			px.cache.Put(d.Object, d.Seg)
+		}
+		return d.Seg, true, nil
+	case deliveryFatal:
+		return nil, false, cause
+	default:
+		px.deferred = append(px.deferred, d)
+		return nil, false, nil
 	}
-	if px.cache != nil {
-		px.cache.Put(d.Object, d.Seg)
-	}
-	return d.Seg, true, nil
 }
 
 // fetchSync is the vanilla path: one GET, wait, charge FUSE overhead.

@@ -33,6 +33,7 @@ const (
 	CatFetch     = "fetch"     // one segment GET (demand path)
 	CatDecode    = "decode"    // one segment decode
 	CatStall     = "stall"     // client blocked awaiting an arrival
+	CatRetry     = "retry"     // backoff + re-request after a retryable fault
 	CatCycle     = "cycle"     // one MJoin request/arrival cycle
 	CatOp        = "op"        // operator execution (shaping, drain)
 	CatDrain     = "drain"     // response rendering and write-back
