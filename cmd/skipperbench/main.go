@@ -53,6 +53,16 @@
 // degradation (makespan, extra device GETs, retries, backoff). Exits
 // non-zero on any divergence — the CI gate for the fault layer.
 //
+// -scale runs the scale-out report: first the fleet gate — the
+// repeated-query workload must produce byte-identical results on 1, 2
+// and 4 devices with and without replication (hot/full) across both
+// engines, the v1/v2 formats and DOP {1,4}, with GET conservation held
+// per device — then measures the makespan at each fleet size and under
+// a device-0 crash, with hot replication required to fail over (zero
+// failed queries when the device never restarts) and to degrade
+// strictly less than the unreplicated fleet. Exits non-zero on any
+// divergence — the CI gate for the fleet layer.
+//
 // -format selects the wire format the CSD store serves for figure runs:
 // mem (in-memory segments, no decode work — the default), v1, or v2.
 // Simulated timings are format-independent; real runtime and the byte
@@ -85,6 +95,7 @@ func main() {
 	cacheSweep := flag.Bool("cache", false, "run the shared segment cache sweep (budgets × repeated-query multi-tenant workload) and exit non-zero on any cache-on/off result divergence")
 	pipeline := flag.Bool("pipeline", false, "run the async-pipeline report (prefetch + decode workers, on/off, both engines; simulated and wall-clock time) and exit non-zero on any result divergence")
 	faultsReport := flag.Bool("faults", false, "run the fault-injection report (chaos gate: clean vs faulted byte-identical results; then a fault-rate sweep plus crash/restart with measured degradation) and exit non-zero on any divergence")
+	scaleReport := flag.Bool("scale", false, "run the scale-out report (gate: byte-identical results on 1/2/4 devices with and without replication; then fleet makespans plus device-0 crash scenarios with failover) and exit non-zero on any divergence")
 	rows := flag.Int("rows", 0, "override rows per 1 GB object (more rows = more decode work per object)")
 	segFormat := flag.String("format", "mem", "segment wire format served by the CSD store: mem, v1 or v2")
 	flag.Parse()
@@ -175,6 +186,20 @@ func main() {
 		f, err := p.FaultReport()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skipperbench: fault report: %v\n", err)
+			os.Exit(1)
+		}
+		if *outFmt == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f)
+		}
+		return
+	}
+
+	if *scaleReport {
+		f, err := p.ScaleReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipperbench: scale report: %v\n", err)
 			os.Exit(1)
 		}
 		if *outFmt == "csv" {

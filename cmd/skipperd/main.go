@@ -41,6 +41,7 @@ import (
 	"context"
 
 	"repro/internal/faults"
+	"repro/internal/layout"
 	"repro/internal/metrics"
 	"repro/internal/objstore"
 	"repro/internal/segment"
@@ -71,6 +72,8 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "enable the async execution pipeline: scheduler-aware prefetch plus concurrent decode workers")
 	prefetchGB := flag.Int("prefetch", 4, "prefetch budget in 1 GB objects ahead of demand (with -pipeline)")
 	decodeWorkers := flag.Int("decode-workers", 2, "background decode workers (with -pipeline)")
+	devices := flag.Int("devices", 1, "CSD fleet size every query runs against: disk groups spread across this many devices")
+	replication := flag.String("replication", "none", "object replication across the fleet: none, full, hot or hot:N (with -devices > 1)")
 
 	// Fault-injection flags (serve mode): a deterministic chaos schedule
 	// applied to every query's device run — the serving twin of
@@ -149,6 +152,13 @@ func main() {
 	if *pipeline {
 		pc = &skipper.PipelineConfig{PrefetchBytes: int64(*prefetchGB) * 1e9, DecodeWorkers: *decodeWorkers}
 	}
+	if *devices < 1 {
+		fatalf("-devices %d < 1", *devices)
+	}
+	rep, err := layout.ParseReplication(*replication)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	cfg := server.Config{
 		Dataset:         ds,
 		Mode:            mode,
@@ -156,6 +166,8 @@ func main() {
 		SegCacheObjects: *segCache,
 		Prune:           *prune,
 		Pipeline:        pc,
+		Devices:         *devices,
+		Replication:     rep,
 		MaxTenants:      *maxTenants,
 		Admission: server.AdmissionConfig{
 			Slots:       *inflight,
@@ -209,6 +221,9 @@ func main() {
 		*wl, len(ds.Catalog.AllObjects()), wireFmt, mode, bound)
 	fmt.Printf("skipperd: admission %d in flight (%d per tenant), queue depth %d, tenants [0,%d)\n",
 		adm.Slots, adm.TenantSlots, adm.QueueDepth, *maxTenants)
+	if *devices > 1 {
+		fmt.Printf("skipperd: device fleet of %d, replication %s\n", *devices, rep)
+	}
 	if cfg.Faults != nil {
 		fmt.Printf("skipperd: fault injection on (seed %d): transient %.2f, stall %.2f×%s, corrupt %.2f, cap %d, crash %s+%s\n",
 			plan.Seed, plan.TransientRate, plan.StallRate, plan.Stall, plan.CorruptRate,

@@ -54,6 +54,7 @@ import (
 	"repro/internal/csd"
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/layout"
 	"repro/internal/metrics"
 	"repro/internal/objstore"
 	"repro/internal/segcache"
@@ -122,6 +123,8 @@ func main() {
 	prefetchGB := flag.Int("prefetch", 4, "prefetch budget in 1 GB objects ahead of demand (with -pipeline)")
 	decodeWorkers := flag.Int("decode-workers", 2, "background decode workers (with -pipeline)")
 	clustered := flag.Bool("clustered", false, "sort the TPC-H date columns before segmenting (makes date predicates prunable)")
+	devices := flag.Int("devices", 1, "CSD fleet size: disk groups spread across this many devices, GETs fan out per placement")
+	replication := flag.String("replication", "none", "object replication across the fleet: none, full, hot or hot:N (with -devices > 1)")
 	faultTransient := flag.Float64("fault-transient", 0, "probability a device transfer fails transiently and is retried, in [0,1]")
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability a transfer delivers a corrupt payload — caught by checksum and re-requested — in [0,1]")
 	faultStall := flag.Float64("fault-stall", 0, "probability a transfer stalls for -fault-stall-dur extra simulated time, in [0,1]")
@@ -214,6 +217,16 @@ func main() {
 		}
 		fs.retry = rp
 	}
+	if *devices < 1 {
+		fmt.Fprintf(os.Stderr, "skipperql: -devices %d < 1\n", *devices)
+		os.Exit(2)
+	}
+	rep, err := layout.ParseReplication(*replication)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipperql: %v\n", err)
+		os.Exit(2)
+	}
+	fs.devices, fs.rep = *devices, rep
 
 	planner := &sql.Planner{Catalog: ds.Catalog}
 	ob := &obs{traceLog: *traceFlag, traceOut: *traceOut}
@@ -272,11 +285,15 @@ func describe(ds *workload.Dataset, table string) {
 	}
 }
 
-// faultSetup carries the session's chaos configuration: the fault plan
-// (nil = clean device) and the retry-policy override (nil = defaults).
+// faultSetup carries the session's chaos and fleet configuration: the
+// fault plan (nil = clean devices), the retry-policy override (nil =
+// defaults), and the device-fleet shape (devices <= 1 = the classic
+// single device).
 type faultSetup struct {
-	plan  *faults.Plan
-	retry *skipper.RetryPolicy
+	plan    *faults.Plan
+	retry   *skipper.RetryPolicy
+	devices int
+	rep     layout.Replication
 }
 
 func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cache int, prune bool, sc *segcache.Cache, pc *skipper.PipelineConfig, ob *obs, fs faultSetup, stmtText string) {
@@ -319,10 +336,26 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 		Retry:        fs.retry,
 	}
 	cluster := &skipper.Cluster{Clients: []*skipper.Client{client}, Store: store}
+	if fs.devices > 1 {
+		cluster.Devices = make([]csd.Config, fs.devices)
+		cluster.Replication = fs.rep
+	}
 	if fs.plan != nil {
-		// A fresh injector per statement: every statement sees the same
-		// deterministic fault schedule on its own virtual clock.
-		cluster.CSD = csd.Config{Faults: faults.MustNew(*fs.plan)}
+		// A fresh injector per statement (and per device): every statement
+		// sees the same deterministic fault schedule on its own virtual
+		// clock. Crashes are confined to device 0 so a replicated fleet
+		// always has a live side to fail over to.
+		if fs.devices > 1 {
+			for d := range cluster.Devices {
+				plan := *fs.plan
+				if d > 0 {
+					plan.CrashAt, plan.CrashDowntime = 0, 0
+				}
+				cluster.Devices[d].Faults = faults.MustNew(plan)
+			}
+		} else {
+			cluster.CSD = csd.Config{Faults: faults.MustNew(*fs.plan)}
+		}
 	}
 	var tl *trace.Log
 	if ob != nil && ob.traceLog {
@@ -344,9 +377,21 @@ func execute(planner *sql.Planner, ds *workload.Dataset, engineName string, cach
 	fmt.Printf("-- %s: %.1fs virtual (processing %.1fs, stalled %.1fs), %d GETs (%d from cache, %d pruned), %d switches\n",
 		mode, cs.Elapsed().Seconds(), cs.Processing.Seconds(), cs.Stalled().Seconds(),
 		cs.GetsIssued, cs.CacheHits, cs.SegmentsSkipped, res.CSD.GroupSwitches)
+	if fs.devices > 1 {
+		parts := make([]string, len(res.Devices))
+		for d, st := range res.Devices {
+			parts[d] = fmt.Sprintf("d%d:%d", d, st.GetsReceived)
+		}
+		fmt.Printf("-- fleet: %d devices, replication %s, GETs %s\n",
+			fs.devices, fs.rep, strings.Join(parts, " "))
+	}
 	if cs.Retries > 0 || cs.TransientFaults > 0 || cs.CorruptDeliveries > 0 || res.CSD.Crashes > 0 {
-		fmt.Printf("-- faults: %d transient, %d corrupt, %d crashes; recovered with %d retries (%.1fs backoff)\n",
+		fmt.Printf("-- faults: %d transient, %d corrupt, %d crashes; recovered with %d retries (%.1fs backoff)",
 			cs.TransientFaults, cs.CorruptDeliveries, res.CSD.Crashes, cs.Retries, cs.RetryBackoff.Seconds())
+		if cs.Failovers > 0 {
+			fmt.Printf(", %d failovers", cs.Failovers)
+		}
+		fmt.Println()
 	}
 	if sc != nil {
 		st := sc.Stats()

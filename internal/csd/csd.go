@@ -14,6 +14,7 @@ package csd
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/faults"
@@ -27,6 +28,11 @@ import (
 type Delivery struct {
 	Object segment.ObjectID
 	Seg    *segment.Segment
+	// Device is the id of the device that produced the delivery
+	// (Config.ID). Clients in a multi-device fleet use it to attribute
+	// faults to the right replica — a DeviceDownError from device 1 says
+	// nothing about device 0's health.
+	Device int
 	// Err, when non-nil, reports that the device failed the request
 	// instead of serving it (e.g. a scheduler contract violation). Seg is
 	// nil in that case.
@@ -122,8 +128,58 @@ type Stats struct {
 	DownErrors int
 }
 
+// Plus returns the element-wise sum of two Stats — counters added, maps
+// merged, switch intervals concatenated in time order. The cluster
+// harness uses it to fold a fleet's per-device statistics into the
+// aggregate view single-device callers already consume.
+func (s Stats) Plus(o Stats) Stats {
+	out := s
+	out.GroupSwitches += o.GroupSwitches
+	out.ObjectsServed += o.ObjectsServed
+	out.BytesServed += o.BytesServed
+	out.PayloadBytesServed += o.PayloadBytesServed
+	out.GetsReceived += o.GetsReceived
+	out.GetsCoalesced += o.GetsCoalesced
+	out.GetsAvoided += o.GetsAvoided
+	out.TransientFaults += o.TransientFaults
+	out.StalledTransfers += o.StalledTransfers
+	out.CorruptDeliveries += o.CorruptDeliveries
+	out.Crashes += o.Crashes
+	out.Restarts += o.Restarts
+	out.DownErrors += o.DownErrors
+	out.GetsByTenant = mergeCounts(s.GetsByTenant, o.GetsByTenant)
+	out.ServedByQuery = mergeCounts(s.ServedByQuery, o.ServedByQuery)
+	if len(o.SwitchIntervals) > 0 {
+		merged := make([]Interval, 0, len(s.SwitchIntervals)+len(o.SwitchIntervals))
+		merged = append(merged, s.SwitchIntervals...)
+		merged = append(merged, o.SwitchIntervals...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i].From < merged[j].From })
+		out.SwitchIntervals = merged
+	}
+	return out
+}
+
+// mergeCounts sums two count maps into a fresh map (nil when both are).
+func mergeCounts[K comparable](a, b map[K]int) map[K]int {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make(map[K]int, len(a)+len(b))
+	for k, v := range a {
+		out[k] += v
+	}
+	for k, v := range b {
+		out[k] += v
+	}
+	return out
+}
+
 // Config parametrizes the device.
 type Config struct {
+	// ID names the device within a fleet. Single-device clusters leave it
+	// 0; the cluster harness stamps ids [0, N) so deliveries, trace
+	// events and process names say which device they came from.
+	ID int
 	// GroupSwitch is the spin-down/spin-up latency of a group switch
 	// (Pelican: 8 s; the paper's experiments default to 10 s).
 	GroupSwitch time.Duration
@@ -250,7 +306,7 @@ func New(sim *vtime.Sim, cfg Config, store map[segment.ObjectID]*segment.Segment
 		cfg:         cfg,
 		store:       store,
 		assign:      assign,
-		evCh:        vtime.NewChan[event](sim, "csd.events", 1<<20),
+		evCh:        vtime.NewChan[event](sim, deviceName(cfg.ID)+".events", 1<<20),
 		streams:     make(map[int]*stream),
 		loaded:      -1,
 		lastService: make(map[string]int),
@@ -259,11 +315,30 @@ func New(sim *vtime.Sim, cfg Config, store map[segment.ObjectID]*segment.Segment
 	}
 }
 
+// deviceName renders a device's process-name prefix: "csd" for the
+// primary (id 0, the historical single-device name) and "csd<id>"
+// beyond it, so a fleet's simulated processes are tellable apart.
+func deviceName(id int) string {
+	if id == 0 {
+		return "csd"
+	}
+	return fmt.Sprintf("csd%d", id)
+}
+
 // Stats returns a copy of the device statistics. Valid after Run.
 func (c *CSD) Stats() Stats {
 	st := c.stats
 	return st
 }
+
+// ID returns the device's fleet id (Config.ID).
+func (c *CSD) ID() int { return c.cfg.ID }
+
+// Down reports whether the device is inside a crash window. Advisory in
+// the same sense as LoadedGroup: exact at the instant of the call,
+// stale after the caller's next yield. The fleet's device chooser uses
+// it to route around a crashed replica.
+func (c *CSD) Down() bool { return c.down }
 
 // Err returns the fatal device error, if any — e.g. a
 // *SchedulerContractError from a misbehaving policy. The same error is
@@ -327,7 +402,7 @@ func (c *CSD) Shutdown(p *vtime.Proc) {
 // crash schedule, the crash and restart timers. Call once before
 // Sim.Run.
 func (c *CSD) Start() {
-	c.sim.Spawn("csd.controller", c.controller)
+	c.sim.Spawn(deviceName(c.cfg.ID)+".controller", c.controller)
 	if c.cfg.Faults == nil {
 		return
 	}
@@ -335,12 +410,12 @@ func (c *CSD) Start() {
 	if plan.CrashAt <= 0 {
 		return
 	}
-	c.sim.Spawn("csd.crashtimer", func(p *vtime.Proc) {
+	c.sim.Spawn(deviceName(c.cfg.ID)+".crashtimer", func(p *vtime.Proc) {
 		p.Sleep(plan.CrashAt)
 		c.evCh.Send(p, event{crash: true})
 	})
 	if plan.CrashDowntime > 0 {
-		c.sim.Spawn("csd.restarttimer", func(p *vtime.Proc) {
+		c.sim.Spawn(deviceName(c.cfg.ID)+".restarttimer", func(p *vtime.Proc) {
 			p.Sleep(plan.CrashAt + plan.CrashDowntime)
 			c.evCh.Send(p, event{restart: true})
 		})
@@ -366,12 +441,12 @@ func (c *CSD) crash(p *vtime.Proc) {
 	restarting := c.willRestart()
 	c.sim.Tracef("csd: crash (restarting=%v, %d pending)", restarting, len(c.pending))
 	c.cfg.Events.Add(trace.Event{
-		At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: -1,
+		At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: -1, Device: c.cfg.ID,
 		Note: fmt.Sprintf("crash restarting=%v", restarting),
 	})
 	for _, r := range c.pending {
 		c.stats.DownErrors++
-		r.Reply.Send(p, Delivery{Object: r.Object, Err: &DeviceDownError{Object: r.Object, Restarting: restarting}})
+		r.Reply.Send(p, Delivery{Object: r.Object, Device: c.cfg.ID, Err: &DeviceDownError{Object: r.Object, Restarting: restarting}})
 	}
 	c.pending = nil
 }
@@ -431,7 +506,7 @@ func (c *CSD) apply(p *vtime.Proc, ev event) bool {
 			c.stats.Restarts++
 			c.sim.Tracef("csd: restarted")
 			c.cfg.Events.Add(trace.Event{
-				At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: c.loaded,
+				At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: c.loaded, Device: c.cfg.ID,
 				Note: "restart",
 			})
 		}
@@ -439,14 +514,14 @@ func (c *CSD) apply(p *vtime.Proc, ev event) bool {
 		r := ev.req
 		if c.fatal != nil {
 			// Fail-stopped device: answer immediately with the error.
-			r.Reply.Send(p, Delivery{Object: r.Object, Err: c.fatal})
+			r.Reply.Send(p, Delivery{Object: r.Object, Device: c.cfg.ID, Err: c.fatal})
 			return false
 		}
 		if c.down {
 			// Crashed device: refuse rather than queue, so clients see the
 			// window and back off instead of waiting on a dead box.
 			c.stats.DownErrors++
-			r.Reply.Send(p, Delivery{Object: r.Object, Err: &DeviceDownError{Object: r.Object, Restarting: c.willRestart()}})
+			r.Reply.Send(p, Delivery{Object: r.Object, Device: c.cfg.ID, Err: &DeviceDownError{Object: r.Object, Restarting: c.willRestart()}})
 			return false
 		}
 		r.seq = c.arrivalSeq
@@ -460,7 +535,7 @@ func (c *CSD) apply(p *vtime.Proc, ev event) bool {
 		c.stats.GetsReceived++
 		c.stats.GetsByTenant[r.Tenant]++
 		c.cfg.Events.Add(trace.Event{
-			At: p.Now(), Kind: trace.KindGet, Tenant: r.Tenant,
+			At: p.Now(), Kind: trace.KindGet, Tenant: r.Tenant, Device: c.cfg.ID,
 			Query: r.QueryID, Object: r.Object.String(), Group: c.mustGroupOf(r.Object),
 		})
 	case ev.done:
@@ -554,7 +629,7 @@ func (c *CSD) switchGroup(p *vtime.Proc) error {
 	c.stats.SwitchIntervals = append(c.stats.SwitchIntervals, Interval{From: from, To: p.Now()})
 	c.sim.Tracef("csd: switched to group %d (%d pending)", next, len(c.pending))
 	c.cfg.Events.Add(trace.Event{
-		At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: next,
+		At: p.Now(), Kind: trace.KindSwitch, Tenant: -1, Group: next, Device: c.cfg.ID,
 		Note: fmt.Sprintf("g%d->g%d", prev, next),
 	})
 	return nil
@@ -568,7 +643,7 @@ func (c *CSD) fail(p *vtime.Proc, err error) {
 	c.fatal = err
 	c.sim.Tracef("csd: fail-stop: %v", err)
 	for _, r := range c.pending {
-		r.Reply.Send(p, Delivery{Object: r.Object, Err: err})
+		r.Reply.Send(p, Delivery{Object: r.Object, Device: c.cfg.ID, Err: err})
 	}
 	c.pending = nil
 }
@@ -580,7 +655,7 @@ func (c *CSD) tenantStream(tenant int) *stream {
 	}
 	s := &stream{
 		tenant: tenant,
-		queue:  vtime.NewChan[*Request](c.sim, fmt.Sprintf("csd.stream.t%d", tenant), 1<<20),
+		queue:  vtime.NewChan[*Request](c.sim, fmt.Sprintf("%s.stream.t%d", deviceName(c.cfg.ID), tenant), 1<<20),
 	}
 	c.streams[tenant] = s
 	workers := c.cfg.StreamsPerTenant
@@ -589,7 +664,7 @@ func (c *CSD) tenantStream(tenant int) *stream {
 	}
 	s.workers = workers
 	for w := 0; w < workers; w++ {
-		c.sim.Spawn(fmt.Sprintf("csd.stream.t%d.w%d", tenant, w), func(p *vtime.Proc) {
+		c.sim.Spawn(fmt.Sprintf("%s.stream.t%d.w%d", deviceName(c.cfg.ID), tenant, w), func(p *vtime.Proc) {
 			for {
 				r := s.queue.Recv(p)
 				if r == nil {
@@ -618,7 +693,7 @@ func (c *CSD) tenantStream(tenant int) *stream {
 					restarting := c.willRestart()
 					for _, rr := range append([]*Request{r}, r.followers...) {
 						c.stats.DownErrors++
-						rr.Reply.Send(p, Delivery{Object: rr.Object, Err: &DeviceDownError{Object: rr.Object, Restarting: restarting}})
+						rr.Reply.Send(p, Delivery{Object: rr.Object, Device: c.cfg.ID, Err: &DeviceDownError{Object: rr.Object, Restarting: restarting}})
 					}
 				case out.Fail:
 					// Transient failure: the transfer time was spent but no
@@ -627,9 +702,9 @@ func (c *CSD) tenantStream(tenant int) *stream {
 					c.stats.TransientFaults++
 					err := &TransientError{Object: r.Object, Attempt: c.cfg.Faults.Attempts(r.Object.String())}
 					for _, rr := range append([]*Request{r}, r.followers...) {
-						rr.Reply.Send(p, Delivery{Object: rr.Object, Err: err})
+						rr.Reply.Send(p, Delivery{Object: rr.Object, Device: c.cfg.ID, Err: err})
 						c.cfg.Events.Add(trace.Event{
-							At: p.Now(), Kind: trace.KindDelivery, Tenant: rr.Tenant,
+							At: p.Now(), Kind: trace.KindDelivery, Tenant: rr.Tenant, Device: c.cfg.ID,
 							Query: rr.QueryID, Object: rr.Object.String(), Group: -1,
 							Note: "transient-fault",
 						})
@@ -648,7 +723,7 @@ func (c *CSD) tenantStream(tenant int) *stream {
 							c.stats.TransientFaults++
 							err := &TransientError{Object: r.Object, Attempt: c.cfg.Faults.Attempts(r.Object.String())}
 							for _, rr := range append([]*Request{r}, r.followers...) {
-								rr.Reply.Send(p, Delivery{Object: rr.Object, Err: err})
+								rr.Reply.Send(p, Delivery{Object: rr.Object, Device: c.cfg.ID, Err: err})
 							}
 							c.evCh.Send(p, event{done: true, doneID: s.tenant})
 							continue
@@ -661,10 +736,10 @@ func (c *CSD) tenantStream(tenant int) *stream {
 					c.stats.BytesServed += seg.NominalBytes
 					c.stats.PayloadBytesServed += seg.EncodedSize()
 					for _, rr := range append([]*Request{r}, r.followers...) {
-						rr.Reply.Send(p, Delivery{Object: rr.Object, Seg: served})
+						rr.Reply.Send(p, Delivery{Object: rr.Object, Seg: served, Device: c.cfg.ID})
 						c.stats.ObjectsServed++
 						c.cfg.Events.Add(trace.Event{
-							At: p.Now(), Kind: trace.KindDelivery, Tenant: rr.Tenant,
+							At: p.Now(), Kind: trace.KindDelivery, Tenant: rr.Tenant, Device: c.cfg.ID,
 							Query: rr.QueryID, Object: rr.Object.String(), Group: -1,
 							Note: note,
 						})

@@ -34,7 +34,7 @@ func newRig(cfg Config, objects map[segment.ObjectID]int) *testRig {
 			maxGroup = g
 		}
 	}
-	assign := layout.NewAssignment(maxGroup + 1)
+	assign := layout.MustAssignment(maxGroup + 1)
 	for id, g := range objects {
 		store[id] = &segment.Segment{ID: id, NominalBytes: 1e9}
 		assign.Place(id, g)
@@ -203,7 +203,7 @@ func TestTransferTimeProportionalToSize(t *testing.T) {
 	store := map[segment.ObjectID]*segment.Segment{
 		id: {ID: id, NominalBytes: 250e6}, // 2.5 s at 100 MB/s
 	}
-	assign := layout.NewAssignment(1)
+	assign := layout.MustAssignment(1)
 	assign.Place(id, 0)
 	c := New(sim, DefaultConfig(), store, assign)
 	c.Start()

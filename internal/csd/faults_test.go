@@ -157,7 +157,7 @@ func TestCorruptDeliveryDetectable(t *testing.T) {
 	}
 
 	sim := vtime.NewSim()
-	assign := layout.NewAssignment(1)
+	assign := layout.MustAssignment(1)
 	assign.Place(id, 0)
 	cfg := DefaultConfig()
 	cfg.Faults = faults.MustNew(faults.Plan{Seed: 2, CorruptRate: 1.0, MaxFaultsPerObject: 1})

@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/csd"
+	"repro/internal/faults"
+	"repro/internal/layout"
+	"repro/internal/objstore"
+	"repro/internal/segcache"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/workload"
+)
+
+// This file is the evaluation of the multi-device fleet behind
+// `skipperbench -scale`, which doubles as the CI scale-out gate: the
+// repeated-query multi-tenant workload must produce byte-identical
+// results on 1, 2 and 4 devices, with and without replication, across
+// both engines, the v1/v2 wire formats and DOP {1,4}, and the
+// per-device GET-conservation invariant must hold on every clean run.
+// The measurement half reports the makespan at each fleet size, then
+// crashes device 0 of a two-device fleet and compares the degradation
+// with and without hot replication — the replicated fleet must fail
+// over (zero failed queries under a permanent crash) and degrade
+// strictly less than the unreplicated one.
+
+// scaleSpec is one fleet configuration of the scale-out gate or sweep.
+type scaleSpec struct {
+	// devices is the fleet size; 1 runs the classic single-CSD path.
+	devices int
+	// rep is the replication policy (meaningful with devices > 1).
+	rep layout.Replication
+	// plan is the fault plan for device 0; the crash is confined there
+	// so a replicated fleet always has a live side. A zero plan runs
+	// the fleet clean.
+	plan faults.Plan
+	// pipeline toggles the async pipeline. The gate runs it on (the
+	// prefetcher's device fan-out is under test); the sweep runs it off
+	// so a crash is recovered on the demand path — the prefetcher
+	// quietly re-routes around a dead device, which would hide the
+	// failovers the sweep measures.
+	pipeline bool
+}
+
+func (sp scaleSpec) String() string {
+	s := fmt.Sprintf("%dx %s", sp.devices, sp.rep)
+	if sp.plan.Enabled() {
+		s += " faulted"
+	}
+	return s
+}
+
+// runScaleCluster executes the repeated-query multi-tenant workload
+// (the cache sweep's shape) against the given fleet. Faults land on
+// device 0 only; the returned injectors are whatever the spec
+// installed.
+func (p Params) runScaleCluster(ds *workload.Dataset, mode skipper.Mode, dop int, sp scaleSpec, keep bool) (*skipper.RunResult, []*faults.Injector, error) {
+	store := make(mapStore)
+	ds.MergeInto(store)
+	prune := true
+	var pc *skipper.PipelineConfig
+	if sp.pipeline {
+		pc = p.pipelineConfig()
+	}
+	clients := make([]*skipper.Client, cacheSweepClients)
+	for t := range clients {
+		clients[t] = &skipper.Client{
+			Tenant:       t,
+			Mode:         mode,
+			Catalog:      ds.Catalog,
+			Queries:      workload.MultiPass(ds.Catalog, cacheSweepPasses),
+			CacheObjects: p.CacheObjects,
+			StatsPruning: &prune,
+			Parallelism:  dop,
+			KeepResults:  keep,
+			Pipeline:     pc,
+			Retry:        faultRetryPolicy(),
+		}
+	}
+	cfg := csd.DefaultConfig()
+	cfg.GroupSwitch = p.GroupSwitch
+	cfg.Bandwidth = p.Bandwidth
+	cl := &skipper.Cluster{
+		Clients:     clients,
+		Layout:      layout.RoundRobinObjects{NumGroups: cacheSweepGroups},
+		Store:       store,
+		SharedCache: segcache.NewObjects(p.CacheObjects),
+	}
+	var injs []*faults.Injector
+	if sp.devices <= 1 {
+		if sp.plan.Enabled() {
+			inj, err := faults.New(sp.plan)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg.Faults = inj
+			injs = append(injs, inj)
+		}
+		cl.CSD = cfg
+	} else {
+		cl.Devices = make([]csd.Config, sp.devices)
+		cl.Replication = sp.rep
+		for d := range cl.Devices {
+			dc := cfg
+			dc.Faults = nil
+			plan := sp.plan
+			if d > 0 {
+				plan.CrashAt, plan.CrashDowntime = 0, 0
+			}
+			if plan.Enabled() {
+				inj, err := faults.New(plan)
+				if err != nil {
+					return nil, nil, err
+				}
+				dc.Faults = inj
+				injs = append(injs, inj)
+			}
+			cl.Devices[d] = dc
+		}
+	}
+	res, err := cl.Run()
+	return res, injs, err
+}
+
+// checkFleetAccounting enforces the per-device GET-conservation
+// invariant of a clean run: for every device d and tenant t, the GETs
+// device d attributed to tenant t equal the demand GETs the tenant's
+// proxy routed to d plus the prefetcher's GETs on its behalf. It also
+// requires every device to have seen traffic, so a placement bug that
+// funnels the whole workload through one device cannot pass vacuously.
+func checkFleetAccounting(res *skipper.RunResult) error {
+	for d, st := range res.Devices {
+		for _, cs := range res.Clients {
+			want := cs.DeviceGets[d] + cs.PrefetchDeviceGets[d]
+			if st.GetsByTenant[cs.Tenant] != want {
+				return fmt.Errorf("device %d tenant %d: device saw %d GETs, client ledgers say %d (demand %d + prefetch %d)",
+					d, cs.Tenant, st.GetsByTenant[cs.Tenant], want, cs.DeviceGets[d], cs.PrefetchDeviceGets[d])
+			}
+		}
+		if st.GetsReceived == 0 {
+			return fmt.Errorf("device %d received no GETs; the fleet gate is vacuous", d)
+		}
+	}
+	return nil
+}
+
+// VerifyScaleIdentical is the scale-out gate: for both engine modes and
+// DOP {1,4} over the given dataset, the workload must produce
+// byte-identical results on a single device and on every fleet
+// configuration (2 devices, 2 devices + hot replication, 4 devices,
+// 4 devices + full replication), satisfy per-device GET conservation,
+// leave no cache pins behind, and route traffic to every device.
+func (p Params) VerifyScaleIdentical(ds *workload.Dataset) error {
+	fleets := []scaleSpec{
+		{devices: 2, pipeline: true},
+		{devices: 2, rep: layout.Replication{Kind: layout.ReplicateHot}, pipeline: true},
+		{devices: 4, pipeline: true},
+		{devices: 4, rep: layout.Replication{Kind: layout.ReplicateFull}, pipeline: true},
+	}
+	for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+		for _, dop := range []int{1, 4} {
+			tag := fmt.Sprintf("%s dop=%d", mode, dop)
+			base, _, err := p.runScaleCluster(ds, mode, dop, scaleSpec{devices: 1, pipeline: true}, true)
+			if err != nil {
+				return fmt.Errorf("%s single device: %w", tag, err)
+			}
+			if err := checkFleetAccounting(base); err != nil {
+				return fmt.Errorf("%s single device: %w", tag, err)
+			}
+			for _, sp := range fleets {
+				ftag := fmt.Sprintf("%s %s", tag, sp)
+				res, _, err := p.runScaleCluster(ds, mode, dop, sp, true)
+				if err != nil {
+					return fmt.Errorf("%s: %w", ftag, err)
+				}
+				if len(res.Devices) != sp.devices {
+					return fmt.Errorf("%s: %d device stat blocks, want %d", ftag, len(res.Devices), sp.devices)
+				}
+				if err := compareRunResults(res, base); err != nil {
+					return fmt.Errorf("%s: fleet results diverge from single device: %w", ftag, err)
+				}
+				if err := checkFleetAccounting(res); err != nil {
+					return fmt.Errorf("%s: %w", ftag, err)
+				}
+				if res.Cache != nil && res.Cache.PinnedBytes != 0 {
+					return fmt.Errorf("%s: %d bytes still pinned after the run", ftag, res.Cache.PinnedBytes)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ScalePoint is one measured configuration of the scale-out sweep.
+type ScalePoint struct {
+	// Label names the scenario.
+	Label string
+	// Devices / Rep describe the fleet.
+	Devices int
+	Rep     layout.Replication
+	// Makespan / AvgClient are simulated times; degradation is growth
+	// over the matching clean row.
+	Makespan  time.Duration
+	AvgClient time.Duration
+	// DeviceGets is each device's received GET count, indexed by id.
+	DeviceGets []int
+	// Crashes counts crash windows entered across the fleet.
+	Crashes int
+	// Failovers / Retries / Backoff aggregate the clients' recovery.
+	Failovers int
+	Retries   int
+	Backoff   time.Duration
+}
+
+// measureScale runs one scenario and digests it into a point.
+func (p Params) measureScale(ds *workload.Dataset, label string, sp scaleSpec) (ScalePoint, error) {
+	dop := p.Parallelism
+	if dop < 1 {
+		dop = 1
+	}
+	res, _, err := p.runScaleCluster(ds, skipper.ModeSkipper, dop, sp, false)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	pt := ScalePoint{
+		Label:     label,
+		Devices:   sp.devices,
+		Rep:       sp.rep,
+		Makespan:  res.Makespan,
+		AvgClient: avgElapsed(res),
+	}
+	for _, st := range res.Devices {
+		pt.DeviceGets = append(pt.DeviceGets, st.GetsReceived)
+		pt.Crashes += st.Crashes
+	}
+	for _, cs := range res.Clients {
+		pt.Failovers += cs.Failovers
+		pt.Retries += cs.Retries
+		pt.Backoff += cs.RetryBackoff
+	}
+	return pt, nil
+}
+
+// scaleCrashPlan is the sweep's device-0 crash: the device dies at 60 s
+// of simulated time and restarts after downtime (0 = never).
+func scaleCrashPlan(downtime time.Duration) faults.Plan {
+	return faults.Plan{Seed: faultSweepSeed, CrashAt: 60 * time.Second, CrashDowntime: downtime}
+}
+
+// ScaleSweepData verifies the scale-out gate on the v1 and v2 wire
+// formats, then measures the skipper engine on growing fleets and under
+// a device-0 crash with and without hot replication. Beyond the gate it
+// enforces the failover criteria: the replicated crash runs must
+// actually fail over, the permanently-crashed replicated fleet must
+// finish every query, and hot replication must degrade strictly less
+// than the unreplicated crash+restart fleet.
+func (p Params) ScaleSweepData() ([]ScalePoint, error) {
+	base := p.clusteredDataset()
+	for _, f := range []segment.Format{segment.FormatV1, segment.FormatV2} {
+		ds, err := objstore.ReencodeDataset(base, f)
+		if err != nil {
+			return nil, fmt.Errorf("format %v: %w", f, err)
+		}
+		if err := p.VerifyScaleIdentical(ds); err != nil {
+			return nil, fmt.Errorf("format %v: %w", f, err)
+		}
+	}
+	mf := p.Format
+	if mf == segment.FormatMem {
+		mf = segment.FormatV2
+	}
+	ds, err := objstore.ReencodeDataset(base, mf)
+	if err != nil {
+		return nil, err
+	}
+	hot := layout.Replication{Kind: layout.ReplicateHot}
+	// The outage is long enough that sleeping it out (the unreplicated
+	// fleet's only recourse) costs more than the extra group switches
+	// the surviving device pays to serve the dead one's groups.
+	const outage = 120 * time.Second
+	scenarios := []struct {
+		label string
+		spec  scaleSpec
+	}{
+		{"1 device", scaleSpec{devices: 1}},
+		{"2 devices", scaleSpec{devices: 2}},
+		{"4 devices", scaleSpec{devices: 4}},
+		{"2 devices hot repl", scaleSpec{devices: 2, rep: hot}},
+		{"2 devices, d0 down 120s", scaleSpec{devices: 2, plan: scaleCrashPlan(outage)}},
+		{"2 devices hot repl, d0 down 120s", scaleSpec{devices: 2, rep: hot, plan: scaleCrashPlan(outage)}},
+		{"2 devices hot repl, d0 dead", scaleSpec{devices: 2, rep: hot, plan: scaleCrashPlan(0)}},
+	}
+	pts := make([]ScalePoint, 0, len(scenarios))
+	for _, sc := range scenarios {
+		pt, err := p.measureScale(ds, sc.label, sc.spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.label, err)
+		}
+		pts = append(pts, pt)
+	}
+	// The crash scenarios must not pass vacuously, and replication must
+	// pay for itself: each crash run's degradation is measured against
+	// the clean fleet with the same replication policy, and failover
+	// must beat waiting out the outage.
+	cleanNone, cleanHot, crashNone, crashHot, crashDead := pts[1], pts[3], pts[4], pts[5], pts[6]
+	if crashNone.Crashes == 0 || crashHot.Crashes == 0 || crashDead.Crashes == 0 {
+		return nil, fmt.Errorf("scale sweep: a crash scenario recorded no device crash; the sweep is vacuous")
+	}
+	if crashHot.Failovers == 0 || crashDead.Failovers == 0 {
+		return nil, fmt.Errorf("scale sweep: replicated crash runs recorded no failovers (hot=%d dead=%d)", crashHot.Failovers, crashDead.Failovers)
+	}
+	degNone := crashNone.Makespan - cleanNone.Makespan
+	degHot := crashHot.Makespan - cleanHot.Makespan
+	if degHot >= degNone {
+		return nil, fmt.Errorf("scale sweep: hot replication degraded %v under the outage, not strictly better than unreplicated %v", degHot, degNone)
+	}
+	return pts, nil
+}
+
+// ScaleReport renders ScaleSweepData (`skipperbench -scale`).
+func (p Params) ScaleReport() (*Figure, error) {
+	pts, err := p.ScaleSweepData()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "Scale-out sweep",
+		Title: fmt.Sprintf("Device fleet scale-out and failover (%d tenants × %d passes, round-robin layout over %d groups, skipper engine, demand path; crash scenarios kill device 0 at 60s)",
+			cacheSweepClients, cacheSweepPasses, cacheSweepGroups),
+		Columns: []string{
+			"scenario", "devices", "replication", "makespan (s)", "avg client (s)",
+			"device GETs", "crashes", "failovers", "retries", "backoff (s)",
+		},
+	}
+	var clean1, clean2, clean2hot time.Duration
+	for i, pt := range pts {
+		switch pt.Label {
+		case "1 device":
+			clean1 = pt.Makespan
+		case "2 devices":
+			clean2 = pt.Makespan
+		case "2 devices hot repl":
+			clean2hot = pt.Makespan
+		}
+		// Clean fleet rows show speed-up over one device; crash rows show
+		// degradation over the clean fleet with the same replication.
+		base, vs := clean1, ""
+		if pt.crashRow() {
+			base, vs = clean2, " vs 2 dev"
+			if pt.Rep.Kind == layout.ReplicateHot {
+				base, vs = clean2hot, " vs 2 dev hot"
+			}
+		}
+		makespan := fmt.Sprintf("%.1f", pt.Makespan.Seconds())
+		if i > 0 && base > 0 {
+			makespan += fmt.Sprintf(" (%+.0f%%%s)", 100*(pt.Makespan.Seconds()-base.Seconds())/base.Seconds(), vs)
+		}
+		gets := make([]string, len(pt.DeviceGets))
+		for d, g := range pt.DeviceGets {
+			gets[d] = fmt.Sprintf("d%d:%d", d, g)
+		}
+		f.Rows = append(f.Rows, []string{
+			pt.Label,
+			fmt.Sprintf("%d", pt.Devices),
+			pt.Rep.String(),
+			makespan,
+			fmt.Sprintf("%.1f", pt.AvgClient.Seconds()),
+			strings.Join(gets, " "),
+			fmt.Sprintf("%d", pt.Crashes),
+			fmt.Sprintf("%d", pt.Failovers),
+			fmt.Sprintf("%d", pt.Retries),
+			fmt.Sprintf("%.1f", pt.Backoff.Seconds()),
+		})
+	}
+	f.Notes = append(f.Notes,
+		"results verified byte-identical 1 vs 2 vs 4 devices × replication (none/hot/full) across engines, formats (v1/v2) and DOP {1,4}",
+		"per device and tenant, GETs the device attributes to the tenant == the tenant's demand GETs routed there + prefetch GETs on its behalf",
+		"crash rows: device 0 dies at 60s; 'd0 dead' never restarts — hot replication finished every query by failing over, and its outage degradation (vs its own clean fleet) is gated strictly below the unreplicated fleet's",
+	)
+	return f, nil
+}
+
+// crashRow reports whether the point ran a fault plan (its degradation
+// is measured against the clean fleet of the same size).
+func (pt ScalePoint) crashRow() bool { return pt.Crashes > 0 || pt.Failovers > 0 }

@@ -1,9 +1,17 @@
 // Package layout implements object-to-disk-group placement policies for
-// the CSD. In a virtualized data center the database has no control over
-// placement (§3.2 of the paper), so experiments exercise several layouts:
-// everything in one group, K clients per group, one client per group, the
-// "incremental" split layout of §5.2.3, and the skewed 2-2-1 layout used
-// by the scheduling-fairness experiment (§5.2.5).
+// the CSD, and — since the scale-out refactor — the segment→device
+// placement layer that spreads disk groups over a fleet of devices with
+// optional replication. In a virtualized data center the database has no
+// control over placement (§3.2 of the paper), so experiments exercise
+// several layouts: everything in one group, K clients per group, one
+// client per group, the "incremental" split layout of §5.2.3, and the
+// skewed 2-2-1 layout used by the scheduling-fairness experiment
+// (§5.2.5).
+//
+// Errors follow the repo's typed-error convention: malformed policy
+// configurations surface as *PolicyError and out-of-range group ids as
+// *GroupRangeError, so callers (Cluster.Run, tests, CLIs) can
+// distinguish "the layout was configured wrong" from runtime faults.
 package layout
 
 import (
@@ -12,6 +20,35 @@ import (
 	"repro/internal/segment"
 )
 
+// PolicyError reports a malformed layout-policy configuration — a
+// non-positive group count, too few group entries for the tenants, a
+// relocation onto the failed group itself. It is a configuration error:
+// the policy can never produce a valid assignment, no retry will help.
+type PolicyError struct {
+	// Policy names the policy (or operation) that rejected its config.
+	Policy string
+	// Reason says what was wrong.
+	Reason string
+}
+
+func (e *PolicyError) Error() string {
+	return fmt.Sprintf("layout: %s: %s", e.Policy, e.Reason)
+}
+
+// GroupRangeError reports a group id outside [0, NumGroups) handed to
+// an assignment operation.
+type GroupRangeError struct {
+	// Op is the operation that observed the bad id ("Place",
+	// "RelocateGroup", ...).
+	Op string
+	// Group is the offending id; NumGroups the assignment's group count.
+	Group, NumGroups int
+}
+
+func (e *GroupRangeError) Error() string {
+	return fmt.Sprintf("layout: %s: group %d out of range [0,%d)", e.Op, e.Group, e.NumGroups)
+}
+
 // Assignment maps every object to its disk group.
 type Assignment struct {
 	groups    map[segment.ObjectID]int
@@ -19,19 +56,32 @@ type Assignment struct {
 }
 
 // NewAssignment returns an empty assignment with the given group count.
-func NewAssignment(numGroups int) *Assignment {
+// A non-positive count is a *PolicyError.
+func NewAssignment(numGroups int) (*Assignment, error) {
 	if numGroups <= 0 {
-		panic("layout: numGroups must be positive")
+		return nil, &PolicyError{Policy: "NewAssignment", Reason: fmt.Sprintf("numGroups %d must be positive", numGroups)}
 	}
-	return &Assignment{groups: make(map[segment.ObjectID]int), numGroups: numGroups}
+	return &Assignment{groups: make(map[segment.ObjectID]int), numGroups: numGroups}, nil
 }
 
-// Place assigns an object to a group.
-func (a *Assignment) Place(id segment.ObjectID, group int) {
+// MustAssignment is NewAssignment for static configurations known to be
+// valid (tests, examples); it panics on error.
+func MustAssignment(numGroups int) *Assignment {
+	a, err := NewAssignment(numGroups)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Place assigns an object to a group. A group outside [0, NumGroups())
+// is a *GroupRangeError.
+func (a *Assignment) Place(id segment.ObjectID, group int) error {
 	if group < 0 || group >= a.numGroups {
-		panic(fmt.Sprintf("layout: group %d out of range [0,%d)", group, a.numGroups))
+		return &GroupRangeError{Op: "Place", Group: group, NumGroups: a.numGroups}
 	}
 	a.groups[id] = group
+	return nil
 }
 
 // GroupOf returns the group holding the object.
@@ -49,6 +99,14 @@ func (a *Assignment) NumGroups() int { return a.numGroups }
 // NumObjects returns the number of placed objects.
 func (a *Assignment) NumObjects() int { return len(a.groups) }
 
+// Each calls f for every placed object. Iteration order is unspecified
+// (map order); callers needing determinism must sort what they collect.
+func (a *Assignment) Each(f func(id segment.ObjectID, group int)) {
+	for id, g := range a.groups {
+		f(id, g)
+	}
+}
+
 // TenantObjects lists the objects owned by one tenant (database client),
 // in catalog order.
 type TenantObjects struct {
@@ -56,50 +114,60 @@ type TenantObjects struct {
 	Objects []segment.ObjectID
 }
 
-// Policy produces an assignment for a set of tenants' objects.
+// Policy produces an assignment for a set of tenants' objects. A policy
+// whose configuration cannot describe the tenants returns a
+// *PolicyError.
 type Policy interface {
 	Name() string
-	Assign(tenants []TenantObjects) *Assignment
+	Assign(tenants []TenantObjects) (*Assignment, error)
 }
 
 // AllInOne places every object in a single group: the configuration used
 // to emulate the HDD capacity tier ("ideal") and the Allin1 layout.
 type AllInOne struct{}
 
+// Name implements Policy.
 func (AllInOne) Name() string { return "all-in-one" }
 
-func (AllInOne) Assign(tenants []TenantObjects) *Assignment {
-	a := NewAssignment(1)
+// Assign implements Policy.
+func (AllInOne) Assign(tenants []TenantObjects) (*Assignment, error) {
+	a := MustAssignment(1)
 	for _, t := range tenants {
 		for _, id := range t.Objects {
-			a.Place(id, 0)
+			if err := a.Place(id, 0); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return a
+	return a, nil
 }
 
 // ClientsPerGroup packs K consecutive tenants into each group. K=1 is the
 // paper's default one-group-per-client layout.
 type ClientsPerGroup struct{ K int }
 
+// Name implements Policy.
 func (p ClientsPerGroup) Name() string { return fmt.Sprintf("%d-clients-per-group", p.K) }
 
-func (p ClientsPerGroup) Assign(tenants []TenantObjects) *Assignment {
+// Assign implements Policy.
+func (p ClientsPerGroup) Assign(tenants []TenantObjects) (*Assignment, error) {
 	if p.K <= 0 {
-		panic("layout: ClientsPerGroup.K must be positive")
+		return nil, &PolicyError{Policy: p.Name(), Reason: "K must be positive"}
 	}
 	n := (len(tenants) + p.K - 1) / p.K
 	if n == 0 {
 		n = 1
 	}
-	a := NewAssignment(n)
+	a := MustAssignment(n)
 	for i, t := range tenants {
 		g := i / p.K
 		for _, id := range t.Objects {
-			a.Place(id, g)
+			if err := a.Place(id, g); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return a
+	return a, nil
 }
 
 // OnePerGroup is the paper's default layout: each client's data in its own
@@ -112,25 +180,29 @@ func OnePerGroup() Policy { return ClientsPerGroup{K: 1} }
 // G1={C1.1, C4.2}, G2={C1.2, C2.1}, ... for four tenants.
 type Incremental struct{}
 
+// Name implements Policy.
 func (Incremental) Name() string { return "incremental" }
 
-func (Incremental) Assign(tenants []TenantObjects) *Assignment {
+// Assign implements Policy.
+func (Incremental) Assign(tenants []TenantObjects) (*Assignment, error) {
 	n := len(tenants)
 	if n == 0 {
-		return NewAssignment(1)
+		return MustAssignment(1), nil
 	}
-	a := NewAssignment(n)
+	a := MustAssignment(n)
 	for i, t := range tenants {
 		half := (len(t.Objects) + 1) / 2
 		for j, id := range t.Objects {
-			if j < half {
-				a.Place(id, i)
-			} else {
-				a.Place(id, (i+1)%n)
+			g := i
+			if j >= half {
+				g = (i + 1) % n
+			}
+			if err := a.Place(id, g); err != nil {
+				return nil, err
 			}
 		}
 	}
-	return a
+	return a, nil
 }
 
 // ByTenant places tenant i in Groups[i]; the scheduling-fairness
@@ -138,11 +210,16 @@ func (Incremental) Assign(tenants []TenantObjects) *Assignment {
 // two clients each, one group with a single client).
 type ByTenant struct{ Groups []int }
 
+// Name implements Policy.
 func (p ByTenant) Name() string { return fmt.Sprintf("by-tenant%v", p.Groups) }
 
-func (p ByTenant) Assign(tenants []TenantObjects) *Assignment {
+// Assign implements Policy.
+func (p ByTenant) Assign(tenants []TenantObjects) (*Assignment, error) {
 	if len(p.Groups) < len(tenants) {
-		panic("layout: ByTenant has fewer group entries than tenants")
+		return nil, &PolicyError{
+			Policy: "by-tenant",
+			Reason: fmt.Sprintf("%d group entries for %d tenants", len(p.Groups), len(tenants)),
+		}
 	}
 	max := 0
 	for _, g := range p.Groups[:len(tenants)] {
@@ -150,26 +227,29 @@ func (p ByTenant) Assign(tenants []TenantObjects) *Assignment {
 			max = g
 		}
 	}
-	a := NewAssignment(max + 1)
+	a := MustAssignment(max + 1)
 	for i, t := range tenants {
 		for _, id := range t.Objects {
-			a.Place(id, p.Groups[i])
+			if err := a.Place(id, p.Groups[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return a
+	return a, nil
 }
 
 // RelocateGroup reassigns every object in a failed group to fallback,
 // modeling §3.2's "a set of disks could fail in a group causing the CSD
 // to temporarily stop allocating data in that group": subsequent runs see
 // the fragmented layout the failure produced. It returns the number of
-// objects moved.
-func (a *Assignment) RelocateGroup(failed, fallback int) int {
+// objects moved. Relocating a group onto itself is a *PolicyError; a
+// fallback outside [0, NumGroups()) is a *GroupRangeError.
+func (a *Assignment) RelocateGroup(failed, fallback int) (int, error) {
 	if failed == fallback {
-		panic("layout: relocation target equals failed group")
+		return 0, &PolicyError{Policy: "RelocateGroup", Reason: "relocation target equals failed group"}
 	}
 	if fallback < 0 || fallback >= a.numGroups {
-		panic(fmt.Sprintf("layout: fallback group %d out of range [0,%d)", fallback, a.numGroups))
+		return 0, &GroupRangeError{Op: "RelocateGroup", Group: fallback, NumGroups: a.numGroups}
 	}
 	moved := 0
 	for id, g := range a.groups {
@@ -178,7 +258,7 @@ func (a *Assignment) RelocateGroup(failed, fallback int) int {
 			moved++
 		}
 	}
-	return moved
+	return moved, nil
 }
 
 // RoundRobinObjects spreads each tenant's objects across all groups in
@@ -186,14 +266,21 @@ func (a *Assignment) RelocateGroup(failed, fallback int) int {
 // produce for load balancing (§3.2). Used by property tests and ablations.
 type RoundRobinObjects struct{ NumGroups int }
 
+// Name implements Policy.
 func (p RoundRobinObjects) Name() string { return fmt.Sprintf("round-robin-%d", p.NumGroups) }
 
-func (p RoundRobinObjects) Assign(tenants []TenantObjects) *Assignment {
-	a := NewAssignment(p.NumGroups)
+// Assign implements Policy.
+func (p RoundRobinObjects) Assign(tenants []TenantObjects) (*Assignment, error) {
+	if p.NumGroups <= 0 {
+		return nil, &PolicyError{Policy: p.Name(), Reason: "NumGroups must be positive"}
+	}
+	a := MustAssignment(p.NumGroups)
 	for _, t := range tenants {
 		for j, id := range t.Objects {
-			a.Place(id, j%p.NumGroups)
+			if err := a.Place(id, j%p.NumGroups); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return a
+	return a, nil
 }

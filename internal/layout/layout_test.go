@@ -1,6 +1,7 @@
 package layout
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/segment"
@@ -12,6 +13,15 @@ func tenant(n, objs int) TenantObjects {
 		t.Objects = append(t.Objects, segment.ObjectID{Tenant: n, Table: "t", Index: i})
 	}
 	return t
+}
+
+func mustAssign(t *testing.T, p Policy, tens []TenantObjects) *Assignment {
+	t.Helper()
+	a, err := p.Assign(tens)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return a
 }
 
 func groupsOf(t *testing.T, a *Assignment, to TenantObjects) []int {
@@ -28,7 +38,7 @@ func groupsOf(t *testing.T, a *Assignment, to TenantObjects) []int {
 }
 
 func TestAllInOne(t *testing.T) {
-	a := AllInOne{}.Assign([]TenantObjects{tenant(0, 3), tenant(1, 2)})
+	a := mustAssign(t, AllInOne{}, []TenantObjects{tenant(0, 3), tenant(1, 2)})
 	if a.NumGroups() != 1 {
 		t.Fatalf("groups %d", a.NumGroups())
 	}
@@ -46,7 +56,7 @@ func TestAllInOne(t *testing.T) {
 
 func TestOnePerGroup(t *testing.T) {
 	tens := []TenantObjects{tenant(0, 2), tenant(1, 2), tenant(2, 2)}
-	a := OnePerGroup().Assign(tens)
+	a := mustAssign(t, OnePerGroup(), tens)
 	if a.NumGroups() != 3 {
 		t.Fatalf("groups %d", a.NumGroups())
 	}
@@ -61,7 +71,7 @@ func TestOnePerGroup(t *testing.T) {
 
 func TestTwoClientsPerGroup(t *testing.T) {
 	tens := []TenantObjects{tenant(0, 1), tenant(1, 1), tenant(2, 1), tenant(3, 1)}
-	a := ClientsPerGroup{K: 2}.Assign(tens)
+	a := mustAssign(t, ClientsPerGroup{K: 2}, tens)
 	if a.NumGroups() != 2 {
 		t.Fatalf("groups %d", a.NumGroups())
 	}
@@ -77,7 +87,7 @@ func TestIncrementalSplitsHalves(t *testing.T) {
 	// Four tenants with 4 objects each: group g holds tenant g's first
 	// half and tenant (g-1 mod 4)'s second half (§5.2.3).
 	tens := []TenantObjects{tenant(0, 4), tenant(1, 4), tenant(2, 4), tenant(3, 4)}
-	a := Incremental{}.Assign(tens)
+	a := mustAssign(t, Incremental{}, tens)
 	if a.NumGroups() != 4 {
 		t.Fatalf("groups %d", a.NumGroups())
 	}
@@ -96,7 +106,7 @@ func TestIncrementalSplitsHalves(t *testing.T) {
 }
 
 func TestIncrementalOddSplit(t *testing.T) {
-	a := Incremental{}.Assign([]TenantObjects{tenant(0, 3), tenant(1, 3)})
+	a := mustAssign(t, Incremental{}, []TenantObjects{tenant(0, 3), tenant(1, 3)})
 	gs := groupsOf(t, a, tenant(0, 3))
 	// ceil(3/2)=2 objects in own group, 1 in the next.
 	if gs[0] != 0 || gs[1] != 0 || gs[2] != 1 {
@@ -106,7 +116,7 @@ func TestIncrementalOddSplit(t *testing.T) {
 
 func TestByTenantSkewed(t *testing.T) {
 	tens := []TenantObjects{tenant(0, 1), tenant(1, 1), tenant(2, 1), tenant(3, 1), tenant(4, 1)}
-	a := ByTenant{Groups: []int{0, 0, 1, 1, 2}}.Assign(tens)
+	a := mustAssign(t, ByTenant{Groups: []int{0, 0, 1, 1, 2}}, tens)
 	if a.NumGroups() != 3 {
 		t.Fatalf("groups %d", a.NumGroups())
 	}
@@ -119,7 +129,7 @@ func TestByTenantSkewed(t *testing.T) {
 }
 
 func TestRoundRobinObjects(t *testing.T) {
-	a := RoundRobinObjects{NumGroups: 3}.Assign([]TenantObjects{tenant(0, 7)})
+	a := mustAssign(t, RoundRobinObjects{NumGroups: 3}, []TenantObjects{tenant(0, 7)})
 	gs := groupsOf(t, a, tenant(0, 7))
 	for i, g := range gs {
 		if g != i%3 {
@@ -151,41 +161,50 @@ func TestPolicyNames(t *testing.T) {
 }
 
 func TestClientsPerGroupValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("K=0 accepted")
-		}
-	}()
-	ClientsPerGroup{K: 0}.Assign([]TenantObjects{tenant(0, 1)})
+	_, err := ClientsPerGroup{K: 0}.Assign([]TenantObjects{tenant(0, 1)})
+	var pe *PolicyError
+	if !errors.As(err, &pe) {
+		t.Fatalf("K=0 accepted: %v", err)
+	}
 }
 
 func TestIncrementalEmptyTenants(t *testing.T) {
-	a := Incremental{}.Assign(nil)
+	a := mustAssign(t, Incremental{}, nil)
 	if a.NumGroups() != 1 || a.NumObjects() != 0 {
 		t.Fatalf("empty incremental: %d groups %d objects", a.NumGroups(), a.NumObjects())
 	}
 }
 
-func TestByTenantTooFewGroupsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("short Groups accepted")
-		}
-	}()
-	ByTenant{Groups: []int{0}}.Assign([]TenantObjects{tenant(0, 1), tenant(1, 1)})
+func TestByTenantTooFewGroups(t *testing.T) {
+	_, err := ByTenant{Groups: []int{0}}.Assign([]TenantObjects{tenant(0, 1), tenant(1, 1)})
+	var pe *PolicyError
+	if !errors.As(err, &pe) {
+		t.Fatalf("short Groups accepted: %v", err)
+	}
 }
 
 func TestUnplacedObjectError(t *testing.T) {
-	a := NewAssignment(1)
+	a := MustAssignment(1)
 	if _, err := a.GroupOf(segment.ObjectID{Table: "x"}); err == nil {
 		t.Fatal("unplaced object lookup succeeded")
 	}
 }
 
+func TestNewAssignmentValidation(t *testing.T) {
+	_, err := NewAssignment(0)
+	var pe *PolicyError
+	if !errors.As(err, &pe) {
+		t.Fatalf("numGroups=0 accepted: %v", err)
+	}
+}
+
 func TestRelocateGroup(t *testing.T) {
 	tens := []TenantObjects{tenant(0, 2), tenant(1, 2), tenant(2, 2)}
-	a := OnePerGroup().Assign(tens)
-	moved := a.RelocateGroup(1, 2)
+	a := mustAssign(t, OnePerGroup(), tens)
+	moved, err := a.RelocateGroup(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if moved != 2 {
 		t.Fatalf("moved %d, want 2", moved)
 	}
@@ -201,22 +220,26 @@ func TestRelocateGroup(t *testing.T) {
 	}
 }
 
-func TestRelocateGroupPanics(t *testing.T) {
-	a := NewAssignment(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for self-relocation")
-		}
-	}()
-	a.RelocateGroup(1, 1)
+func TestRelocateGroupErrors(t *testing.T) {
+	a := MustAssignment(2)
+	var pe *PolicyError
+	if _, err := a.RelocateGroup(1, 1); !errors.As(err, &pe) {
+		t.Fatalf("self-relocation accepted: %v", err)
+	}
+	var re *GroupRangeError
+	if _, err := a.RelocateGroup(0, 5); !errors.As(err, &re) {
+		t.Fatalf("out-of-range fallback accepted: %v", err)
+	}
 }
 
-func TestPlaceOutOfRangePanics(t *testing.T) {
-	a := NewAssignment(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on out-of-range group")
-		}
-	}()
-	a.Place(segment.ObjectID{Table: "x"}, 5)
+func TestPlaceOutOfRange(t *testing.T) {
+	a := MustAssignment(2)
+	err := a.Place(segment.ObjectID{Table: "x"}, 5)
+	var re *GroupRangeError
+	if !errors.As(err, &re) {
+		t.Fatalf("out-of-range group accepted: %v", err)
+	}
+	if re.Group != 5 || re.NumGroups != 2 {
+		t.Fatalf("error detail %+v", re)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/csd"
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/layout"
 	"repro/internal/metrics"
 	"repro/internal/segcache"
 	"repro/internal/segment"
@@ -51,6 +52,15 @@ type Config struct {
 	// Pipeline, when non-nil, enables the PR 6 async pipeline (prefetch
 	// + decode workers) for every query run.
 	Pipeline *skipper.PipelineConfig
+	// Devices is the CSD fleet size every query runs against (default 1,
+	// the classic single-device testbed). With more than one device, disk
+	// groups spread across the fleet and GETs fan out per placement.
+	Devices int
+	// Replication selects which objects live on more than one device of
+	// a fleet (see layout.ParseReplication): "none", the hottest N, or
+	// all. Replicas absorb load and take over when a device crashes.
+	// Ignored with Devices <= 1.
+	Replication layout.Replication
 	// Faults, when non-nil, runs every query against a device injecting
 	// this fault plan. Each query run builds a fresh injector from the
 	// plan — fault decisions are a pure function of (seed, object,
@@ -111,10 +121,18 @@ type tenantState struct {
 	cache    *segcache.Cache // nil when SegCacheObjects is 0
 	// Fault/recovery accounting, aggregated across the tenant's queries:
 	// faults the device injected, retries the proxy issued, corrupt
-	// deliveries the checksum caught.
+	// deliveries the checksum caught, and recoveries that failed over to
+	// a replica on another device.
 	faultsInjected  atomic.Int64
 	retries         atomic.Int64
 	corruptSegments atomic.Int64
+	failovers       atomic.Int64
+	// Per-device GET ledgers (demand and prefetch) and crash-window
+	// counts, indexed by device id; sized to the configured fleet at
+	// tenant creation.
+	deviceGets         []atomic.Int64
+	devicePrefetchGets []atomic.Int64
+	deviceCrashes      []atomic.Int64
 }
 
 // Server is the long-lived serving front end. Construct with New,
@@ -376,7 +394,11 @@ func (s *Server) tenantState(tenant int) *tenantState {
 	s.mu.Lock()
 	ts, ok := s.tenants[tenant]
 	if !ok {
-		ts = &tenantState{}
+		ts = &tenantState{
+			deviceGets:         make([]atomic.Int64, s.numDevices()),
+			devicePrefetchGets: make([]atomic.Int64, s.numDevices()),
+			deviceCrashes:      make([]atomic.Int64, s.numDevices()),
+		}
 		if s.cfg.SegCacheObjects > 0 {
 			ts.cache = segcache.NewObjects(s.cfg.SegCacheObjects)
 		}
@@ -428,6 +450,34 @@ func (s *Server) registerTenantMetrics(tenant int, ts *tenantState) {
 	s.reg.CounterFunc("skipper_corrupt_segments",
 		"Deliveries the end-to-end checksum rejected as corrupt.", label(),
 		func() float64 { return float64(ts.corruptSegments.Load()) })
+	s.reg.CounterFunc("skipper_failovers",
+		"Recoveries that re-requested an object from a replica on another device.", label(),
+		func() float64 { return float64(ts.failovers.Load()) })
+	for d := range ts.deviceGets {
+		d := d
+		dl := func() map[string]string {
+			l := label()
+			l["device"] = strconv.Itoa(d)
+			return l
+		}
+		s.reg.CounterFunc("skipper_device_gets_total",
+			"Demand GETs this tenant routed to the device.", dl(),
+			func() float64 { return float64(ts.deviceGets[d].Load()) })
+		s.reg.CounterFunc("skipper_device_prefetch_gets_total",
+			"Prefetch GETs issued on this tenant's behalf to the device.", dl(),
+			func() float64 { return float64(ts.devicePrefetchGets[d].Load()) })
+		s.reg.CounterFunc("skipper_device_crashes_total",
+			"Crash windows the device entered during this tenant's queries.", dl(),
+			func() float64 { return float64(ts.deviceCrashes[d].Load()) })
+	}
+}
+
+// numDevices resolves the configured fleet size (at least one).
+func (s *Server) numDevices() int {
+	if s.cfg.Devices > 1 {
+		return s.cfg.Devices
+	}
+	return 1
 }
 
 // runQuery is the serving path: plan, admit, execute, account. Traced
@@ -596,10 +646,33 @@ func (s *Server) execute(ctx context.Context, tenant int, ts *tenantState, spec 
 		QTrace:       qt,
 	}
 	cl := &skipper.Cluster{Clients: []*skipper.Client{client}, Store: s.store}
-	var inj *faults.Injector
-	if s.cfg.Faults != nil {
-		inj = faults.MustNew(*s.cfg.Faults) // fresh per query: deterministic schedule on its own virtual clock
-		cl.CSD = csd.Config{Faults: inj}
+	var injs []*faults.Injector
+	mkInjector := func(device int) *faults.Injector {
+		// Fresh per query and per device: fault decisions are a pure
+		// function of (seed, object, attempt), so every query sees the
+		// same deterministic schedule on its own virtual clock.
+		plan := *s.cfg.Faults
+		if device > 0 {
+			// Crashes are confined to device 0: a replicated fleet then
+			// always has a live side to fail over to, which is the failure
+			// mode the scale-out experiments measure. Transient and
+			// corruption rates apply on every device.
+			plan.CrashAt, plan.CrashDowntime = 0, 0
+		}
+		inj := faults.MustNew(plan)
+		injs = append(injs, inj)
+		return inj
+	}
+	if n := s.numDevices(); n > 1 {
+		cl.Devices = make([]csd.Config, n)
+		cl.Replication = s.cfg.Replication
+		if s.cfg.Faults != nil {
+			for d := range cl.Devices {
+				cl.Devices[d].Faults = mkInjector(d)
+			}
+		}
+	} else if s.cfg.Faults != nil {
+		cl.CSD = csd.Config{Faults: mkInjector(0)}
 	}
 	res, err := cl.Run()
 	// Fault accounting covers failed runs too — a query that exhausted
@@ -607,8 +680,26 @@ func (s *Server) execute(ctx context.Context, tenant int, ts *tenantState, spec 
 	cs := client.Stats()
 	ts.retries.Add(int64(cs.Retries))
 	ts.corruptSegments.Add(int64(cs.CorruptDeliveries))
-	if inj != nil {
+	ts.failovers.Add(int64(cs.Failovers))
+	for d, n := range cs.DeviceGets {
+		if d < len(ts.deviceGets) {
+			ts.deviceGets[d].Add(int64(n))
+		}
+	}
+	for d, n := range cs.PrefetchDeviceGets {
+		if d < len(ts.devicePrefetchGets) {
+			ts.devicePrefetchGets[d].Add(int64(n))
+		}
+	}
+	for _, inj := range injs {
 		ts.faultsInjected.Add(inj.Stats().Injected())
+	}
+	if res != nil {
+		for d, st := range res.Devices {
+			if d < len(ts.deviceCrashes) {
+				ts.deviceCrashes[d].Add(int64(st.Crashes))
+			}
+		}
 	}
 	if err != nil {
 		return nil, nil, err

@@ -15,14 +15,30 @@ import (
 	"repro/internal/vtime"
 )
 
-// Cluster runs a set of database clients against one shared CSD on a
-// virtual-time simulation — the paper's testbed of §5.1 (five PostgreSQL
-// VMs against one Swift-based emulated CSD).
+// Cluster runs a set of database clients against one or more shared
+// CSDs on a virtual-time simulation — the paper's testbed of §5.1 (five
+// PostgreSQL VMs against one Swift-based emulated CSD), generalized to
+// a device fleet for the scale-out experiments.
 type Cluster struct {
 	Clients []*Client
 	Layout  layout.Policy
-	CSD     csd.Config
-	Costs   Costs
+	// CSD configures the device of a single-device cluster (the classic
+	// testbed). Ignored when Devices is non-empty.
+	CSD csd.Config
+	// Devices, when non-empty, runs a fleet: one CSD per config, with
+	// disk groups spread across devices (primary device = group mod fleet
+	// size) and objects optionally replicated per Replication. Each
+	// config's ID is overwritten with its index; a config with a nil
+	// Scheduler is completed from csd.DefaultConfig, keeping its Events
+	// and Faults, exactly like the single-device path.
+	Devices []csd.Config
+	// Replication selects which objects of a fleet live on more than one
+	// device: none (the default), the hottest N by demanded-segment count
+	// (layout.ReplicateHot), or all (layout.ReplicateFull). A replica
+	// serves GETs when the chooser prefers it and takes over when the
+	// primary's device crashes. No effect on a single device.
+	Replication layout.Replication
+	Costs       Costs
 	// Store backs every tenant's objects.
 	Store map[segment.ObjectID]*segment.Segment
 	// SharedCache, when non-nil, is one segment cache shared by every
@@ -41,8 +57,13 @@ type Cluster struct {
 
 // RunResult aggregates a cluster run.
 type RunResult struct {
-	Clients  []*ClientStats
-	CSD      csd.Stats
+	Clients []*ClientStats
+	// CSD is the device's statistics — summed across the fleet when the
+	// cluster ran more than one device (csd.Stats.Plus).
+	CSD csd.Stats
+	// Devices holds each device's own statistics, indexed by device id.
+	// One entry for a single-device cluster (then identical to CSD).
+	Devices  []csd.Stats
 	Makespan time.Duration
 	// Wall is the real (hardware) time the simulation took end to end —
 	// the wall-clock measurement mode's headline number. Virtual quantities
@@ -67,33 +88,59 @@ func (cl *Cluster) Run() (*RunResult, error) {
 	if cl.Costs == (Costs{}) {
 		cl.Costs = DefaultCosts()
 	}
-	if cl.CSD.Scheduler == nil {
-		def := csd.DefaultConfig()
-		def.Events, def.Faults = cl.CSD.Events, cl.CSD.Faults
-		cl.CSD = def
+	devCfgs := append([]csd.Config(nil), cl.Devices...)
+	if len(devCfgs) == 0 {
+		devCfgs = []csd.Config{cl.CSD}
 	}
-	if cl.Events != nil && cl.CSD.Events == nil {
-		cl.CSD.Events = cl.Events
+	for i := range devCfgs {
+		if devCfgs[i].Scheduler == nil {
+			def := csd.DefaultConfig()
+			def.Events, def.Faults = devCfgs[i].Events, devCfgs[i].Faults
+			devCfgs[i] = def
+		}
+		devCfgs[i].ID = i
+		if cl.Events != nil && devCfgs[i].Events == nil {
+			devCfgs[i].Events = cl.Events
+		}
 	}
 	tenants := make([]layout.TenantObjects, len(cl.Clients))
 	for i, c := range cl.Clients {
 		tenants[i] = layout.TenantObjects{Tenant: c.Tenant, Objects: c.Catalog.AllObjects()}
 	}
-	assign := cl.Layout.Assign(tenants)
+	assign, err := cl.Layout.Assign(tenants)
+	if err != nil {
+		return nil, fmt.Errorf("skipper: layout: %w", err)
+	}
+	var heat map[segment.ObjectID]int
+	if cl.Replication.Kind == layout.ReplicateHot {
+		heat = demandHeat(cl.Clients)
+	}
+	place, err := layout.BuildPlacement(assign, len(devCfgs), cl.Replication, heat)
+	if err != nil {
+		return nil, fmt.Errorf("skipper: placement: %w", err)
+	}
 
 	sim := vtime.NewSim()
 	if cl.Trace != nil {
 		sim.SetTracer(cl.Trace)
 	}
-	dev := csd.New(sim, cl.CSD, cl.Store, assign)
-	dev.Start()
+	devs := make([]*csd.CSD, len(devCfgs))
+	for i, cfg := range devCfgs {
+		da, err := place.DeviceAssignment(i)
+		if err != nil {
+			return nil, fmt.Errorf("skipper: device %d: %w", i, err)
+		}
+		devs[i] = csd.New(sim, cfg, cl.Store, da)
+		devs[i].Start()
+	}
+	fl := newDeviceChooser(devs, place)
 
 	done := vtime.NewChan[int](sim, "cluster.done", len(cl.Clients))
 	var runErr error
 	for _, c := range cl.Clients {
 		c := c
 		sim.Spawn(fmt.Sprintf("client.t%d", c.Tenant), func(p *vtime.Proc) {
-			if err := cl.runClient(p, sim, dev, assign, c); err != nil && runErr == nil {
+			if err := cl.runClient(p, sim, fl, c); err != nil && runErr == nil {
 				runErr = err
 			}
 			done.Send(p, c.Tenant)
@@ -103,7 +150,9 @@ func (cl *Cluster) Run() (*RunResult, error) {
 		for range cl.Clients {
 			done.Recv(p)
 		}
-		dev.Shutdown(p)
+		for _, dev := range devs {
+			dev.Shutdown(p)
+		}
 	})
 	wall := vtime.NewWall()
 	if err := sim.Run(); err != nil {
@@ -113,7 +162,17 @@ func (cl *Cluster) Run() (*RunResult, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
-	res := &RunResult{CSD: dev.Stats(), Makespan: sim.Now(), Wall: elapsed}
+	res := &RunResult{Makespan: sim.Now(), Wall: elapsed}
+	for _, dev := range devs {
+		res.Devices = append(res.Devices, dev.Stats())
+	}
+	if len(devs) == 1 {
+		res.CSD = res.Devices[0]
+	} else {
+		for _, st := range res.Devices {
+			res.CSD = res.CSD.Plus(st)
+		}
+	}
 	if cl.SharedCache != nil {
 		st := cl.SharedCache.Stats()
 		res.Cache = &st
@@ -133,11 +192,11 @@ func (cl *Cluster) Run() (*RunResult, error) {
 // (closed when the workload ends, even on error) and the prefetch
 // daemon (told to stop likewise; it exits once its in-flight transfers
 // drain, so the simulation always terminates).
-func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign *layout.Assignment, c *Client) error {
+func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, fl *DeviceChooser, c *Client) error {
 	c.stats = ClientStats{Tenant: c.Tenant, Mode: c.Mode, Start: p.Now()}
 	wallStart := time.Now()
 	defer func() { c.stats.WallElapsed = time.Since(wallStart) }()
-	px := newProxy(sim, dev, c.Tenant, &c.stats)
+	px := newProxy(sim, fl, c.Tenant, &c.stats)
 	px.proc = p
 	px.ctx = c.Ctx
 	px.tr = c.QTrace
@@ -154,7 +213,7 @@ func (cl *Cluster) runClient(p *vtime.Proc, sim *vtime.Sim, dev *csd.CSD, assign
 		pipe = &engine.Pipeline{Pool: pool, Depth: pc.DecodeAhead}
 	}
 	if pc := c.Pipeline; pc != nil && pc.PrefetchBytes > 0 {
-		px.pf = newPrefetcher(sim, dev, assign, px.cache, c)
+		px.pf = newPrefetcher(sim, fl, px.cache, c)
 		sim.Spawn(fmt.Sprintf("prefetch.t%d", c.Tenant), px.pf.run)
 		defer px.pf.stop(p)
 	}
@@ -311,6 +370,30 @@ func (cl *Cluster) runSkipper(clock engine.Clock, px *proxy, c *Client, spec Que
 		rows = shaped
 	}
 	return rows, nil
+}
+
+// demandHeat counts, per object, the demand references the workload
+// will make absent any caching: every unpruned segment reference of
+// every query of every client. BuildPlacement's hot replication uses it
+// to pick the working set worth replicating — with the default Hot<=0
+// the whole demanded set, which is what makes a fleet survive one
+// device's permanent crash with zero failed queries.
+func demandHeat(clients []*Client) map[segment.ObjectID]int {
+	heat := make(map[segment.ObjectID]int)
+	for _, c := range clients {
+		prune := c.statsPruningOn()
+		for _, spec := range c.Queries {
+			for _, rel := range spec.Join.Relations {
+				for si, id := range rel.Table.Objects {
+					if prune && rel.Pruner != nil && rel.Pruner.CanSkip(si) {
+						continue
+					}
+					heat[id]++
+				}
+			}
+		}
+	}
+	return heat
 }
 
 func addStats(a, b mjoin.Stats) mjoin.Stats {

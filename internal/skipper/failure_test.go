@@ -16,10 +16,15 @@ type relocatedLayout struct {
 
 func (r relocatedLayout) Name() string { return r.base.Name() + "+relocated" }
 
-func (r relocatedLayout) Assign(tenants []layout.TenantObjects) *layout.Assignment {
-	a := r.base.Assign(tenants)
-	a.RelocateGroup(r.failed, r.fallback)
-	return a
+func (r relocatedLayout) Assign(tenants []layout.TenantObjects) (*layout.Assignment, error) {
+	a, err := r.base.Assign(tenants)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := a.RelocateGroup(r.failed, r.fallback); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 func TestGroupFailureRelocationPreservesResults(t *testing.T) {

@@ -1,0 +1,134 @@
+package skipper
+
+import (
+	"repro/internal/csd"
+	"repro/internal/layout"
+	"repro/internal/segment"
+)
+
+// This file is the fleet layer of the scale-out refactor: a cluster may
+// run N devices instead of one, with the layout's Placement saying
+// which device(s) hold each object. The DeviceChooser extends the
+// single device's LoadedGroup/PredictNextGroup advisory views across
+// the fleet — for a replicated object it picks the source whose loaded
+// (or predicted-next) group already covers the request, and when a
+// device crashes it finds the live replica the retry path fails over
+// to. All methods run on simulated processes of one cooperative vtime
+// kernel, so the advisory reads need no locking; like the underlying
+// device views, they are exact at the instant of the call and stale
+// after the caller's next yield.
+
+// DeviceChooser routes object requests across the cluster's devices.
+type DeviceChooser struct {
+	devs  []*csd.CSD
+	place *layout.Placement
+}
+
+func newDeviceChooser(devs []*csd.CSD, place *layout.Placement) *DeviceChooser {
+	return &DeviceChooser{devs: devs, place: place}
+}
+
+// numDevices returns the fleet size.
+func (dc *DeviceChooser) numDevices() int { return len(dc.devs) }
+
+// device returns the device with the given id.
+func (dc *DeviceChooser) device(d int) *csd.CSD { return dc.devs[d] }
+
+// live reports whether device d can currently accept work: not
+// fail-stopped and not inside a crash window.
+func (dc *DeviceChooser) live(d int) bool {
+	return dc.devs[d].Err() == nil && !dc.devs[d].Down()
+}
+
+// groupOf returns the object's disk group (global ids — identical on
+// every device holding it), or -1 for an unplaced object.
+func (dc *DeviceChooser) groupOf(id segment.ObjectID) int {
+	devs := dc.place.DevicesFor(id)
+	if len(devs) == 0 {
+		return -1
+	}
+	a, err := dc.place.DeviceAssignment(devs[0])
+	if err != nil {
+		return -1
+	}
+	g, err := a.GroupOf(id)
+	if err != nil {
+		return -1
+	}
+	return g
+}
+
+// Choose picks the device that should serve a GET for the object. For
+// an unreplicated object there is no choice; for a replicated one the
+// chooser prefers, in order: a live replica whose loaded group covers
+// the object (served without a group switch), a live replica whose
+// scheduler predicts the object's group next, the first live replica in
+// placement order (primary first), and finally the primary even when it
+// is down — the request then fails with a DeviceDownError and the retry
+// path owns recovery, exactly like the single-device contract.
+func (dc *DeviceChooser) Choose(id segment.ObjectID) int {
+	devs := dc.place.DevicesFor(id)
+	if len(devs) == 0 {
+		// Unplaced objects keep the historical behaviour: the primary
+		// device's store lookup fails loudly.
+		return 0
+	}
+	if len(devs) == 1 {
+		return devs[0]
+	}
+	g := dc.groupOf(id)
+	for _, d := range devs {
+		if dc.live(d) && dc.devs[d].LoadedGroup() == g {
+			return d
+		}
+	}
+	for _, d := range devs {
+		if !dc.live(d) {
+			continue
+		}
+		if next, ok := dc.devs[d].PredictNextGroup(); ok && next == g {
+			return d
+		}
+	}
+	for _, d := range devs {
+		if dc.live(d) {
+			return d
+		}
+	}
+	return devs[0]
+}
+
+// Failover returns a live replica of the object other than the failed
+// device, if the placement holds one — the target the retry path
+// re-requests from instead of re-retrying a crashed device.
+func (dc *DeviceChooser) Failover(id segment.ObjectID, failed int) (int, bool) {
+	for _, d := range dc.place.DevicesFor(id) {
+		if d != failed && dc.live(d) {
+			return d, true
+		}
+	}
+	return -1, false
+}
+
+// affinity scores how cheaply the fleet can serve the object right now:
+// 2 when a live replica has its group loaded, 1 when one predicts it
+// next, 0 otherwise. The prefetcher uses it to order candidates.
+func (dc *DeviceChooser) affinity(id segment.ObjectID) int {
+	g := dc.groupOf(id)
+	if g < 0 {
+		return 0
+	}
+	score := 0
+	for _, d := range dc.place.DevicesFor(id) {
+		if !dc.live(d) {
+			continue
+		}
+		if dc.devs[d].LoadedGroup() == g {
+			return 2
+		}
+		if next, ok := dc.devs[d].PredictNextGroup(); ok && next == g {
+			score = 1
+		}
+	}
+	return score
+}

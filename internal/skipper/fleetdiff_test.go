@@ -1,0 +1,210 @@
+// Fleet differential suite: the shared-dataset probe workload executed
+// against device fleets of growing size, with and without replication,
+// must produce byte-identical results to the single-device run across
+// engine modes, wire formats and DOP — and the per-device GET ledgers
+// must balance against what each device recorded. The failover half
+// crashes one of two devices mid-run: with the demanded working set
+// hot-replicated every query must still complete, recovered from the
+// replica (no failed queries, counted failovers, no leaked pins or
+// goroutines); without a replica the crash must surface as the typed
+// DeviceDownError exactly as on a single device. Runs under CI's -race
+// job.
+package skipper_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/csd"
+	"repro/internal/faults"
+	"repro/internal/layout"
+	"repro/internal/segcache"
+	"repro/internal/segment"
+	"repro/internal/skipper"
+	"repro/internal/workload"
+)
+
+// fleetGroups spreads the probe dataset over four disk groups so a
+// four-device fleet places one group per device and every device sees
+// traffic.
+const fleetGroups = 4
+
+// runFleet executes the 2-pass probe workload on two tenants sharing
+// the dataset and one segment cache, against a fleet of the given size.
+// The fault plan (zero = clean) lands on device 0 only, so a replicated
+// fleet always has a live side to fail over to.
+func runFleet(t *testing.T, ds *workload.Dataset, mode skipper.Mode, dop, devices int,
+	rep layout.Replication, pc *skipper.PipelineConfig, plan faults.Plan, retry *skipper.RetryPolicy) (*skipper.RunResult, error) {
+	t.Helper()
+	store := make(map[segment.ObjectID]*segment.Segment)
+	ds.MergeInto(store)
+	clients := make([]*skipper.Client, 2)
+	for tn := range clients {
+		clients[tn] = &skipper.Client{
+			Tenant:       tn,
+			Mode:         mode,
+			Catalog:      ds.Catalog,
+			Queries:      workload.MultiPass(ds.Catalog, 2),
+			CacheObjects: 6,
+			Parallelism:  dop,
+			KeepResults:  true,
+			Pipeline:     pc,
+			Retry:        retry,
+		}
+	}
+	cl := &skipper.Cluster{
+		Clients:     clients,
+		Layout:      layout.RoundRobinObjects{NumGroups: fleetGroups},
+		Store:       store,
+		SharedCache: segcache.NewObjects(len(ds.Catalog.AllObjects())),
+	}
+	if devices <= 1 {
+		if plan.Enabled() {
+			cl.CSD = csd.Config{Faults: faults.MustNew(plan)}
+		}
+	} else {
+		cl.Devices = make([]csd.Config, devices)
+		cl.Replication = rep
+		if plan.Enabled() {
+			cl.Devices[0].Faults = faults.MustNew(plan)
+		}
+	}
+	return cl.Run()
+}
+
+// requireFleetAccounting checks the per-device GET ledgers of a clean
+// run: for every device and tenant, the GETs the device attributed to
+// the tenant equal the demand GETs the proxy routed there plus the
+// prefetcher's GETs on its behalf — and every device saw traffic.
+func requireFleetAccounting(t *testing.T, res *skipper.RunResult) {
+	t.Helper()
+	for d, st := range res.Devices {
+		for _, cs := range res.Clients {
+			want := cs.DeviceGets[d] + cs.PrefetchDeviceGets[d]
+			if st.GetsByTenant[cs.Tenant] != want {
+				t.Fatalf("device %d tenant %d: device saw %d GETs, ledgers say %d (demand %d + prefetch %d)",
+					d, cs.Tenant, st.GetsByTenant[cs.Tenant], want, cs.DeviceGets[d], cs.PrefetchDeviceGets[d])
+			}
+		}
+		if st.GetsReceived == 0 {
+			t.Fatalf("device %d received no GETs — fleet differential is vacuous", d)
+		}
+	}
+}
+
+func TestFleetDifferential(t *testing.T) {
+	fleets := []struct {
+		devices int
+		rep     layout.Replication
+	}{
+		{2, layout.Replication{}},
+		{2, layout.Replication{Kind: layout.ReplicateHot}},
+		{4, layout.Replication{Kind: layout.ReplicateFull}},
+	}
+	for _, format := range []segment.Format{segment.FormatV1, segment.FormatV2} {
+		ds := sharedDataset(t, format)
+		for _, mode := range []skipper.Mode{skipper.ModeVanilla, skipper.ModeSkipper} {
+			for _, dop := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%v/%v/dop%d", format, mode, dop), func(t *testing.T) {
+					base, err := runFleet(t, ds, mode, dop, 1, layout.Replication{}, pipelineOn(), faults.Plan{}, nil)
+					if err != nil {
+						t.Fatalf("single device: %v", err)
+					}
+					requireFleetAccounting(t, base)
+					for _, fl := range fleets {
+						res, err := runFleet(t, ds, mode, dop, fl.devices, fl.rep, pipelineOn(), faults.Plan{}, nil)
+						if err != nil {
+							t.Fatalf("%d devices %v: %v", fl.devices, fl.rep, err)
+						}
+						if len(res.Devices) != fl.devices {
+							t.Fatalf("%d device stat blocks, want %d", len(res.Devices), fl.devices)
+						}
+						requireSameResults(t, res, base)
+						requireFleetAccounting(t, res)
+						if res.Cache.PinnedBytes != 0 {
+							t.Fatalf("%d devices %v: run left %d bytes pinned", fl.devices, fl.rep, res.Cache.PinnedBytes)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFleetFailoverUnderCrash: device 0 of a two-device fleet dies
+// permanently mid-run. With the demanded working set hot-replicated,
+// every query must complete with results byte-identical to the clean
+// fleet: deliveries failed by the crash are re-requested from the
+// replica (counted failovers on the demand path), later demand routes
+// around the dead device, and nothing is pinned or leaked.
+func TestFleetFailoverUnderCrash(t *testing.T) {
+	ds := sharedDataset(t, segment.FormatV2)
+	hot := layout.Replication{Kind: layout.ReplicateHot}
+	plan := faults.Plan{Seed: 7, CrashAt: 15 * time.Second} // no restart: dead for good
+	for _, pipe := range []bool{false, true} {
+		t.Run(fmt.Sprintf("pipe=%v", pipe), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			var pc *skipper.PipelineConfig
+			if pipe {
+				pc = pipelineOn()
+			}
+			clean, err := runFleet(t, ds, skipper.ModeSkipper, 1, 2, hot, pc, faults.Plan{}, nil)
+			if err != nil {
+				t.Fatalf("clean fleet: %v", err)
+			}
+			crashed, err := runFleet(t, ds, skipper.ModeSkipper, 1, 2, hot, pc, plan, nil)
+			if err != nil {
+				t.Fatalf("replicated fleet did not survive the crash: %v", err)
+			}
+			if crashed.Devices[0].Crashes != 1 {
+				t.Fatalf("device 0 crashes = %d, want 1", crashed.Devices[0].Crashes)
+			}
+			if crashed.Devices[1].Crashes != 0 {
+				t.Fatalf("crash leaked to device 1 (%d crashes)", crashed.Devices[1].Crashes)
+			}
+			requireSameResults(t, crashed, clean)
+			// Anti-vacuous, demand path only: the prefetcher recovers from a
+			// dead device by silently re-routing, so counted failovers are
+			// only guaranteed when every GET is a demand GET.
+			if !pipe {
+				failovers := 0
+				for _, cs := range crashed.Clients {
+					failovers += cs.Failovers
+				}
+				if failovers == 0 {
+					t.Fatal("fleet survived the crash without a single counted failover")
+				}
+			}
+			if crashed.Cache.PinnedBytes != 0 {
+				t.Fatalf("crashed run left %d bytes pinned", crashed.Cache.PinnedBytes)
+			}
+			requireGoroutinesSettle(t, baseline)
+		})
+	}
+}
+
+// TestFleetPermanentCrashNoReplica: without replication a permanent
+// device-0 crash must surface as the typed DeviceDownError — the fleet
+// has no replica to fail over to, and the proxy must not burn the retry
+// policy against the dead device.
+func TestFleetPermanentCrashNoReplica(t *testing.T) {
+	ds := sharedDataset(t, segment.FormatV2)
+	plan := faults.Plan{Seed: 7, CrashAt: 15 * time.Second}
+	_, err := runFleet(t, ds, skipper.ModeSkipper, 1, 2, layout.Replication{}, nil, plan, nil)
+	if err == nil {
+		t.Fatal("unreplicated fleet survived a permanent device crash")
+	}
+	var de *csd.DeviceDownError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v does not carry a DeviceDownError", err)
+	}
+	if de.Restarting {
+		t.Fatal("permanent crash reported Restarting=true")
+	}
+	if !skipper.IsFaultError(err) {
+		t.Fatalf("IsFaultError(%v) = false, want true", err)
+	}
+}

@@ -1,10 +1,10 @@
 package skipper
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/csd"
-	"repro/internal/layout"
 	"repro/internal/segcache"
 	"repro/internal/segment"
 	"repro/internal/vtime"
@@ -67,8 +67,7 @@ type pfCmd struct {
 type prefetcher struct {
 	tenant int
 	budget int64
-	dev    *csd.CSD
-	assign *layout.Assignment
+	fl     *DeviceChooser
 	cache  *segcache.Cache
 	stats  *ClientStats
 
@@ -90,20 +89,21 @@ type prefetcher struct {
 	admitted map[segment.ObjectID]bool
 
 	stopped bool
-	// failed is set on the first fatal error delivery (device fail-stop
-	// or permanent crash): the prefetcher stops issuing and lets the
-	// demand path surface the error. Retryable faults do not set it —
-	// the affected object is simply dropped and left to the demand path,
-	// whose retry policy owns recovery.
+	// failed is set on the first unrecoverable fatal error delivery
+	// (device fail-stop, or a permanent crash with no live replica of the
+	// object elsewhere): the prefetcher stops issuing and lets the demand
+	// path surface the error. Retryable faults — and permanent crashes
+	// the fleet can fail over — do not set it: the affected object is
+	// simply dropped and left to the demand path, whose retry policy owns
+	// recovery.
 	failed bool
 }
 
-func newPrefetcher(sim *vtime.Sim, dev *csd.CSD, assign *layout.Assignment, cache *segcache.Cache, c *Client) *prefetcher {
+func newPrefetcher(sim *vtime.Sim, fl *DeviceChooser, cache *segcache.Cache, c *Client) *prefetcher {
 	return &prefetcher{
 		tenant:   c.Tenant,
 		budget:   c.Pipeline.PrefetchBytes,
-		dev:      dev,
-		assign:   assign,
+		fl:       fl,
 		cache:    cache,
 		stats:    &c.stats,
 		cmd:      vtime.NewChan[pfCmd](sim, fmt.Sprintf("prefetch.t%d.cmd", c.Tenant), len(c.Queries)+4),
@@ -210,29 +210,27 @@ func (pf *prefetcher) issue(p *vtime.Proc) {
 		pf.inflight[cand.id] = cand.bytes
 		pf.inflightBytes += cand.bytes
 		pf.stats.PrefetchIssued++
-		pf.dev.Submit(p, &csd.Request{
+		d := pf.fl.Choose(cand.id)
+		pf.stats.addPrefetchDeviceGet(d)
+		pf.fl.device(d).Submit(p, &csd.Request{
 			Object: cand.id, QueryID: cand.queryID, Tenant: pf.tenant, Reply: pf.reply,
 		})
 	}
 }
 
-// pick returns the queue index to issue next: a candidate on the loaded
-// group if any (served without a switch), else one on the scheduler's
-// predicted next group, else the FIFO head.
+// pick returns the queue index to issue next: a candidate some live
+// replica can serve without a group switch if any, else one on a
+// scheduler's predicted next group, else the FIFO head.
 func (pf *prefetcher) pick() int {
-	loaded := pf.dev.LoadedGroup()
-	predicted, havePrediction := pf.dev.PredictNextGroup()
 	best := 0
 	for i, cand := range pf.queue {
-		g, err := pf.assign.GroupOf(cand.id)
-		if err != nil {
-			continue
-		}
-		if g == loaded {
+		switch pf.fl.affinity(cand.id) {
+		case 2:
 			return i
-		}
-		if havePrediction && g == predicted && best == 0 && i > 0 {
-			best = i
+		case 1:
+			if best == 0 && i > 0 {
+				best = i
+			}
 		}
 	}
 	return best
@@ -262,6 +260,15 @@ func (pf *prefetcher) complete(d csd.Delivery) {
 		if csd.IsRetryable(d.Err) {
 			pf.stats.TransientFaults++
 			return
+		}
+		var dde *csd.DeviceDownError
+		if errors.As(d.Err, &dde) {
+			if _, ok := pf.fl.Failover(d.Object, d.Device); ok {
+				// One device's permanent crash is not fatal to the fleet:
+				// the object has a live replica the demand path fails over
+				// to. Release the slot and keep prefetching elsewhere.
+				return
+			}
 		}
 		pf.failed = true
 		pf.queue, pf.queued = nil, make(map[segment.ObjectID]bool)

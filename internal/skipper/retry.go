@@ -210,12 +210,29 @@ func classify(d csd.Delivery) (deliveryClass, error) {
 	return deliveryOK, nil
 }
 
+// canFailover reports whether a fatal delivery is recoverable through
+// the fleet: the cause is a device-down error (a permanent crash, since
+// restart windows classify as retryable) and the placement holds a live
+// replica of the object on another device. NextArrival reclassifies
+// such a delivery as retryable and retryDelivery fails over.
+func (px *proxy) canFailover(d csd.Delivery) bool {
+	var dde *csd.DeviceDownError
+	if !errors.As(d.Err, &dde) {
+		return false
+	}
+	_, ok := px.fl.Failover(d.Object, d.Device)
+	return ok
+}
+
 // retryDelivery handles one faulty-but-recoverable delivery on the
 // demand path: quarantine a corrupt payload out of the cache, back off
 // on the virtual clock (cancellation-aware), and re-issue the GET. The
 // replacement delivery arrives on the reply channel like any other.
-// Returns the error to surface when the policy is spent or the context
-// fired; nil means the retry is in flight.
+// A device-down fault on an object with a live replica elsewhere fails
+// over instead: the GET is re-issued to the replica immediately, with
+// no backoff — the pacing that protects a recovering device would only
+// delay a healthy one. Returns the error to surface when the policy is
+// spent or the context fired; nil means the retry is in flight.
 func (px *proxy) retryDelivery(d csd.Delivery, class deliveryClass, cause error) error {
 	rs := px.retry
 	obj := d.Object
@@ -227,8 +244,15 @@ func (px *proxy) retryDelivery(d csd.Delivery, class deliveryClass, cause error)
 			// now suspect too: quarantine the key entirely.
 			px.cache.Invalidate(obj)
 		}
-	} else {
+	} else if csd.IsRetryable(cause) {
 		px.stats.TransientFaults++
+	}
+	target, failingOver := -1, false
+	var dde *csd.DeviceDownError
+	if errors.As(cause, &dde) {
+		if t, ok := px.fl.Failover(obj, d.Device); ok {
+			target, failingOver = t, true
+		}
 	}
 	attempts := rs.attempts[obj]
 	if attempts == 0 {
@@ -243,7 +267,10 @@ func (px *proxy) retryDelivery(d csd.Delivery, class deliveryClass, cause error)
 	if err := px.ctxDone(); err != nil {
 		return err
 	}
-	delay := rs.policy.backoff(obj, attempts)
+	var delay time.Duration
+	if !failingOver {
+		delay = rs.policy.backoff(obj, attempts)
+	}
 	var wallFrom time.Time
 	virtFrom := px.proc.Now()
 	if px.tr.Enabled() {
@@ -262,10 +289,19 @@ func (px *proxy) retryDelivery(d csd.Delivery, class deliveryClass, cause error)
 	rs.spent++
 	px.stats.Retries++
 	px.stats.GetsIssued++ // the re-request is a real GET: conservation holds
-	if px.tr.Enabled() {
-		px.tr.EmitVirt(trace.CatRetry, fmt.Sprintf("%v attempt %d", obj, attempts+1), wallFrom, virtFrom, px.proc.Now())
+	if failingOver {
+		px.stats.Failovers++
+		if px.tr.Enabled() {
+			px.tr.EmitVirtDev(trace.CatRetry, fmt.Sprintf("%v failover d%d->d%d", obj, d.Device, target), wallFrom, virtFrom, px.proc.Now(), target)
+		}
+	} else {
+		target = px.fl.Choose(obj)
+		if px.tr.Enabled() {
+			px.tr.EmitVirtDev(trace.CatRetry, fmt.Sprintf("%v attempt %d", obj, attempts+1), wallFrom, virtFrom, px.proc.Now(), target)
+		}
 	}
-	px.dev.Submit(px.proc, &csd.Request{Object: obj, QueryID: px.query, Tenant: px.tenant, Reply: px.reply})
+	px.stats.addDeviceGet(target)
+	px.fl.device(target).Submit(px.proc, &csd.Request{Object: obj, QueryID: px.query, Tenant: px.tenant, Reply: px.reply})
 	return nil
 }
 

@@ -127,6 +127,21 @@ type ClientStats struct {
 	PrefetchIssued int
 	PrefetchServed int
 	PrefetchUseful int
+	// DeviceGets and PrefetchDeviceGets are the per-device ledgers of a
+	// device fleet: DeviceGets[d] counts the demand GETs (first requests
+	// and retries) this client submitted to device d, and
+	// PrefetchDeviceGets[d] the prefetcher's GETs on its behalf. In a
+	// clean run (no fault plan) GET conservation holds per device: device
+	// d's GetsByTenant[tenant] equals DeviceGets[d] +
+	// PrefetchDeviceGets[d]. Under faults a submission refused by a down
+	// device counts here but not at the device, exactly as the cluster
+	// invariant above only holds fault-free. Nil when no GET was routed.
+	DeviceGets         map[int]int
+	PrefetchDeviceGets map[int]int
+	// Failovers counts recoveries that re-requested an object from a live
+	// replica on another device instead of backing off against the device
+	// that failed it. Each failover also counts in Retries.
+	Failovers int
 	// TransientFaults and CorruptDeliveries count the retryable faults
 	// this client observed on the demand path; Retries counts the
 	// re-requests the proxy issued in response (each also counts in
@@ -162,6 +177,22 @@ type QueryRun struct {
 
 // Elapsed returns the client's total workload time.
 func (s *ClientStats) Elapsed() time.Duration { return s.Finish - s.Start }
+
+// addDeviceGet records one demand GET submitted to device d.
+func (s *ClientStats) addDeviceGet(d int) {
+	if s.DeviceGets == nil {
+		s.DeviceGets = make(map[int]int)
+	}
+	s.DeviceGets[d]++
+}
+
+// addPrefetchDeviceGet records one prefetch GET submitted to device d.
+func (s *ClientStats) addPrefetchDeviceGet(d int) {
+	if s.PrefetchDeviceGets == nil {
+		s.PrefetchDeviceGets = make(map[int]int)
+	}
+	s.PrefetchDeviceGets[d]++
+}
 
 // Stalled sums the stall intervals.
 func (s *ClientStats) Stalled() time.Duration {
@@ -259,16 +290,18 @@ func (c *Client) ctxErr() error {
 func (c *Client) statsPruningOn() bool { return c.StatsPruning == nil || *c.StatsPruning }
 
 // proxy is the client proxy daemon (§4.3): it owns the reply channel,
-// tags requests with the query id, counts GETs, and records stalls. When
-// a segment cache is configured it sits between the engines and the
-// device: requests are consulted against the cache first (hits are
-// delivered immediately at zero device cost) and device deliveries are
-// admitted into the cache on the way back, so later queries — of this
-// tenant or, with a cluster-shared cache, of any tenant — reuse the
-// transferred bytes.
+// tags requests with the query id, counts GETs, and records stalls. GETs
+// are routed through the fleet's DeviceChooser — one device in the
+// classic testbed, per-placement (replica-aware) in a multi-device
+// cluster. When a segment cache is configured it sits between the
+// engines and the devices: requests are consulted against the cache
+// first (hits are delivered immediately at zero device cost) and device
+// deliveries are admitted into the cache on the way back, so later
+// queries — of this tenant or, with a cluster-shared cache, of any
+// tenant — reuse the transferred bytes.
 type proxy struct {
 	sim    *vtime.Sim
-	dev    *csd.CSD
+	fl     *DeviceChooser
 	tenant int
 	stats  *ClientStats
 	cache  *segcache.Cache
@@ -296,10 +329,10 @@ type proxy struct {
 	deferred []csd.Delivery
 }
 
-func newProxy(sim *vtime.Sim, dev *csd.CSD, tenant int, stats *ClientStats) *proxy {
+func newProxy(sim *vtime.Sim, fl *DeviceChooser, tenant int, stats *ClientStats) *proxy {
 	return &proxy{
 		sim:    sim,
-		dev:    dev,
+		fl:     fl,
 		tenant: tenant,
 		stats:  stats,
 		reply:  vtime.NewChan[csd.Delivery](sim, fmt.Sprintf("proxy.t%d.reply", tenant), 1<<20),
@@ -318,9 +351,13 @@ func (px *proxy) beginQuery(queryID string) {
 // serving cache-resident objects locally. Cache hits are enqueued on the
 // reply channel ahead of any device delivery — arrival order is the
 // out-of-order engine's input, so this only reorders, never loses, a
-// delivery, and the vanilla path requests one object at a time.
+// delivery, and the vanilla path requests one object at a time. Misses
+// fan out per device: each GET goes to the replica the chooser picks,
+// batched per device in first-appearance order so per-device arrival
+// order matches the request order.
 func (px *proxy) Request(objs []segment.ObjectID) {
-	var reqs []*csd.Request
+	perDev := make(map[int][]*csd.Request)
+	var devOrder []int
 	for _, id := range objs {
 		if px.cache != nil {
 			if seg, ok := px.cache.Get(id); ok {
@@ -340,10 +377,15 @@ func (px *proxy) Request(objs []segment.ObjectID) {
 				continue
 			}
 		}
-		reqs = append(reqs, &csd.Request{Object: id, QueryID: px.query, Tenant: px.tenant, Reply: px.reply})
+		d := px.fl.Choose(id)
+		px.stats.addDeviceGet(d)
+		if perDev[d] == nil {
+			devOrder = append(devOrder, d)
+		}
+		perDev[d] = append(perDev[d], &csd.Request{Object: id, QueryID: px.query, Tenant: px.tenant, Reply: px.reply})
 	}
-	if len(reqs) > 0 {
-		px.dev.Submit(px.proc, reqs...)
+	for _, d := range devOrder {
+		px.fl.device(d).Submit(px.proc, perDev[d]...)
 	}
 	px.stats.GetsIssued += len(objs)
 }
@@ -382,6 +424,12 @@ func (px *proxy) NextArrival() (*segment.Segment, error) {
 			}
 		}
 		class, cause := classify(d)
+		if class == deliveryFatal && px.canFailover(d) {
+			// A permanent device crash is not fatal to the query when a
+			// live replica holds the object: recover like a retryable
+			// fault, with the retry path failing over to the replica.
+			class = deliveryRetryable
+		}
 		switch class {
 		case deliveryOK:
 			if px.cache != nil {
@@ -422,6 +470,12 @@ func (px *proxy) TryNextArrival() (*segment.Segment, bool, error) {
 		}
 		return d.Seg, true, nil
 	case deliveryFatal:
+		if px.canFailover(d) {
+			// Recoverable via a live replica; like any other recovery it
+			// may block, so defer it to the next blocking NextArrival.
+			px.deferred = append(px.deferred, d)
+			return nil, false, nil
+		}
 		return nil, false, cause
 	default:
 		px.deferred = append(px.deferred, d)

@@ -78,12 +78,21 @@ func WriteChrome(w io.Writer, clock ChromeClock, traces ...*Export) error {
 			if clock == ClockVirtual && !sp.HasVirt {
 				continue
 			}
+			// Device-labeled spans (multi-device fleets) get their own lane
+			// set past the shared ones: tid strides by device so "retry d2"
+			// never collides with an unlabeled lane, and unlabeled spans
+			// keep the exact tids single-device traces always had.
 			tid := laneOf(sp.Cat)
+			laneName := sp.Cat
+			if sp.Device > 0 {
+				tid += sp.Device * (len(laneOrder) + 1)
+				laneName = fmt.Sprintf("%s d%d", sp.Cat, sp.Device)
+			}
 			if !seen[tid] {
 				seen[tid] = true
 				events = append(events, chromeMeta{
 					Name: "thread_name", Ph: "M", PID: pid, TID: tid,
-					Args: map[string]any{"name": sp.Cat},
+					Args: map[string]any{"name": laneName},
 				})
 				events = append(events, chromeMeta{
 					Name: "thread_sort_index", Ph: "M", PID: pid, TID: tid,

@@ -57,6 +57,12 @@ type Span struct {
 	VirtStart time.Duration `json:"virt_start_ns,omitempty"`
 	VirtEnd   time.Duration `json:"virt_end_ns,omitempty"`
 	HasVirt   bool          `json:"has_virt,omitempty"`
+	// Device labels work tied to one device of a multi-device fleet (a
+	// retry or failover re-request). 0 means unlabeled — single-device
+	// traces, the primary device, and device-agnostic spans render
+	// exactly as before; the Chrome export gives each labeled device its
+	// own lane set ("cat dN").
+	Device int `json:"device,omitempty"`
 }
 
 // DefaultSpanLimit bounds one trace: a query over a large dataset
@@ -254,6 +260,12 @@ func (t *QueryTrace) Emit(cat, name string, wallStart time.Time) {
 
 // EmitVirt records a completed span with explicit virtual bounds.
 func (t *QueryTrace) EmitVirt(cat, name string, wallStart time.Time, virtFrom, virtTo time.Duration) {
+	t.EmitVirtDev(cat, name, wallStart, virtFrom, virtTo, 0)
+}
+
+// EmitVirtDev is EmitVirt with a device label, for spans tied to one
+// device of a multi-device fleet.
+func (t *QueryTrace) EmitVirtDev(cat, name string, wallStart time.Time, virtFrom, virtTo time.Duration, device int) {
 	if t == nil {
 		return
 	}
@@ -265,6 +277,7 @@ func (t *QueryTrace) EmitVirt(cat, name string, wallStart time.Time, virtFrom, v
 		sp.WallStart = wallStart.Sub(t.origin)
 		sp.WallEnd = now.Sub(t.origin)
 		sp.VirtStart, sp.VirtEnd, sp.HasVirt = virtFrom, virtTo, true
+		sp.Device = device
 	}
 }
 

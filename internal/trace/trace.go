@@ -56,6 +56,11 @@ type Event struct {
 	Query  string // query id when known
 	Object string // object id when known
 	Group  int    // disk group when known, else -1
+	// Device is the CSD that emitted the event. Single-device runs (and
+	// cluster-level events like query spans) leave it 0/-1 and it stays
+	// out of the rendering; multi-device fleets stamp ids >= 1 on the
+	// non-primary devices, which Render shows as "d<N>".
+	Device int
 	Note   string
 }
 
@@ -125,6 +130,9 @@ func (l *Log) Render(w io.Writer) {
 		}
 		if e.Group >= 0 {
 			parts = append(parts, fmt.Sprintf("g%d", e.Group))
+		}
+		if e.Device > 0 {
+			parts = append(parts, fmt.Sprintf("d%d", e.Device))
 		}
 		if e.Note != "" {
 			parts = append(parts, e.Note)
